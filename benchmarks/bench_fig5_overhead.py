@@ -1,0 +1,33 @@
+"""Regenerates Figure 5: run-time overhead of ROPk vs the 2VM-IMPlast baseline."""
+
+from repro.evaluation import render_table, run_figure5
+from repro.obfuscation.configs import nvm
+
+
+def test_figure5_runtime_overhead(benchmark, scale):
+    benchmarks = scale["clbg_benchmarks"]
+    k_values = (0.05, 0.50, 1.00) if benchmarks is not None else None
+    baseline = nvm(2, "last") if benchmarks is None else nvm(1, "all")
+
+    def run():
+        return run_figure5(benchmarks=benchmarks, k_values=k_values, baseline=baseline)
+
+    bars = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(render_table(
+        ("benchmark", "k", "vs native", "vs VM baseline"),
+        [(bar.benchmark, f"{bar.k:.2f}", f"{bar.slowdown_vs_native:.2f}x",
+          f"{bar.slowdown_vs_baseline:.2f}x") for bar in bars],
+        title="Figure 5 (run-time overhead)"))
+    # qualitative shape: overhead grows with k, and moderate k stays cheaper
+    # than the double-VM baseline for most benchmarks
+    by_benchmark = {}
+    for bar in bars:
+        by_benchmark.setdefault(bar.benchmark, []).append(bar)
+    cheaper_than_baseline = 0
+    for series in by_benchmark.values():
+        series.sort(key=lambda bar: bar.k)
+        assert series[-1].rop_instructions >= series[0].rop_instructions
+        if series[0].slowdown_vs_baseline < 1.0:
+            cheaper_than_baseline += 1
+    assert cheaper_than_baseline >= len(by_benchmark) // 2

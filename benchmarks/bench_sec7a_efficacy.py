@@ -1,0 +1,30 @@
+"""Regenerates the §VII-A efficacy study (per-technique attack surfaces)."""
+
+from repro.evaluation import render_table, run_efficacy_study
+
+
+def test_section7a_efficacy(benchmark, scale):
+    def run():
+        return run_efficacy_study(budget_seconds=min(3.0, scale["attack_seconds"] * 1.5))
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(render_table(("measurement", "value"), [
+        ("SE paths on native", result.se_native_paths),
+        ("SE paths on ROP-P1", result.se_rop_p1_paths),
+        ("DSE paths on native", result.dse_native_paths),
+        ("DSE paths on ROP k=1", result.dse_rop_p3_paths),
+        ("DSE instructions native", result.dse_native_instructions),
+        ("DSE instructions ROP k=1", result.dse_rop_p3_instructions),
+        ("TDS tainted branches (plain ROP)", result.tds_plain_tainted_branches),
+        ("TDS tainted branches (ROP k=1)", result.tds_p3_tainted_branches),
+        ("ROPMEMU valid flips (plain)", result.ropmemu_valid_flips_plain),
+        ("ROPMEMU valid flips (P2)", result.ropmemu_valid_flips_p2),
+        ("Dissector slot recovery (plain)", f"{result.dissector_plain_fraction:.2f}"),
+        ("Dissector slot recovery (confused)", f"{result.dissector_confused_fraction:.2f}"),
+        ("Gadget-guessing candidates", result.guessed_gadgets),
+    ], title="§VII-A efficacy study"))
+    # qualitative expectations of §VII-A
+    assert result.dse_rop_p3_instructions > result.dse_native_instructions
+    assert result.tds_p3_tainted_branches >= result.tds_plain_tainted_branches
+    assert result.dissector_confused_fraction <= result.dissector_plain_fraction

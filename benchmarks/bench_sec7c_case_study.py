@@ -1,0 +1,29 @@
+"""Regenerates §VII-C3: the base64 case study (resilience and slowdown)."""
+
+from repro.attacks import AttackBudget
+from repro.evaluation import render_table, run_case_study
+from repro.evaluation.case_study import DEFAULT_CONFIGURATIONS
+
+
+def test_section7c_base64_case_study(benchmark, scale):
+    budget = AttackBudget(seconds=scale["attack_seconds"],
+                          max_executions=scale["attack_executions"])
+    configurations = DEFAULT_CONFIGURATIONS if scale["vm_configs"] is None \
+        else [c for c in DEFAULT_CONFIGURATIONS if c.name in
+              ("NATIVE", "ROP0.00", "ROP1.00")]
+
+    def run():
+        return run_case_study(configurations=configurations, budget=budget)
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(render_table(
+        ("configuration", "secret recovered", "attack time", "run instructions"),
+        [(r.configuration, r.secret_recovered, f"{r.attack_time:.2f}s",
+          r.execution_instructions) for r in results],
+        title="§VII-C3 base64 case study"))
+    native = next(r for r in results if r.configuration == "NATIVE")
+    rop = [r for r in results if r.configuration.startswith("ROP")]
+    # ROP encoding costs run time but raises the bar for the attack
+    assert all(r.execution_instructions > native.execution_instructions for r in rop)
+    assert sum(r.secret_recovered for r in rop) <= int(native.secret_recovered) * len(rop)

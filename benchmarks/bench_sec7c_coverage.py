@@ -1,0 +1,25 @@
+"""Regenerates §VII-C1: rewriting coverage over the coreutils-like corpus."""
+
+from repro.evaluation import render_table, run_coverage_study
+
+
+def test_section7c_rewriting_coverage(benchmark, scale):
+    def run():
+        return run_coverage_study(programs=scale["corpus_programs"],
+                                  functions_per_program=scale["corpus_functions"])
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    rows = [
+        ("total functions", result.total_functions),
+        ("skipped (smaller than stub)", result.skipped_small),
+        ("attempted", result.attempted),
+        ("rewritten", result.rewritten),
+        ("coverage", f"{result.coverage:.1%}"),
+    ] + [(f"failure: {k}", v) for k, v in sorted(result.failure_categories.items())]
+    print(render_table(("measurement", "value"), rows, title="§VII-C1 coverage study"))
+    # paper: 95.1% of attempted functions rewritten; the synthetic corpus
+    # lands in the same region
+    assert result.coverage > 0.85
+    assert result.skipped_small > 0
+    assert result.failure_categories  # at least one exotic failure category hit

@@ -1,0 +1,34 @@
+"""Regenerates Table I / Table IV: the configuration and workload taxonomies."""
+
+from repro.evaluation import TABLE2_CONFIGURATIONS, render_table
+from repro.obfuscation.configs import ropk
+from repro.workloads.randomfuns import CONTROL_STRUCTURES, generate_table2_suite
+
+
+def test_table1_configuration_registry(benchmark):
+    def run():
+        return list(TABLE2_CONFIGURATIONS)
+
+    configurations = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(render_table(
+        ("name", "kind", "k", "VM layers", "implicit"),
+        [(c.name, c.kind, c.rop_k, c.vm_layers, c.vm_implicit) for c in configurations],
+        title="Table I (configuration taxonomy)"))
+    names = {c.name for c in configurations}
+    assert {"NATIVE", "ROP0.05", "ROP1.00", "2VM", "3VM-IMPall"} <= names
+    assert ropk(0.25).name == "ROP0.25"
+
+
+def test_table4_control_structures(benchmark):
+    def run():
+        return generate_table2_suite()
+
+    suite = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(render_table(
+        ("structure", "depth", "ifs", "loops"),
+        CONTROL_STRUCTURES,
+        title="Table IV (RandomFuns control structures)"))
+    assert len(suite) == 72
+    assert len(CONTROL_STRUCTURES) == 6

@@ -1,0 +1,35 @@
+"""Regenerates Table II (code-coverage column): G2 attacks across configurations."""
+
+from repro.attacks import AttackBudget
+from repro.evaluation import TABLE2_CONFIGURATIONS, render_table, run_table2
+from repro.workloads.randomfuns import generate_table2_suite
+
+
+def _configurations(scale):
+    names = scale["vm_configs"] or [c.name for c in TABLE2_CONFIGURATIONS]
+    subset = [c for c in TABLE2_CONFIGURATIONS if c.name in names]
+    # the coverage goal is the expensive half of Table II; keep the scaled run
+    # to the native/ROP ends of the spectrum unless full scale was requested
+    return subset if scale["vm_configs"] is None else subset[:4]
+
+
+def test_table2_code_coverage(benchmark, scale):
+    specs = generate_table2_suite(point_test=False, seeds=scale["seeds"],
+                                  input_sizes=scale["input_sizes"],
+                                  structures=scale["structures"])
+    budget = AttackBudget(seconds=scale["attack_seconds"],
+                          max_executions=scale["attack_executions"])
+
+    def run():
+        return run_table2(configurations=_configurations(scale), specs=specs,
+                          budget=budget, include_coverage=True)
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(render_table(
+        ("configuration", "secrets found", "avg time", "100% coverage"),
+        [row.as_cells() for row in rows],
+        title="Table II (code coverage, scaled)"))
+    native = next(row for row in rows if row.configuration == "NATIVE")
+    rop = [row for row in rows if row.configuration.startswith("ROP")]
+    assert native.full_coverage >= max(row.full_coverage for row in rop)

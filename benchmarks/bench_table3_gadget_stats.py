@@ -1,0 +1,26 @@
+"""Regenerates Table III: gadget statistics of the clbg suite across ROPk."""
+
+from repro.evaluation import render_table, run_table3
+
+
+def test_table3_gadget_statistics(benchmark, scale):
+    benchmarks = scale["clbg_benchmarks"]
+    k_values = (0.0, 0.25, 1.0) if benchmarks is not None else None
+
+    def run():
+        return run_table3(benchmarks=benchmarks, k_values=k_values)
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(render_table(
+        ("benchmark", "k", "N", "A", "B", "C"),
+        [row.as_cells() for row in rows],
+        title="Table III (gadget statistics)"))
+    # the paper's trend: A, B and C grow with k (more P3 instances, more gadgets)
+    by_benchmark = {}
+    for row in rows:
+        by_benchmark.setdefault(row.benchmark, []).append(row)
+    for series in by_benchmark.values():
+        series.sort(key=lambda row: row.k)
+        assert series[-1].total_gadgets > series[0].total_gadgets
+        assert series[-1].gadgets_per_point > series[0].gadgets_per_point

@@ -1,0 +1,43 @@
+"""Shared scaling knobs for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper at a reduced
+scale (few functions, seconds-level attack budgets) so the whole suite runs
+on a laptop.  Set ``REPRO_FULL_SCALE=1`` to use the paper-sized grids; expect
+multiple CPU-hours in that mode (the paper reports >2000 CPU hours for its
+own grid).
+"""
+
+import os
+
+import pytest
+
+#: True when the full paper-scale experiment grid was requested.
+FULL_SCALE = os.environ.get("REPRO_FULL_SCALE", "0") == "1"
+
+
+@pytest.fixture(scope="session")
+def scale():
+    """Return the scaling parameters shared by all benchmarks."""
+    if FULL_SCALE:
+        return {
+            "structures": None,          # all six control structures
+            "input_sizes": (1, 2, 4, 8),
+            "seeds": (1, 2, 3),
+            "attack_seconds": 3600.0,
+            "attack_executions": 100_000,
+            "clbg_benchmarks": None,     # all ten
+            "corpus_programs": 107,
+            "corpus_functions": 13,
+            "vm_configs": None,
+        }
+    return {
+        "structures": ("if(bb4,bb4)", "for(if(bb4,bb4))"),
+        "input_sizes": (1,),
+        "seeds": (1,),
+        "attack_seconds": 2.0,
+        "attack_executions": 40,
+        "clbg_benchmarks": ("fasta", "rev-comp", "sp-norm"),
+        "corpus_programs": 8,
+        "corpus_functions": 8,
+        "vm_configs": ("NATIVE", "ROP0.05", "ROP0.50", "ROP1.00", "2VM", "2VM-IMPlast"),
+    }

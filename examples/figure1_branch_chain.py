@@ -1,0 +1,72 @@
+"""Figure 1: a hand-built ROP chain with a non-linear control flow.
+
+The chain assigns RDI = 1 when RAX == 0 and RDI = 2 otherwise, using the
+neg/adc carry-leak idiom and a masked RSP displacement — the exact encoding
+the paper uses to introduce ROP branches.
+
+Run with ``python examples/figure1_branch_chain.py``.
+"""
+
+from repro.binary import BinaryImage, load_image
+from repro.cpu import Emulator
+from repro.cpu.host import EXIT_ADDRESS
+from repro.isa import Imm, Reg, assemble
+from repro.isa.instructions import make
+from repro.isa.registers import Register
+
+
+def add_gadget(image, instructions) -> int:
+    """Append a gadget (instructions + ret) to .text and return its address."""
+    code, _ = assemble(list(instructions) + [make("ret")],
+                       base_address=image.text.end if image.text.size else image.text.address)
+    return image.text.append(code)
+
+
+def main() -> None:
+    image = BinaryImage("figure1")
+    pop_rcx = add_gadget(image, [make("pop", Reg(Register.RCX))])
+    neg_rax = add_gadget(image, [make("neg", Reg(Register.RAX))])
+    adc = add_gadget(image, [make("adc", Reg(Register.RCX), Reg(Register.RCX))])
+    neg_rcx = add_gadget(image, [make("neg", Reg(Register.RCX))])
+    pop_rsi = add_gadget(image, [make("pop", Reg(Register.RSI))])
+    and_rsi_rcx = add_gadget(image, [make("and", Reg(Register.RSI), Reg(Register.RCX))])
+    add_rsp_rsi = add_gadget(image, [make("add", Reg(Register.RSP), Reg(Register.RSI))])
+    pop_rdi = add_gadget(image, [make("pop", Reg(Register.RDI))])
+    pop_rsi_rbp = add_gadget(image, [make("pop", Reg(Register.RSI)), make("pop", Reg(Register.RBP))])
+
+    def run(rax: int) -> int:
+        program = load_image(image)
+        emulator = Emulator(program.memory)
+        # chain layout mirrors Figure 1: the "taken" displacement skips the
+        # RDI=1 segment (0x18 bytes = pop_rdi + imm + disposal gadget)
+        chain = [
+            pop_rcx, 0,              # rcx = 0
+            neg_rax,                 # CF = (rax != 0)
+            adc,                     # rcx = CF
+            neg_rcx,                 # rcx = 0 or 0xffff...ffff (mask)
+            pop_rsi, 0x18,           # candidate displacement (3 slots)
+            and_rsi_rcx,             # rsi = 0x18 if rax != 0 else 0
+            add_rsp_rsi,             # the ROP branch
+            pop_rdi, 1,              # fall-through: rdi = 1
+            pop_rsi_rbp,             # ... then dispose of the 0x10-byte alternative
+            pop_rdi, 2,              # taken path: rdi = 2 (junk for the fall-through)
+            EXIT_ADDRESS,
+        ]
+        base = program.stack_top - 0x400
+        for index, value in enumerate(chain):
+            program.memory.write_int(base + 8 * index, value, 8)
+        emulator.state.write_reg(Register.RAX, rax)
+        emulator.state.write_reg(Register.RSP, base)
+        emulator.state.rip = emulator.pop()
+        emulator.run()
+        return emulator.state.read_reg(Register.RDI)
+
+    for rax in (0, 7):
+        rdi = run(rax)
+        print(f"RAX = {rax} -> RDI = {rdi}")
+        assert rdi == (1 if rax == 0 else 2)
+    print("Figure 1 chain behaves as in the paper")
+
+
+if __name__ == "__main__":
+    main()

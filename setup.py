@@ -1,0 +1,4 @@
+"""Setup shim so the package installs offline (no wheel package available)."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,18 @@
+"""Reproduction of "Hiding in the Particles: When ROP Meets Program Obfuscation".
+
+The package is organised in layers (see DESIGN.md):
+
+* substrates: :mod:`repro.isa`, :mod:`repro.memory`, :mod:`repro.binary`,
+  :mod:`repro.cpu`, :mod:`repro.lang`, :mod:`repro.compiler`,
+  :mod:`repro.analysis`, :mod:`repro.gadgets`;
+* the paper's contribution: :mod:`repro.core` (the ROP rewriter and the
+  P1/P2/P3 strengthening predicates);
+* baselines: :mod:`repro.obfuscation` (VM obfuscation, flattening);
+* attacks: :mod:`repro.attacks` (SE, DSE, TDS, ROP-aware tools);
+* workloads and the evaluation harness: :mod:`repro.workloads`,
+  :mod:`repro.evaluation`.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

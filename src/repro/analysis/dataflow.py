@@ -1,0 +1,132 @@
+"""Forward data-flow analysis identifying input-derived registers.
+
+The P3 predicate (§V-C) must be coupled with *symbolic registers*: live
+registers whose value derives from the function's inputs and may concur to
+its outputs.  The paper uses angr for this; the reproduction runs a forward
+taint analysis over the recovered CFG, tracking both registers and
+frame-pointer-relative stack slots (compiled code spills arguments to the
+frame immediately, so register-only tracking would lose everything).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Set, Tuple
+
+from repro.analysis.cfg_recovery import FunctionCFG
+from repro.isa.instructions import Instruction, Mnemonic
+from repro.isa.operands import Imm, Mem, Reg
+from repro.isa.registers import ARG_REGISTERS, CALLER_SAVED, Register
+
+
+@dataclass(frozen=True)
+class TaintState:
+    """Immutable taint fact: tainted registers and tainted frame slots."""
+
+    registers: frozenset
+    slots: frozenset
+
+    def union(self, other: "TaintState") -> "TaintState":
+        return TaintState(self.registers | other.registers, self.slots | other.slots)
+
+
+def _operand_tainted(operand, state: TaintState) -> bool:
+    if isinstance(operand, Reg):
+        return operand.reg in state.registers
+    if isinstance(operand, Imm):
+        return False
+    if isinstance(operand, Mem):
+        if operand.base is Register.RBP and operand.index is None:
+            return operand.disp in state.slots
+        # loads through a tainted pointer produce tainted data
+        regs = {r for r in (operand.base, operand.index) if r is not None}
+        return bool(regs & state.registers)
+    return False
+
+
+def _transfer(instruction: Instruction, state: TaintState) -> TaintState:
+    registers = set(state.registers)
+    slots = set(state.slots)
+    m = instruction.mnemonic
+    ops = instruction.operands
+
+    def taint_of_sources(sources) -> bool:
+        return any(_operand_tainted(s, state) for s in sources)
+
+    if m is Mnemonic.CALL:
+        # conservatively: the return value is tainted if any argument register is
+        tainted_args = any(r in registers for r in ARG_REGISTERS)
+        for reg in CALLER_SAVED:
+            registers.discard(reg)
+        if tainted_args:
+            registers.add(Register.RAX)
+        return TaintState(frozenset(registers), frozenset(slots))
+    if m in (Mnemonic.RET, Mnemonic.LEAVE, Mnemonic.JMP, Mnemonic.JCC,
+             Mnemonic.CMP, Mnemonic.TEST, Mnemonic.NOP, Mnemonic.HLT,
+             Mnemonic.PUSH, Mnemonic.CQO):
+        return state
+    if not ops:
+        return state
+
+    destination = ops[0]
+    if m is Mnemonic.POP:
+        if isinstance(destination, Reg):
+            registers.discard(destination.reg)
+        return TaintState(frozenset(registers), frozenset(slots))
+
+    if m in (Mnemonic.MOV, Mnemonic.MOVZX, Mnemonic.MOVSX):
+        tainted = taint_of_sources(ops[1:])
+    elif m in (Mnemonic.SET,):
+        tainted = False
+    elif m is Mnemonic.LEA:
+        tainted = taint_of_sources(ops[1:])
+    elif m in (Mnemonic.NEG, Mnemonic.NOT, Mnemonic.INC, Mnemonic.DEC):
+        tainted = _operand_tainted(destination, state)
+    else:
+        tainted = _operand_tainted(destination, state) or taint_of_sources(ops[1:])
+
+    if isinstance(destination, Reg):
+        if tainted:
+            registers.add(destination.reg)
+        else:
+            registers.discard(destination.reg)
+    elif isinstance(destination, Mem) and destination.base is Register.RBP and destination.index is None:
+        if tainted:
+            slots.add(destination.disp)
+        else:
+            slots.discard(destination.disp)
+    return TaintState(frozenset(registers), frozenset(slots))
+
+
+def compute_symbolic_registers(cfg: FunctionCFG) -> Dict[int, Set[Register]]:
+    """Return, per instruction address, the set of input-derived registers.
+
+    The entry state taints the argument registers.  The result maps every
+    instruction address to the registers tainted *before* that instruction
+    executes, which is where P3 insertion consults it.
+    """
+    entry_state = TaintState(frozenset(ARG_REGISTERS), frozenset())
+    in_states: Dict[int, TaintState] = {cfg.entry: entry_state}
+    empty = TaintState(frozenset(), frozenset())
+
+    changed = True
+    while changed:
+        changed = False
+        for block in cfg.block_order():
+            state = in_states.get(block.start, empty if block.start != cfg.entry else entry_state)
+            for _, instruction in block.instructions:
+                state = _transfer(instruction, state)
+            for successor in block.successors:
+                merged = in_states.get(successor, None)
+                new = state if merged is None else merged.union(state)
+                if new != merged:
+                    in_states[successor] = new
+                    changed = True
+
+    per_instruction: Dict[int, Set[Register]] = {}
+    for block in cfg.block_order():
+        state = in_states.get(block.start, empty if block.start != cfg.entry else entry_state)
+        for address, instruction in block.instructions:
+            per_instruction[address] = set(state.registers)
+            state = _transfer(instruction, state)
+    return per_instruction

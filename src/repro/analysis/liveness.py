@@ -1,0 +1,218 @@
+"""Register and flag liveness analysis over a recovered CFG.
+
+The rewriter annotates every roplet with the registers live after the
+original instruction (§IV-B1); the chain crafter then draws scratch registers
+only from the dead ones and preserves the status register exactly where a
+later instruction may read it (§IV-B2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set, Tuple
+
+from repro.analysis.cfg_recovery import FunctionCFG
+from repro.isa.instructions import Instruction, Mnemonic
+from repro.isa.operands import Imm, Mem, Reg
+from repro.isa.registers import ARG_REGISTERS, CALLER_SAVED, Register
+
+
+@dataclass
+class LivenessResult:
+    """Per-instruction liveness facts.
+
+    Attributes:
+        live_after: registers live immediately after each instruction address.
+        live_before: registers live immediately before each instruction address.
+        flags_live_after: addresses after which the condition flags may still
+            be read before being redefined.
+    """
+
+    live_after: Dict[int, Set[Register]]
+    live_before: Dict[int, Set[Register]]
+    flags_live_after: Set[int]
+
+    def dead_registers(self, address: int, exclude: Tuple[Register, ...] = ()) -> List[Register]:
+        """Registers that are dead after ``address`` (usable as scratch)."""
+        live = self.live_after.get(address, set())
+        reserved = {Register.RSP, Register.RBP, *exclude}
+        return [reg for reg in Register if reg not in live and reg not in reserved]
+
+
+def _operand_registers(operand) -> Set[Register]:
+    if isinstance(operand, Reg):
+        return {operand.reg}
+    if isinstance(operand, Mem):
+        out = set()
+        if operand.base is not None:
+            out.add(operand.base)
+        if operand.index is not None:
+            out.add(operand.index)
+        return out
+    return set()
+
+
+def instruction_uses_defs(instruction: Instruction) -> Tuple[Set[Register], Set[Register]]:
+    """Return ``(uses, defs)`` register sets of ``instruction``.
+
+    Calls are treated conservatively: they use all argument registers and
+    define every caller-saved register (matching the footnote-1 definition of
+    liveness in the paper).
+    """
+    m = instruction.mnemonic
+    ops = instruction.operands
+    uses: Set[Register] = set()
+    defs: Set[Register] = set()
+
+    if m is Mnemonic.CALL:
+        uses |= set(ARG_REGISTERS)
+        uses |= _operand_registers(ops[0]) if ops else set()
+        defs |= set(CALLER_SAVED)
+        uses.add(Register.RSP)
+        defs.add(Register.RSP)
+        return uses, defs
+    if m is Mnemonic.RET:
+        uses |= {Register.RAX, Register.RSP}
+        defs |= {Register.RSP}
+        return uses, defs
+    if m is Mnemonic.LEAVE:
+        uses |= {Register.RBP, Register.RSP}
+        defs |= {Register.RBP, Register.RSP}
+        return uses, defs
+    if m is Mnemonic.PUSH:
+        uses |= _operand_registers(ops[0])
+        uses.add(Register.RSP)
+        defs.add(Register.RSP)
+        return uses, defs
+    if m is Mnemonic.POP:
+        uses.add(Register.RSP)
+        defs.add(Register.RSP)
+        if isinstance(ops[0], Reg):
+            defs.add(ops[0].reg)
+        else:
+            uses |= _operand_registers(ops[0])
+        return uses, defs
+    if m in (Mnemonic.CQO,):
+        uses.add(Register.RAX)
+        defs.add(Register.RDX)
+        return uses, defs
+    if m is Mnemonic.IDIV:
+        uses |= {Register.RAX, Register.RDX}
+        uses |= _operand_registers(ops[0])
+        defs |= {Register.RAX, Register.RDX}
+        return uses, defs
+    if m in (Mnemonic.JMP, Mnemonic.JCC):
+        uses |= _operand_registers(ops[0]) if ops else set()
+        return uses, defs
+
+    if not ops:
+        return uses, defs
+
+    destination = ops[0]
+    sources = ops[1:]
+    # destination semantics
+    if isinstance(destination, Reg):
+        if m in (Mnemonic.MOV, Mnemonic.MOVZX, Mnemonic.MOVSX, Mnemonic.LEA,
+                 Mnemonic.SET, Mnemonic.POP):
+            defs.add(destination.reg)
+            if m is Mnemonic.SET or (isinstance(destination, Reg) and destination.size < 4):
+                uses.add(destination.reg)  # partial write preserves upper bytes
+        else:
+            defs.add(destination.reg)
+            uses.add(destination.reg)
+        if m is Mnemonic.XCHG:
+            uses.add(destination.reg)
+    else:
+        uses |= _operand_registers(destination)
+        if m in (Mnemonic.CMP, Mnemonic.TEST):
+            pass
+    if m in (Mnemonic.CMP, Mnemonic.TEST):
+        # comparisons do not define their "destination"
+        defs.discard(destination.reg if isinstance(destination, Reg) else None)
+        defs = {d for d in defs if d is not None}
+        uses |= _operand_registers(destination)
+    if m is Mnemonic.CMOV and isinstance(destination, Reg):
+        uses.add(destination.reg)  # may keep the old value
+    for source in sources:
+        uses |= _operand_registers(source)
+        if m is Mnemonic.XCHG and isinstance(source, Reg):
+            defs.add(source.reg)
+    return uses, defs
+
+
+def compute_liveness(cfg: FunctionCFG) -> LivenessResult:
+    """Run a backward may-liveness fixpoint over ``cfg``."""
+    # block-level use/def summaries computed per instruction during iteration
+    block_live_out: Dict[int, Set[Register]] = {start: set() for start in cfg.blocks}
+    exit_live = {Register.RAX, Register.RSP, Register.RBP}
+
+    changed = True
+    while changed:
+        changed = False
+        for block in cfg.block_order():
+            live_out: Set[Register] = set()
+            if block.is_exit:
+                live_out |= exit_live
+            for successor in block.successors:
+                if successor in cfg.blocks:
+                    # live-in of successor = computed by walking it backwards
+                    live_out |= _block_live_in(cfg.blocks[successor], block_live_out[successor])
+            if live_out != block_live_out[block.start]:
+                block_live_out[block.start] = live_out
+                changed = True
+
+    live_after: Dict[int, Set[Register]] = {}
+    live_before: Dict[int, Set[Register]] = {}
+    for block in cfg.block_order():
+        live = set(block_live_out[block.start])
+        if block.is_exit:
+            live |= exit_live
+        for address, instruction in reversed(block.instructions):
+            live_after[address] = set(live)
+            uses, defs = instruction_uses_defs(instruction)
+            live = (live - defs) | uses
+            live_before[address] = set(live)
+
+    flags_live_after = _compute_flag_liveness(cfg)
+    return LivenessResult(live_after=live_after, live_before=live_before,
+                          flags_live_after=flags_live_after)
+
+
+def _block_live_in(block, live_out: Set[Register]) -> Set[Register]:
+    live = set(live_out)
+    for _, instruction in reversed(block.instructions):
+        uses, defs = instruction_uses_defs(instruction)
+        live = (live - defs) | uses
+    return live
+
+
+def _compute_flag_liveness(cfg: FunctionCFG) -> Set[int]:
+    """Addresses after which flags may be read before being rewritten.
+
+    A simple backward pass per block plus a conservative cross-block rule:
+    flags are considered live at a block's end if any successor block reads
+    flags before writing them.
+    """
+    reads_first: Dict[int, bool] = {}
+    for block in cfg.block_order():
+        state = None
+        for _, instruction in block.instructions:
+            if instruction.reads_flags():
+                state = True
+                break
+            if instruction.writes_flags():
+                state = False
+                break
+        reads_first[block.start] = bool(state)
+
+    flags_live: Set[int] = set()
+    for block in cfg.block_order():
+        live = any(reads_first.get(s, False) for s in block.successors)
+        for address, instruction in reversed(block.instructions):
+            if live:
+                flags_live.add(address)
+            if instruction.writes_flags():
+                live = False
+            if instruction.reads_flags():
+                live = True
+    return flags_live

@@ -1,0 +1,18 @@
+"""Automated deobfuscation attacks (§III-B).
+
+* :mod:`repro.attacks.solver` — bitvector expressions and a constraint solver.
+* :mod:`repro.attacks.dse` — dynamic symbolic (concolic) execution, the S2E
+  analog used for the Table II experiments, with exploration strategies
+  including class-uniform path analysis (CUPA).
+* :mod:`repro.attacks.symbolic` — static symbolic execution (angr analog)
+  with a choice of memory models.
+* :mod:`repro.attacks.tds` — taint-driven simplification of execution traces.
+* :mod:`repro.attacks.ropaware` — ROPMEMU-style dynamic chain exploration and
+  ROPDissector-style static chain analysis with gadget guessing.
+* :mod:`repro.attacks.goals` — the G1 (secret finding) and G2 (code coverage)
+  attack drivers with budgets.
+"""
+
+from repro.attacks.goals import AttackBudget, AttackOutcome, secret_finding_attack, coverage_attack
+
+__all__ = ["AttackBudget", "AttackOutcome", "secret_finding_attack", "coverage_attack"]

@@ -1,0 +1,239 @@
+"""Dynamic symbolic execution (the S2E analog used throughout §VII).
+
+The engine repeatedly executes the target function concretely under a
+:class:`repro.attacks.shadow.ShadowTracker`, collects the path constraints of
+each run, and derives new inputs by negating individual branch decisions and
+handing the resulting constraint prefix to the solver — generational
+exploration in the style of concolic engines.  Exploration order is governed
+by a pluggable strategy; class-uniform path analysis (CUPA) groups pending
+inputs by the branch they negate and picks classes uniformly, the strategy
+the paper found most effective for both ROP and VM configurations.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.attacks.shadow import ShadowTracker
+from repro.attacks.solver.expr import SymExpr
+from repro.attacks.solver.solver import ConstraintSolver, PathConstraint
+from repro.binary.image import BinaryImage
+from repro.binary.loader import load_image
+from repro.cpu.emulator import Emulator
+from repro.cpu.host import EXIT_ADDRESS, HostEnvironment
+from repro.cpu.state import EmulationError
+from repro.isa.registers import ARG_REGISTERS, Register
+
+_MASK64 = (1 << 64) - 1
+
+
+@dataclass
+class InputSpec:
+    """Describes the symbolic inputs of the attacked function.
+
+    Attributes:
+        argument_sizes: byte width of each integer argument treated as
+            symbolic (one symbol per argument, matching the RandomFuns input
+            sizes of §VII-B).
+        buffer_symbols: optional number of symbolic bytes passed through a
+            pointer argument (used by the base64 case study); the buffer is
+            allocated by the engine and its address passed as the last
+            argument.
+    """
+
+    argument_sizes: Sequence[int] = (8,)
+    buffer_symbols: int = 0
+
+    def symbol_table(self) -> Dict[str, int]:
+        table = {f"arg{i}": size for i, size in enumerate(self.argument_sizes)}
+        for i in range(self.buffer_symbols):
+            table[f"buf{i}"] = 1
+        return table
+
+
+@dataclass
+class ExecutionResult:
+    """Outcome of a single concolic execution."""
+
+    assignment: Dict[str, int]
+    return_value: int
+    probes: Tuple[int, ...]
+    constraints: List[PathConstraint]
+    branch_addresses: List[int]
+    instructions: int
+    faulted: bool
+
+
+@dataclass
+class ExplorationStats:
+    """Aggregate statistics of one engine run."""
+
+    executions: int = 0
+    instructions: int = 0
+    solver_queries: int = 0
+    paths_seen: int = 0
+    elapsed: float = 0.0
+
+
+class DseEngine:
+    """Concolic exploration of one function in a binary image.
+
+    Args:
+        image: the (possibly obfuscated) binary image.
+        function: name of the function to attack.
+        input_spec: which inputs are symbolic.
+        strategy: ``"cupa"``, ``"bfs"`` or ``"dfs"``.
+        memory_model: ``"concretize"`` (default) or ``"page"`` (§VII-C3).
+        seed: RNG seed.
+        max_instructions: per-execution instruction cap.
+    """
+
+    def __init__(self, image: BinaryImage, function: str,
+                 input_spec: Optional[InputSpec] = None, strategy: str = "cupa",
+                 memory_model: str = "concretize", seed: int = 0,
+                 max_instructions: int = 2_000_000) -> None:
+        if strategy not in ("cupa", "bfs", "dfs"):
+            raise ValueError(f"unknown strategy {strategy!r}")
+        self.image = image
+        self.function = function
+        self.input_spec = input_spec or InputSpec()
+        self.strategy = strategy
+        self.memory_model = memory_model
+        self.random = random.Random(seed)
+        self.max_instructions = max_instructions
+        self.symbols = self.input_spec.symbol_table()
+        self.solver = ConstraintSolver(self.symbols, seed=seed)
+        self.stats = ExplorationStats()
+
+    # -- concrete+symbolic execution of one input --------------------------------
+    def execute(self, assignment: Dict[str, int]) -> ExecutionResult:
+        """Run the target once under the given input assignment."""
+        program = load_image(self.image)
+        host = HostEnvironment()
+        emulator = Emulator(program.memory, host=host, max_steps=self.max_instructions)
+        tracker = ShadowTracker(memory_model=self.memory_model)
+        emulator.pre_hooks.append(tracker.hook)
+
+        emulator.state.write_reg(Register.RSP, program.stack_top)
+        emulator.state.write_reg(Register.RBP, program.stack_top)
+
+        arguments: List[int] = []
+        for index, size in enumerate(self.input_spec.argument_sizes):
+            name = f"arg{index}"
+            value = assignment.get(name, 0) & ((1 << (8 * size)) - 1)
+            arguments.append(value)
+        if self.input_spec.buffer_symbols:
+            buffer_address = program.heap_base + 0x100
+            for index in range(self.input_spec.buffer_symbols):
+                name = f"buf{index}"
+                value = assignment.get(name, 0) & 0xFF
+                program.memory.write_int(buffer_address + index, value, 1)
+                tracker.set_memory_symbol(buffer_address + index, 1, SymExpr(name, 1))
+            arguments.append(buffer_address)
+
+        for register, value in zip(ARG_REGISTERS, arguments):
+            emulator.state.write_reg(register, value & _MASK64)
+        for index, size in enumerate(self.input_spec.argument_sizes):
+            tracker.set_register_symbol(ARG_REGISTERS[index], SymExpr(f"arg{index}", size))
+
+        emulator.push(EXIT_ADDRESS)
+        emulator.state.rip = self.image.function(self.function).address
+
+        faulted = False
+        try:
+            emulator.run()
+        except EmulationError:
+            faulted = True
+
+        self.stats.executions += 1
+        self.stats.instructions += emulator.steps
+        return ExecutionResult(
+            assignment=dict(assignment),
+            return_value=emulator.state.read_reg(Register.RAX),
+            probes=tuple(host.probes),
+            constraints=tracker.path_constraints(),
+            branch_addresses=[record.address for record in tracker.branches],
+            instructions=emulator.steps,
+            faulted=faulted,
+        )
+
+    # -- exploration ------------------------------------------------------------------
+    def explore(self, time_budget: float = 10.0, max_executions: int = 200,
+                stop_condition: Optional[Callable[[ExecutionResult], bool]] = None,
+                ) -> Tuple[List[ExecutionResult], ExplorationStats]:
+        """Explore paths until the budget runs out or ``stop_condition`` holds.
+
+        Returns the list of execution results (one per explored input) and the
+        aggregate statistics.
+        """
+        start = time.monotonic()
+        initial = {name: 0 for name in self.symbols}
+        pending: List[Tuple[int, Dict[str, int]]] = [(0, initial)]
+        seen_inputs: Set[Tuple] = {tuple(sorted(initial.items()))}
+        seen_decisions: Set[Tuple[int, bool]] = set()
+        results: List[ExecutionResult] = []
+        path_signatures: Set[Tuple] = set()
+
+        while pending:
+            elapsed = time.monotonic() - start
+            if elapsed > time_budget or self.stats.executions >= max_executions:
+                break
+            index = self._pick(pending)
+            _, assignment = pending.pop(index)
+            result = self.execute(assignment)
+            results.append(result)
+
+            signature = tuple(
+                (address, constraint.expected)
+                for address, constraint in zip(result.branch_addresses, result.constraints)
+            )
+            if signature not in path_signatures:
+                path_signatures.add(signature)
+                self.stats.paths_seen += 1
+
+            if stop_condition is not None and stop_condition(result):
+                break
+
+            # generational expansion: negate each branch decision of this path
+            for position, constraint in enumerate(result.constraints):
+                if time.monotonic() - start > time_budget:
+                    break
+                # dedupe on the decision *in its path context*: the same branch
+                # may be feasible to flip under one prefix and not another
+                decision_key = (
+                    signature[:position],
+                    result.branch_addresses[position],
+                    not constraint.expected,
+                )
+                if decision_key in seen_decisions:
+                    continue
+                seen_decisions.add(decision_key)
+                prefix = result.constraints[:position] + [constraint.negated()]
+                self.stats.solver_queries += 1
+                solution = self.solver.solve(prefix, seed_assignment=result.assignment)
+                if solution is None:
+                    continue
+                key = tuple(sorted(solution.items()))
+                if key in seen_inputs:
+                    continue
+                seen_inputs.add(key)
+                pending.append((result.branch_addresses[position], solution))
+
+        self.stats.elapsed = time.monotonic() - start
+        return results, self.stats
+
+    def _pick(self, pending: List[Tuple[int, Dict[str, int]]]) -> int:
+        if self.strategy == "dfs":
+            return len(pending) - 1
+        if self.strategy == "bfs":
+            return 0
+        # CUPA: group by the branch address whose negation produced the input,
+        # pick a class uniformly at random, then a member uniformly within it
+        classes: Dict[int, List[int]] = {}
+        for index, (address, _) in enumerate(pending):
+            classes.setdefault(address, []).append(index)
+        chosen_class = self.random.choice(list(classes))
+        return self.random.choice(classes[chosen_class])

@@ -1,0 +1,418 @@
+"""Shadow (symbolic) execution alongside the concrete emulator.
+
+The :class:`ShadowTracker` hooks an :class:`repro.cpu.Emulator` and mirrors
+every executed instruction over symbolic expressions: registers and memory
+locations whose value derives from the designated input symbols carry an
+expression, everything else stays concrete.  When a branch decision (or a
+chain-pointer update, for ROP-encoded branches) depends on a symbolic value,
+the tracker records a :class:`PathConstraint` — the raw material both the DSE
+and the SE engines feed to the solver.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.attacks.solver.expr import (
+    BinExpr,
+    ConstExpr,
+    Expression,
+    SelectExpr,
+    SymExpr,
+    UnExpr,
+)
+from repro.attacks.solver.solver import PathConstraint
+from repro.isa.flags import Flag
+from repro.isa.instructions import Instruction, Mnemonic
+from repro.isa.operands import Imm, Mem, Reg
+from repro.isa.registers import Register
+
+_MASK64 = (1 << 64) - 1
+
+#: Condition-code -> comparison operator used when the flag source is a ``cmp``.
+_CMP_CONDITIONS = {
+    "e": "eq", "ne": "ne",
+    "l": "slt", "le": "sle", "g": "sgt", "ge": "sge",
+    "b": "ult", "be": "ule", "a": "ugt", "ae": "uge",
+}
+
+_ALU_OPERATORS = {
+    Mnemonic.ADD: "add", Mnemonic.SUB: "sub", Mnemonic.AND: "and",
+    Mnemonic.OR: "or", Mnemonic.XOR: "xor", Mnemonic.IMUL: "mul",
+    Mnemonic.SHL: "shl", Mnemonic.SHR: "shr", Mnemonic.SAR: "sar",
+}
+
+
+@dataclass
+class BranchRecord:
+    """A recorded symbolic branch decision.
+
+    Attributes:
+        address: address of the deciding instruction.
+        constraint: the path constraint describing the decision actually taken.
+        kind: ``"jcc"`` for flag branches, ``"pointer"`` for symbolic values
+            concretized into the stack/instruction pointer (ROP branches).
+    """
+
+    address: int
+    constraint: PathConstraint
+    kind: str
+
+
+class ShadowTracker:
+    """Symbolic mirror of a concrete execution."""
+
+    def __init__(self, memory_model: str = "concretize", page_size: int = 256,
+                 max_expression_depth: int = 512) -> None:
+        if memory_model not in ("concretize", "page"):
+            raise ValueError("memory_model must be 'concretize' or 'page'")
+        self.memory_model = memory_model
+        self.page_size = page_size
+        self.max_expression_depth = max_expression_depth
+        self.register_exprs: Dict[Register, Expression] = {}
+        self.memory_exprs: Dict[Tuple[int, int], Expression] = {}
+        #: last flag-setting operation: ("cmp", a, b) or ("result", expr)
+        self.flag_state: Optional[Tuple] = None
+        self.carry_expr: Optional[Expression] = None
+        self.branches: List[BranchRecord] = []
+        self.symbolic_instruction_count = 0
+
+    # -- symbol introduction ----------------------------------------------------
+    def set_register_symbol(self, register: Register, expression: Expression) -> None:
+        """Mark a register as holding a symbolic input value."""
+        self.register_exprs[register] = expression
+
+    def set_memory_symbol(self, address: int, size: int, expression: Expression) -> None:
+        """Mark a memory location as holding a symbolic input value."""
+        self.memory_exprs[(address, size)] = expression
+
+    # -- small helpers -------------------------------------------------------------
+    def _bounded(self, expression: Expression) -> Expression:
+        if expression.depth() > self.max_expression_depth:
+            return ConstExpr(0)  # give up on unwieldy expressions (concretize)
+        return expression
+
+    def _register_expr(self, emulator, register: Register, size: int = 8) -> Optional[Expression]:
+        expression = self.register_exprs.get(register)
+        if expression is None:
+            return None
+        if size < 8:
+            return BinExpr("and", expression, ConstExpr((1 << (8 * size)) - 1))
+        return expression
+
+    def _operand_expr(self, emulator, operand) -> Optional[Expression]:
+        """Expression of an operand, or None when it is concrete."""
+        if isinstance(operand, Reg):
+            return self._register_expr(emulator, operand.reg, operand.size)
+        if isinstance(operand, Imm):
+            return None
+        if isinstance(operand, Mem):
+            address = emulator.effective_address(operand)
+            symbolic_address = self._address_expr(emulator, operand)
+            if symbolic_address is not None and self.memory_model == "page":
+                return self._page_select(emulator, address, symbolic_address, operand.size)
+            return self.memory_exprs.get((address, operand.size))
+        return None
+
+    def _address_expr(self, emulator, operand: Mem) -> Optional[Expression]:
+        parts: List[Expression] = []
+        symbolic = False
+        if operand.base is not None:
+            expression = self.register_exprs.get(operand.base)
+            if expression is not None:
+                symbolic = True
+                parts.append(expression)
+            else:
+                parts.append(ConstExpr(emulator.state.read_reg(operand.base)))
+        if operand.index is not None:
+            expression = self.register_exprs.get(operand.index)
+            scale = ConstExpr(operand.scale)
+            if expression is not None:
+                symbolic = True
+                parts.append(BinExpr("mul", expression, scale))
+            else:
+                parts.append(ConstExpr(emulator.state.read_reg(operand.index) * operand.scale))
+        if operand.disp:
+            parts.append(ConstExpr(operand.disp & _MASK64))
+        if not symbolic or not parts:
+            return None
+        expression = parts[0]
+        for part in parts[1:]:
+            expression = BinExpr("add", expression, part)
+        return expression
+
+    def _page_select(self, emulator, address: int, address_expr: Expression,
+                     size: int) -> Expression:
+        base = address - (address % self.page_size)
+        try:
+            snapshot = tuple(emulator.memory.read(base, self.page_size))
+        except Exception:  # unmapped page: fall back to the concrete byte
+            return self.memory_exprs.get((address, size)) or ConstExpr(0)
+        return SelectExpr(base_address=base, snapshot=snapshot, index=address_expr, size=size)
+
+    def _value_or_const(self, emulator, operand, expression: Optional[Expression]) -> Expression:
+        if expression is not None:
+            return expression
+        return ConstExpr(emulator.read_operand(operand))
+
+    def _set_destination(self, emulator, operand, expression: Optional[Expression]) -> None:
+        if isinstance(operand, Reg):
+            if expression is None:
+                self.register_exprs.pop(operand.reg, None)
+            else:
+                self.register_exprs[operand.reg] = self._bounded(expression)
+            return
+        if isinstance(operand, Mem):
+            address = emulator.effective_address(operand)
+            key = (address, operand.size)
+            if expression is None:
+                self.memory_exprs.pop(key, None)
+            else:
+                self.memory_exprs[key] = self._bounded(expression)
+
+    # -- condition expressions -------------------------------------------------------
+    def _condition_expr(self, condition: str) -> Optional[Expression]:
+        if self.flag_state is None:
+            return None
+        kind = self.flag_state[0]
+        if kind == "cmp":
+            _, left, right = self.flag_state
+            operator = _CMP_CONDITIONS.get(condition)
+            if operator is None:
+                return None
+            return BinExpr(operator, left, right)
+        if kind == "result":
+            result = self.flag_state[1]
+            if condition == "e":
+                return BinExpr("eq", result, ConstExpr(0))
+            if condition == "ne":
+                return BinExpr("ne", result, ConstExpr(0))
+            if condition == "s":
+                return BinExpr("slt", result, ConstExpr(0))
+            if condition == "ns":
+                return BinExpr("sge", result, ConstExpr(0))
+            if condition in ("l", "g", "le", "ge", "b", "a", "be", "ae"):
+                return BinExpr(_CMP_CONDITIONS[condition], result, ConstExpr(0))
+        return None
+
+    def _flags_symbolic(self) -> bool:
+        if self.flag_state is None:
+            return False
+        if self.flag_state[0] == "cmp":
+            return bool(self.flag_state[1].symbols() or self.flag_state[2].symbols())
+        return bool(self.flag_state[1].symbols())
+
+    # -- the hook ------------------------------------------------------------------
+    def hook(self, emulator, address: int, instruction: Instruction) -> None:
+        """Pre-execution hook registered on the emulator."""
+        m = instruction.mnemonic
+        ops = instruction.operands
+
+        if m in (Mnemonic.NOP, Mnemonic.HLT):
+            return
+
+        if m in (Mnemonic.MOV, Mnemonic.MOVZX, Mnemonic.MOVSX) and len(ops) == 2:
+            expression = self._operand_expr(emulator, ops[1])
+            if expression is not None and m in (Mnemonic.MOVZX, Mnemonic.MOVSX):
+                size = getattr(ops[1], "size", 8)
+                if size < 8:
+                    expression = BinExpr("and", expression, ConstExpr((1 << (8 * size)) - 1))
+            if expression is not None:
+                self.symbolic_instruction_count += 1
+            self._set_destination(emulator, ops[0], expression)
+            return
+
+        if m is Mnemonic.LEA and len(ops) == 2 and isinstance(ops[1], Mem):
+            self._set_destination(emulator, ops[0], self._address_expr(emulator, ops[1]))
+            return
+
+        if m is Mnemonic.XCHG and len(ops) == 2:
+            first = self._operand_expr(emulator, ops[0])
+            second = self._operand_expr(emulator, ops[1])
+            self._set_destination(emulator, ops[0], second)
+            self._set_destination(emulator, ops[1], first)
+            return
+
+        if m is Mnemonic.PUSH and ops:
+            expression = self._operand_expr(emulator, ops[0])
+            destination = emulator.state.read_reg(Register.RSP) - 8
+            if expression is None:
+                self.memory_exprs.pop((destination, 8), None)
+            else:
+                self.memory_exprs[(destination, 8)] = expression
+            return
+        if m is Mnemonic.POP and ops:
+            source = emulator.state.read_reg(Register.RSP)
+            expression = self.memory_exprs.get((source, 8))
+            self._set_destination(emulator, ops[0], expression)
+            return
+
+        if m in (Mnemonic.CMP, Mnemonic.TEST) and len(ops) == 2:
+            left = self._value_or_const(emulator, ops[0], self._operand_expr(emulator, ops[0]))
+            right = self._value_or_const(emulator, ops[1], self._operand_expr(emulator, ops[1]))
+            if m is Mnemonic.CMP:
+                self.flag_state = ("cmp", left, right)
+                self.carry_expr = BinExpr("ult", left, right)
+            else:
+                self.flag_state = ("result", BinExpr("and", left, right))
+                self.carry_expr = None
+            return
+
+        if m in _ALU_OPERATORS and len(ops) == 2:
+            left_expr = self._operand_expr(emulator, ops[0])
+            right_expr = self._operand_expr(emulator, ops[1])
+            if left_expr is None and right_expr is None:
+                self._set_destination(emulator, ops[0], None)
+                self.flag_state = ("result", ConstExpr(0))
+                self.carry_expr = None
+                if isinstance(ops[0], Reg) and ops[0].reg is Register.RSP:
+                    pass
+                return
+            left = self._value_or_const(emulator, ops[0], left_expr)
+            right = self._value_or_const(emulator, ops[1], right_expr)
+            expression = BinExpr(_ALU_OPERATORS[m], left, right)
+            self.symbolic_instruction_count += 1
+            # symbolic values flowing into the stack pointer are ROP branches:
+            # concretize and record the decision (§III-B, S2E-style)
+            if isinstance(ops[0], Reg) and ops[0].reg is Register.RSP:
+                concrete = ConstExpr(
+                    BinExpr(_ALU_OPERATORS[m],
+                            ConstExpr(emulator.read_operand(ops[0])),
+                            ConstExpr(emulator.read_operand(ops[1]))).evaluate({}))
+                constraint = PathConstraint(BinExpr("eq", expression, concrete), True)
+                self.branches.append(BranchRecord(address=address, constraint=constraint,
+                                                  kind="pointer"))
+                self._set_destination(emulator, ops[0], None)
+            else:
+                self._set_destination(emulator, ops[0], expression)
+            self.flag_state = ("result", expression)
+            if m is Mnemonic.SUB:
+                self.flag_state = ("cmp", left, right)
+                self.carry_expr = BinExpr("ult", left, right)
+            else:
+                self.carry_expr = None
+            return
+
+        if m in (Mnemonic.ADC, Mnemonic.SBB) and len(ops) == 2:
+            left_expr = self._operand_expr(emulator, ops[0])
+            right_expr = self._operand_expr(emulator, ops[1])
+            carry = self.carry_expr
+            if left_expr is None and right_expr is None and (
+                    carry is None or not carry.symbols()):
+                self._set_destination(emulator, ops[0], None)
+                return
+            left = self._value_or_const(emulator, ops[0], left_expr)
+            right = self._value_or_const(emulator, ops[1], right_expr)
+            carry_term = carry if carry is not None else ConstExpr(
+                emulator.state.read_flag(Flag.CF))
+            operator = "add" if m is Mnemonic.ADC else "sub"
+            expression = BinExpr(operator, BinExpr(operator, left, right), carry_term)
+            self._set_destination(emulator, ops[0], expression)
+            self.flag_state = ("result", expression)
+            return
+
+        if m in (Mnemonic.NEG, Mnemonic.NOT) and ops:
+            expression = self._operand_expr(emulator, ops[0])
+            if expression is None:
+                self._set_destination(emulator, ops[0], None)
+                if m is Mnemonic.NEG:
+                    self.carry_expr = None
+                    self.flag_state = ("result", ConstExpr(0))
+                return
+            operator = "neg" if m is Mnemonic.NEG else "not"
+            result = UnExpr(operator, expression)
+            self._set_destination(emulator, ops[0], result)
+            if m is Mnemonic.NEG:
+                self.flag_state = ("result", result)
+                self.carry_expr = BinExpr("ne", expression, ConstExpr(0))
+            return
+
+        if m in (Mnemonic.INC, Mnemonic.DEC) and ops:
+            expression = self._operand_expr(emulator, ops[0])
+            if expression is None:
+                self._set_destination(emulator, ops[0], None)
+                return
+            operator = "add" if m is Mnemonic.INC else "sub"
+            result = BinExpr(operator, expression, ConstExpr(1))
+            self._set_destination(emulator, ops[0], result)
+            self.flag_state = ("result", result)
+            return
+
+        if m is Mnemonic.SET and ops:
+            expression = None
+            if self._flags_symbolic():
+                expression = self._condition_expr(instruction.condition)
+            self._set_destination(emulator, ops[0], expression)
+            return
+
+        if m is Mnemonic.CMOV and len(ops) == 2:
+            if self._flags_symbolic():
+                condition = self._condition_expr(instruction.condition)
+                taken = emulator.state.condition(instruction.condition)
+                if condition is not None:
+                    self.branches.append(BranchRecord(
+                        address=address,
+                        constraint=PathConstraint(condition, taken),
+                        kind="jcc"))
+            taken = emulator.state.condition(instruction.condition)
+            if taken:
+                self._set_destination(emulator, ops[0], self._operand_expr(emulator, ops[1]))
+            return
+
+        if m is Mnemonic.JCC and ops:
+            if self._flags_symbolic():
+                condition = self._condition_expr(instruction.condition)
+                if condition is not None:
+                    taken = emulator.state.condition(instruction.condition)
+                    self.branches.append(BranchRecord(
+                        address=address,
+                        constraint=PathConstraint(condition, taken),
+                        kind="jcc"))
+            return
+
+        if m in (Mnemonic.CQO,):
+            rax = self.register_exprs.get(Register.RAX)
+            if rax is None:
+                self.register_exprs.pop(Register.RDX, None)
+            else:
+                self.register_exprs[Register.RDX] = BinExpr("sar", rax, ConstExpr(63))
+            return
+        if m is Mnemonic.IDIV and ops:
+            dividend = self.register_exprs.get(Register.RAX)
+            divisor = self._operand_expr(emulator, ops[0])
+            if dividend is None and divisor is None:
+                self.register_exprs.pop(Register.RAX, None)
+                self.register_exprs.pop(Register.RDX, None)
+                return
+            left = dividend if dividend is not None else ConstExpr(
+                emulator.state.read_reg(Register.RAX))
+            right = self._value_or_const(emulator, ops[0], divisor)
+            self.register_exprs[Register.RAX] = BinExpr("div", left, right)
+            self.register_exprs[Register.RDX] = BinExpr("mod", left, right)
+            return
+
+        if m in (Mnemonic.CALL, Mnemonic.RET, Mnemonic.JMP, Mnemonic.LEAVE):
+            # calls into host runtime functions are not instrumented: clear
+            # the caller-saved shadows they may clobber (the return value of a
+            # host call over symbolic arguments is treated as concrete, which
+            # matches how the runtime functions are used by the workloads).
+            # Calls into compiled mini-C code keep executing under this hook,
+            # so their shadows propagate naturally and nothing is cleared.
+            if m is Mnemonic.CALL and ops:
+                from repro.cpu.host import is_host_address
+                from repro.isa.registers import CALLER_SAVED
+
+                target = None
+                if isinstance(ops[0], Imm):
+                    target = ops[0].value
+                elif isinstance(ops[0], Reg):
+                    target = emulator.state.read_reg(ops[0].reg)
+                if target is not None and is_host_address(target):
+                    for reg in CALLER_SAVED:
+                        self.register_exprs.pop(reg, None)
+            return
+
+    def path_constraints(self) -> List[PathConstraint]:
+        """Constraints of the executed path, in decision order."""
+        return [record.constraint for record in self.branches]

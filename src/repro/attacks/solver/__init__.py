@@ -1,0 +1,26 @@
+"""Bitvector expression language and constraint solving for the attacks."""
+
+from repro.attacks.solver.expr import (
+    BinExpr,
+    ConstExpr,
+    Expression,
+    SelectExpr,
+    SymExpr,
+    UnExpr,
+    bitvec,
+    constant,
+)
+from repro.attacks.solver.solver import ConstraintSolver, PathConstraint
+
+__all__ = [
+    "Expression",
+    "SymExpr",
+    "ConstExpr",
+    "BinExpr",
+    "UnExpr",
+    "SelectExpr",
+    "bitvec",
+    "constant",
+    "ConstraintSolver",
+    "PathConstraint",
+]

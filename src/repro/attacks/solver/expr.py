@@ -1,0 +1,231 @@
+"""Symbolic bitvector expressions used by the attack engines.
+
+Expressions are immutable trees over 64-bit values.  They support evaluation
+under a concrete assignment of the input symbols, which is what both the
+constraint solver (search-based) and the concolic engine (shadow values) need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Tuple, Union
+
+_MASK64 = (1 << 64) - 1
+
+
+def _signed(value: int) -> int:
+    value &= _MASK64
+    return value - (1 << 64) if value >> 63 else value
+
+
+@dataclass(frozen=True)
+class SymExpr:
+    """A free input symbol (one function argument or input byte group)."""
+
+    name: str
+    size: int = 8  # in bytes
+
+    def evaluate(self, assignment: Dict[str, int]) -> int:
+        return assignment.get(self.name, 0) & ((1 << (8 * self.size)) - 1)
+
+    def symbols(self) -> FrozenSet[str]:
+        return frozenset({self.name})
+
+    def depth(self) -> int:
+        return 1
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class ConstExpr:
+    """A constant."""
+
+    value: int
+
+    def evaluate(self, assignment: Dict[str, int]) -> int:
+        return self.value & _MASK64
+
+    def symbols(self) -> FrozenSet[str]:
+        return frozenset()
+
+    def depth(self) -> int:
+        return 1
+
+    def __str__(self) -> str:
+        return hex(self.value)
+
+
+#: Binary operators understood by :class:`BinExpr`.
+BINARY_OPERATORS = (
+    "add", "sub", "mul", "div", "mod", "and", "or", "xor", "shl", "shr", "sar",
+    "eq", "ne", "ult", "ule", "ugt", "uge", "slt", "sle", "sgt", "sge",
+)
+
+
+@dataclass(frozen=True)
+class BinExpr:
+    """A binary operation; comparisons evaluate to 0 or 1."""
+
+    op: str
+    left: "Expression"
+    right: "Expression"
+
+    def evaluate(self, assignment: Dict[str, int]) -> int:
+        a = self.left.evaluate(assignment) & _MASK64
+        b = self.right.evaluate(assignment) & _MASK64
+        op = self.op
+        if op == "add":
+            return (a + b) & _MASK64
+        if op == "sub":
+            return (a - b) & _MASK64
+        if op == "mul":
+            return (a * b) & _MASK64
+        if op == "div":
+            return 0 if b == 0 else (int(_signed(a) / _signed(b)) & _MASK64)
+        if op == "mod":
+            if b == 0:
+                return 0
+            quotient = int(_signed(a) / _signed(b))
+            return (_signed(a) - quotient * _signed(b)) & _MASK64
+        if op == "and":
+            return a & b
+        if op == "or":
+            return a | b
+        if op == "xor":
+            return a ^ b
+        if op == "shl":
+            return (a << (b & 0x3F)) & _MASK64
+        if op == "shr":
+            return a >> (b & 0x3F)
+        if op == "sar":
+            return (_signed(a) >> (b & 0x3F)) & _MASK64
+        if op == "eq":
+            return int(a == b)
+        if op == "ne":
+            return int(a != b)
+        if op == "ult":
+            return int(a < b)
+        if op == "ule":
+            return int(a <= b)
+        if op == "ugt":
+            return int(a > b)
+        if op == "uge":
+            return int(a >= b)
+        if op == "slt":
+            return int(_signed(a) < _signed(b))
+        if op == "sle":
+            return int(_signed(a) <= _signed(b))
+        if op == "sgt":
+            return int(_signed(a) > _signed(b))
+        if op == "sge":
+            return int(_signed(a) >= _signed(b))
+        raise ValueError(f"unknown operator {op!r}")
+
+    def symbols(self) -> FrozenSet[str]:
+        return self.left.symbols() | self.right.symbols()
+
+    def depth(self) -> int:
+        return 1 + max(self.left.depth(), self.right.depth())
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.op} {self.right})"
+
+
+@dataclass(frozen=True)
+class UnExpr:
+    """A unary operation: ``neg``, ``not`` or ``lnot``."""
+
+    op: str
+    operand: "Expression"
+
+    def evaluate(self, assignment: Dict[str, int]) -> int:
+        value = self.operand.evaluate(assignment) & _MASK64
+        if self.op == "neg":
+            return (-value) & _MASK64
+        if self.op == "not":
+            return (~value) & _MASK64
+        if self.op == "lnot":
+            return int(value == 0)
+        raise ValueError(f"unknown operator {self.op!r}")
+
+    def symbols(self) -> FrozenSet[str]:
+        return self.operand.symbols()
+
+    def depth(self) -> int:
+        return 1 + self.operand.depth()
+
+    def __str__(self) -> str:
+        return f"{self.op}({self.operand})"
+
+
+@dataclass(frozen=True)
+class SelectExpr:
+    """A symbolic-index read over a memory snapshot (theory-of-arrays style).
+
+    Used by the page memory model (§VII-C3): the snapshot captures the bytes
+    of the page the concrete address fell in, and the index expression selects
+    within it.
+    """
+
+    base_address: int
+    snapshot: Tuple[int, ...]
+    index: "Expression"
+    size: int = 1
+
+    def evaluate(self, assignment: Dict[str, int]) -> int:
+        offset = (self.index.evaluate(assignment) - self.base_address) & _MASK64
+        if offset + self.size > len(self.snapshot):
+            return 0
+        value = 0
+        for i in range(self.size):
+            value |= self.snapshot[offset + i] << (8 * i)
+        return value
+
+    def symbols(self) -> FrozenSet[str]:
+        return self.index.symbols()
+
+    def depth(self) -> int:
+        return 1 + self.index.depth()
+
+    def __str__(self) -> str:
+        return f"select[{self.base_address:#x}+{len(self.snapshot)}]({self.index})"
+
+
+Expression = Union[SymExpr, ConstExpr, BinExpr, UnExpr, SelectExpr]
+
+
+def bitvec(name: str, size: int = 8) -> SymExpr:
+    """Create an input symbol of ``size`` bytes."""
+    return SymExpr(name, size)
+
+
+def constant(value: int) -> ConstExpr:
+    """Create a constant expression."""
+    return ConstExpr(value & _MASK64)
+
+
+def is_concrete(expression: Expression) -> bool:
+    """True when the expression references no symbols."""
+    return not expression.symbols()
+
+
+def simplify(expression: Expression) -> Expression:
+    """Lightweight constant folding."""
+    if isinstance(expression, BinExpr):
+        left = simplify(expression.left)
+        right = simplify(expression.right)
+        if isinstance(left, ConstExpr) and isinstance(right, ConstExpr):
+            return ConstExpr(BinExpr(expression.op, left, right).evaluate({}))
+        if expression.op in ("add", "or", "xor") and isinstance(right, ConstExpr) and right.value == 0:
+            return left
+        if expression.op == "mul" and isinstance(right, ConstExpr) and right.value == 1:
+            return left
+        return BinExpr(expression.op, left, right)
+    if isinstance(expression, UnExpr):
+        operand = simplify(expression.operand)
+        if isinstance(operand, ConstExpr):
+            return ConstExpr(UnExpr(expression.op, operand).evaluate({}))
+        return UnExpr(expression.op, operand)
+    return expression

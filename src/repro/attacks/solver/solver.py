@@ -1,0 +1,192 @@
+"""Search-based constraint solver used by the symbolic engines.
+
+The solver answers one question: *find an assignment of the input symbols
+that satisfies a conjunction of path constraints*.  It combines cheap
+structural inversion (``f(x) == c`` patterns over invertible chains),
+exhaustive enumeration of very small inputs, and bounded stochastic search.
+The cost of a query grows with the depth of the expressions involved and with
+the number of constraints — which is exactly how P1's aliasing and P3's
+state widening translate into attacker-side resource consumption.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.attacks.solver.expr import (
+    BinExpr,
+    ConstExpr,
+    Expression,
+    SymExpr,
+    UnExpr,
+    simplify,
+)
+
+_MASK64 = (1 << 64) - 1
+
+
+@dataclass(frozen=True)
+class PathConstraint:
+    """One branch decision: ``expression`` must evaluate to ``expected``."""
+
+    expression: Expression
+    expected: bool
+
+    def holds(self, assignment: Dict[str, int]) -> bool:
+        return bool(self.expression.evaluate(assignment)) == self.expected
+
+    def negated(self) -> "PathConstraint":
+        return PathConstraint(self.expression, not self.expected)
+
+
+@dataclass
+class SolverStatistics:
+    """Work counters (exposed so experiments can report solver pressure)."""
+
+    queries: int = 0
+    evaluations: int = 0
+    solved: int = 0
+    failed: int = 0
+
+
+class ConstraintSolver:
+    """Satisfiability search over input symbols.
+
+    Args:
+        symbols: the input symbols (name -> byte width).
+        seed: RNG seed for the stochastic phase.
+        max_evaluations: per-query budget of candidate evaluations; deeper
+            expression sets consume it faster.
+    """
+
+    def __init__(self, symbols: Dict[str, int], seed: int = 0,
+                 max_evaluations: int = 4000) -> None:
+        self.symbols = dict(symbols)
+        self.random = random.Random(seed)
+        self.max_evaluations = max_evaluations
+        self.stats = SolverStatistics()
+
+    # -- helpers ---------------------------------------------------------------
+    def _mask(self, name: str) -> int:
+        return (1 << (8 * self.symbols[name])) - 1
+
+    def _satisfies(self, constraints: Sequence[PathConstraint],
+                   assignment: Dict[str, int]) -> bool:
+        self.stats.evaluations += 1
+        return all(constraint.holds(assignment) for constraint in constraints)
+
+    def _try_invert(self, constraint: PathConstraint,
+                    assignment: Dict[str, int]) -> Optional[Dict[str, int]]:
+        """Structurally invert ``sym-op-chain == constant`` style constraints."""
+        expression = simplify(constraint.expression)
+        if not isinstance(expression, BinExpr) or expression.op not in ("eq", "ne"):
+            return None
+        want_equal = (expression.op == "eq") == constraint.expected
+        if not want_equal:
+            return None
+        left, right = expression.left, expression.right
+        if isinstance(left, ConstExpr):
+            left, right = right, left
+        if not isinstance(right, ConstExpr):
+            return None
+        target = right.value
+        # peel invertible operations off the left side
+        node = left
+        while True:
+            if isinstance(node, SymExpr):
+                candidate = dict(assignment)
+                candidate[node.name] = target & self._mask(node.name)
+                return candidate
+            if isinstance(node, BinExpr) and isinstance(node.right, ConstExpr):
+                value = node.right.value
+                if node.op == "add":
+                    target = (target - value) & _MASK64
+                elif node.op == "sub":
+                    target = (target + value) & _MASK64
+                elif node.op == "xor":
+                    target = target ^ value
+                elif node.op == "mul" and value % 2 == 1:
+                    target = (target * pow(value, -1, 1 << 64)) & _MASK64
+                elif node.op == "and":
+                    # not invertible in general; keep masked target and recurse
+                    target = target & value
+                else:
+                    return None
+                node = node.left
+                continue
+            if isinstance(node, UnExpr) and node.op in ("neg", "not"):
+                target = (-target) & _MASK64 if node.op == "neg" else (~target) & _MASK64
+                node = node.operand
+                continue
+            return None
+
+    # -- public API ---------------------------------------------------------------
+    def solve(self, constraints: Sequence[PathConstraint],
+              seed_assignment: Optional[Dict[str, int]] = None) -> Optional[Dict[str, int]]:
+        """Find an assignment satisfying every constraint, or None.
+
+        The search starts from ``seed_assignment`` (the concrete input of the
+        path being negated, in concolic use) and consumes at most
+        ``max_evaluations`` candidate evaluations.
+        """
+        self.stats.queries += 1
+        assignment = dict(seed_assignment or {name: 0 for name in self.symbols})
+        for name in self.symbols:
+            assignment.setdefault(name, 0)
+
+        if self._satisfies(constraints, assignment):
+            self.stats.solved += 1
+            return assignment
+
+        # phase 1: structural inversion of the last (usually the negated) constraint
+        for constraint in reversed(list(constraints)):
+            candidate = self._try_invert(constraint, assignment)
+            if candidate is not None and self._satisfies(constraints, candidate):
+                self.stats.solved += 1
+                return candidate
+
+        budget = self.max_evaluations
+        names = list(self.symbols)
+
+        # phase 2: exhaustive enumeration for tiny input spaces
+        total_bits = sum(8 * self.symbols[name] for name in names)
+        if total_bits <= 16:
+            for value in range(1 << total_bits):
+                candidate = dict(assignment)
+                cursor = value
+                for name in names:
+                    bits = 8 * self.symbols[name]
+                    candidate[name] = cursor & ((1 << bits) - 1)
+                    cursor >>= bits
+                budget -= 1
+                if self._satisfies(constraints, candidate):
+                    self.stats.solved += 1
+                    return candidate
+                if budget <= 0:
+                    break
+
+        # phase 3: stochastic search (byte flips, random restarts)
+        best = dict(assignment)
+        while budget > 0:
+            candidate = dict(best)
+            name = self.random.choice(names)
+            mask = self._mask(name)
+            mutation = self.random.random()
+            if mutation < 0.4:
+                byte = self.random.randrange(self.symbols[name])
+                candidate[name] = (candidate[name]
+                                   ^ (self.random.randrange(256) << (8 * byte))) & mask
+            elif mutation < 0.7:
+                candidate[name] = self.random.randrange(mask + 1)
+            else:
+                candidate[name] = (candidate[name] + self.random.choice([1, -1, 16, -16])) & mask
+            budget -= 1
+            if self._satisfies(constraints, candidate):
+                self.stats.solved += 1
+                return candidate
+            if self.random.random() < 0.2:
+                best = candidate
+        self.stats.failed += 1
+        return None

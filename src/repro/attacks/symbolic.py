@@ -1,0 +1,30 @@
+"""Static symbolic execution (the angr analog of §III-B1).
+
+The engine reuses the shadow-execution machinery of the concolic engine but
+behaves like a static tool: breadth-first exploration with no preference for
+the concrete seed path, and a fully symbolic view of memory (the page-level
+array model) so that symbolic-index reads — exactly what P1's opaque array
+induces on every branch — become large select expressions the solver must
+reason about.  This is what makes SE feel P1's aliasing much earlier than the
+concolic engine does (§VII-A1).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.attacks.dse import DseEngine, InputSpec
+from repro.binary.image import BinaryImage
+
+
+class SymbolicExecutionEngine(DseEngine):
+    """Breadth-first, memory-symbolic exploration engine."""
+
+    def __init__(self, image: BinaryImage, function: str,
+                 input_spec: Optional[InputSpec] = None, seed: int = 0,
+                 max_instructions: int = 2_000_000) -> None:
+        super().__init__(image, function, input_spec=input_spec, strategy="bfs",
+                         memory_model="page", seed=seed,
+                         max_instructions=max_instructions)
+        # a static engine leans on its solver much harder per query
+        self.solver.max_evaluations = 20_000

@@ -1,0 +1,22 @@
+"""ELF-like binary image: sections, symbols, and a loader.
+
+This stands in for the stripped x64 Linux ELF binaries the paper rewrites.
+The image keeps just enough structure for the reproduction: named sections
+at fixed load addresses, a function/object symbol table, and a loader that
+maps everything plus a stack and a heap into a :class:`repro.memory.Memory`.
+"""
+
+from repro.binary.sections import Section, DEFAULT_LAYOUT
+from repro.binary.symbols import Symbol, SymbolTable
+from repro.binary.image import BinaryImage
+from repro.binary.loader import LoadedProgram, load_image
+
+__all__ = [
+    "Section",
+    "DEFAULT_LAYOUT",
+    "Symbol",
+    "SymbolTable",
+    "BinaryImage",
+    "LoadedProgram",
+    "load_image",
+]

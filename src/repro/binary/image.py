@@ -1,0 +1,124 @@
+"""The :class:`BinaryImage` container tying sections and symbols together."""
+
+from __future__ import annotations
+
+import copy
+from typing import Dict, List, Optional
+
+from repro.binary.sections import DEFAULT_LAYOUT, Section
+from repro.binary.symbols import Symbol, SymbolTable
+
+
+class BinaryImage:
+    """An in-memory program image: sections, symbols, and an entry point.
+
+    The compiler produces one of these; the ROP rewriter mutates it in place
+    (replacing function bodies with pivot stubs, appending artificial gadgets
+    to ``.text`` and chains to ``.ropchains``); the loader maps it for
+    execution or analysis.
+    """
+
+    def __init__(self, name: str = "a.out") -> None:
+        self.name = name
+        self.sections: Dict[str, Section] = {}
+        self.symbols = SymbolTable()
+        self.entry: Optional[int] = None
+        self.metadata: Dict[str, object] = {}
+
+    # -- sections -----------------------------------------------------------
+    def add_section(self, name: str, address: Optional[int] = None,
+                    writable: bool = False, executable: bool = False) -> Section:
+        """Create (or return an existing) section.
+
+        When ``address`` is omitted the default layout address is used.
+        """
+        if name in self.sections:
+            return self.sections[name]
+        if address is None:
+            if name not in DEFAULT_LAYOUT:
+                raise ValueError(f"no default address for section {name!r}")
+            address = DEFAULT_LAYOUT[name]
+        section = Section(name, address, writable=writable, executable=executable)
+        self.sections[name] = section
+        return section
+
+    @property
+    def text(self) -> Section:
+        """The ``.text`` section (created on first use)."""
+        return self.add_section(".text", executable=True)
+
+    @property
+    def data(self) -> Section:
+        """The ``.data`` section (created on first use)."""
+        return self.add_section(".data", writable=True)
+
+    @property
+    def rodata(self) -> Section:
+        """The ``.rodata`` section (created on first use)."""
+        return self.add_section(".rodata")
+
+    @property
+    def ropchains(self) -> Section:
+        """The dedicated section holding generated ROP chains (§IV-A4)."""
+        return self.add_section(".ropchains", writable=True)
+
+    def section_containing(self, address: int) -> Optional[Section]:
+        """Return the section that covers ``address``, if any."""
+        for section in self.sections.values():
+            if section.contains(address):
+                return section
+        return None
+
+    # -- symbols ------------------------------------------------------------
+    def add_function(self, name: str, address: int, size: int) -> Symbol:
+        """Register a function symbol."""
+        return self.symbols.add(Symbol(name, address, size, kind="func"))
+
+    def add_object(self, name: str, address: int, size: int) -> Symbol:
+        """Register a data object symbol."""
+        return self.symbols.add(Symbol(name, address, size, kind="object"))
+
+    def function(self, name: str) -> Symbol:
+        """Return the function symbol called ``name``."""
+        symbol = self.symbols.get(name)
+        if symbol.kind != "func":
+            raise KeyError(f"{name!r} is not a function symbol")
+        return symbol
+
+    def function_bytes(self, name: str) -> bytes:
+        """Return the raw bytes of a function's body."""
+        symbol = self.function(name)
+        section = self.section_containing(symbol.address)
+        if section is None:
+            raise ValueError(f"function {name!r} not inside any section")
+        return section.read(symbol.address, symbol.size)
+
+    # -- convenience --------------------------------------------------------
+    def read(self, address: int, size: int) -> bytes:
+        """Read bytes at an absolute address from whichever section holds it."""
+        section = self.section_containing(address)
+        if section is None:
+            raise ValueError(f"address {address:#x} not in any section")
+        return section.read(address, size)
+
+    def write(self, address: int, blob: bytes) -> None:
+        """Write bytes at an absolute address into whichever section holds it."""
+        section = self.section_containing(address)
+        if section is None:
+            raise ValueError(f"address {address:#x} not in any section")
+        section.write(address, blob)
+
+    def clone(self) -> "BinaryImage":
+        """Deep-copy the image (obfuscation passes never mutate their input)."""
+        return copy.deepcopy(self)
+
+    def summary(self) -> str:
+        """A short human readable description used by examples and reports."""
+        lines = [f"binary {self.name} entry={self.entry and hex(self.entry)}"]
+        for section in self.sections.values():
+            lines.append(
+                f"  {section.name:<11} {section.address:#x}..{section.end:#x} "
+                f"({section.size} bytes)"
+            )
+        lines.append(f"  {len(self.symbols)} symbols")
+        return "\n".join(lines)

@@ -1,0 +1,81 @@
+"""Binary sections and the default load layout."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+#: Default load addresses for the standard sections.  The rewritten programs
+#: are loaded at fixed addresses (the paper notes its prototype does the same,
+#: §IV-C), which also keeps gadget addresses stable inside the chains.
+DEFAULT_LAYOUT = {
+    ".text": 0x400000,
+    ".rodata": 0x500000,
+    ".data": 0x600000,
+    ".ropchains": 0x680000,
+    ".bss": 0x700000,
+}
+
+#: Address range reserved for host-provided runtime functions (malloc, putchar,
+#: probes, ...).  Calls landing in this range are serviced by the emulator.
+HOST_FUNCTION_BASE = 0x10000
+HOST_FUNCTION_LIMIT = 0x1FFFF
+
+#: Runtime memory areas created by the loader.
+STACK_TOP = 0x7FFF_0000
+STACK_SIZE = 0x20000
+HEAP_BASE = 0x900000
+HEAP_SIZE = 0x200000
+
+
+@dataclass
+class Section:
+    """A named contiguous section of a binary image.
+
+    Attributes:
+        name: section name (e.g. ``.text``).
+        address: load address.
+        data: section contents (mutable; the rewriter appends to it).
+        writable: whether the section is writable once loaded.
+        executable: whether the section is intended to hold code.
+    """
+
+    name: str
+    address: int
+    data: bytearray = field(default_factory=bytearray)
+    writable: bool = False
+    executable: bool = False
+
+    @property
+    def size(self) -> int:
+        """Current size of the section in bytes."""
+        return len(self.data)
+
+    @property
+    def end(self) -> int:
+        """One past the last address occupied by the section."""
+        return self.address + self.size
+
+    def contains(self, address: int) -> bool:
+        """True if ``address`` falls inside the section."""
+        return self.address <= address < self.end
+
+    def append(self, blob: bytes) -> int:
+        """Append ``blob`` to the section and return its load address."""
+        address = self.end
+        self.data += blob
+        return address
+
+    def read(self, address: int, size: int) -> bytes:
+        """Read ``size`` bytes at absolute ``address`` from the section."""
+        offset = address - self.address
+        if offset < 0 or offset + size > self.size:
+            raise ValueError(f"read outside section {self.name} at {address:#x}")
+        return bytes(self.data[offset:offset + size])
+
+    def write(self, address: int, blob: bytes) -> None:
+        """Overwrite section contents at absolute ``address``."""
+        offset = address - self.address
+        if offset < 0 or offset + len(blob) > self.size:
+            raise ValueError(f"write outside section {self.name} at {address:#x}")
+        self.data[offset:offset + len(blob)] = blob

@@ -1,0 +1,13 @@
+"""Mini-C compiler: AST normalization, code generation and linking.
+
+The compiler produces the kind of code a C compiler at a low optimisation
+level would: frame-pointer based stack frames, flag-driven conditional
+branches, the standard calling convention, and multiple ``ret`` sites.  Those
+are exactly the code shapes the paper's binary rewriter (:mod:`repro.core`)
+is designed to consume.
+"""
+
+from repro.compiler.errors import CompileError
+from repro.compiler.pipeline import compile_program, compile_function
+
+__all__ = ["CompileError", "compile_program", "compile_function"]

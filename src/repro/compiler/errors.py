@@ -1,0 +1,5 @@
+"""Compiler error type."""
+
+
+class CompileError(Exception):
+    """Raised when a mini-C program cannot be compiled."""

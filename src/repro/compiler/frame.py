@@ -1,0 +1,46 @@
+"""Stack frame layout for compiled mini-C functions."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+
+class Frame:
+    """Assigns frame-pointer-relative slots to parameters, locals and arrays.
+
+    Slots are addressed as ``[rbp - offset]`` with ``offset`` positive.  The
+    frame is grown lazily as the code generator discovers variables, and its
+    final size (16-byte aligned) is only known once code generation finished.
+    """
+
+    def __init__(self) -> None:
+        self._offsets: Dict[str, int] = {}
+        self._cursor = 0
+
+    def slot(self, name: str) -> int:
+        """Return the offset of scalar variable ``name`` (allocating it)."""
+        if name not in self._offsets:
+            self._cursor += 8
+            self._offsets[name] = self._cursor
+        return self._offsets[name]
+
+    def array(self, name: str, size: int) -> int:
+        """Allocate a local array of ``size`` bytes and return its offset.
+
+        The returned offset addresses the *base* (lowest address) of the
+        array, i.e. the array occupies ``[rbp - offset, rbp - offset + size)``.
+        """
+        if name not in self._offsets:
+            rounded = (size + 7) & ~7
+            self._cursor += rounded
+            self._offsets[name] = self._cursor
+        return self._offsets[name]
+
+    def has(self, name: str) -> bool:
+        """True if ``name`` already has a slot."""
+        return name in self._offsets
+
+    @property
+    def size(self) -> int:
+        """Total frame size in bytes, aligned to 16."""
+        return (self._cursor + 15) & ~15

@@ -1,0 +1,173 @@
+"""AST normalization: hoist calls and over-deep expressions.
+
+Code generation keeps expression operands in a small register stack and
+assumes calls only appear as full statements.  The normalizer rewrites any
+function so those assumptions hold:
+
+* nested :class:`repro.lang.Call` expressions are hoisted into fresh
+  temporary assignments executed before the enclosing statement;
+* expressions nested deeper than the register stack can hold are split by
+  hoisting sub-expressions into temporaries;
+* :class:`repro.lang.For` loops are kept (the code generator lowers them
+  directly so ``continue`` jumps to the step statement).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.lang.ast import (
+    Assign,
+    BinOp,
+    Break,
+    Call,
+    Const,
+    Continue,
+    Expr,
+    ExprStmt,
+    For,
+    Function,
+    If,
+    Load,
+    Probe,
+    Return,
+    Stmt,
+    Store,
+    Switch,
+    UnOp,
+    Var,
+    While,
+)
+
+#: Maximum expression depth the code generator's register stack supports.
+MAX_EXPRESSION_DEPTH = 6
+
+
+class _Normalizer:
+    """Stateful helper carrying the fresh-temporary counter."""
+
+    def __init__(self) -> None:
+        self._counter = 0
+
+    def fresh(self) -> str:
+        self._counter += 1
+        return f"__tmp{self._counter}"
+
+    # -- expressions --------------------------------------------------------
+    def depth(self, expr: Expr) -> int:
+        """Return the operand-stack depth needed to evaluate ``expr``."""
+        if isinstance(expr, (Const, Var)):
+            return 1
+        if isinstance(expr, UnOp):
+            return self.depth(expr.operand)
+        if isinstance(expr, Load):
+            return self.depth(expr.address)
+        if isinstance(expr, BinOp):
+            return max(self.depth(expr.left), self.depth(expr.right) + 1)
+        if isinstance(expr, Call):
+            return 1  # hoisted before depth matters
+        raise TypeError(f"unknown expression {expr!r}")
+
+    def expr(self, expr: Expr, out: List[Stmt], top_level_call: bool = False) -> Expr:
+        """Rewrite ``expr``, appending hoisted statements to ``out``."""
+        if isinstance(expr, (Const, Var)):
+            return expr
+        if isinstance(expr, UnOp):
+            return UnOp(expr.op, self.expr(expr.operand, out))
+        if isinstance(expr, Load):
+            return Load(self.expr(expr.address, out), expr.size)
+        if isinstance(expr, BinOp):
+            left = self.expr(expr.left, out)
+            right = self.expr(expr.right, out)
+            rewritten = BinOp(expr.op, left, right)
+            if self.depth(rewritten) > MAX_EXPRESSION_DEPTH:
+                # the right subtree drives the operand-stack depth: hoist it
+                # into a temporary (expressions are pure at this point, so the
+                # reordering is safe)
+                name = self.fresh()
+                out.append(Assign(name, right))
+                rewritten = BinOp(expr.op, left, Var(name))
+            return rewritten
+        if isinstance(expr, Call):
+            args = tuple(self.expr(arg, out) for arg in expr.args)
+            call = Call(expr.name, args)
+            if top_level_call:
+                return call
+            name = self.fresh()
+            out.append(Assign(name, call))
+            return Var(name)
+        raise TypeError(f"unknown expression {expr!r}")
+
+    # -- statements ---------------------------------------------------------
+    def body(self, statements: List[Stmt]) -> List[Stmt]:
+        """Normalize a statement list."""
+        out: List[Stmt] = []
+        for statement in statements:
+            out.extend(self.statement(statement))
+        return out
+
+    def statement(self, statement: Stmt) -> List[Stmt]:
+        """Normalize a single statement into one or more statements."""
+        out: List[Stmt] = []
+        if isinstance(statement, Assign):
+            value = self.expr(statement.value, out, top_level_call=True)
+            out.append(Assign(statement.name, value))
+        elif isinstance(statement, Store):
+            address = self.expr(statement.address, out)
+            value = self.expr(statement.value, out)
+            out.append(Store(address, value, statement.size))
+        elif isinstance(statement, If):
+            condition = self.expr(statement.condition, out)
+            out.append(If(condition, self.body(statement.then_body),
+                          self.body(statement.else_body)))
+        elif isinstance(statement, While):
+            pre: List[Stmt] = []
+            condition = self.expr(statement.condition, pre)
+            if pre:
+                # condition contains a call: convert to an explicit flag variable
+                flag = self.fresh()
+                body = self.body(statement.body) + pre + [Assign(flag, condition)]
+                out.extend(pre)
+                out.append(Assign(flag, condition))
+                out.append(While(BinOp("!=", Var(flag), Const(0)), body))
+            else:
+                out.append(While(condition, self.body(statement.body)))
+        elif isinstance(statement, For):
+            # Desugar to init + while(cond) { body; step }.  ``continue`` inside
+            # a ``for`` body is not supported (it would skip the step); the
+            # workloads use ``while`` loops when they need ``continue``.
+            out.extend(self.statement(statement.init))
+            pre: List[Stmt] = []
+            condition = self.expr(statement.condition, pre)
+            if pre:
+                raise ValueError("for-loop conditions must not contain calls")
+            out.append(While(condition,
+                             self.body(statement.body) + self.statement(statement.step)))
+        elif isinstance(statement, Switch):
+            selector = self.expr(statement.selector, out)
+            out.append(Switch(selector,
+                              {value: self.body(body) for value, body in statement.cases.items()},
+                              self.body(statement.default)))
+        elif isinstance(statement, Return):
+            if statement.value is None:
+                out.append(Return(None))
+            else:
+                out.append(Return(self.expr(statement.value, out, top_level_call=False)))
+        elif isinstance(statement, ExprStmt):
+            out.append(ExprStmt(self.expr(statement.expr, out, top_level_call=True)))
+        elif isinstance(statement, (Break, Continue, Probe)):
+            out.append(statement)
+        else:
+            raise TypeError(f"unknown statement {statement!r}")
+        return out
+
+
+def normalize_function(function: Function) -> Function:
+    """Return a normalized copy of ``function`` (the input is not mutated)."""
+    normalizer = _Normalizer()
+    return Function(
+        name=function.name,
+        params=list(function.params),
+        body=normalizer.body(function.body),
+        local_arrays=dict(function.local_arrays),
+    )

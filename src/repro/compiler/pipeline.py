@@ -1,0 +1,84 @@
+"""The compilation pipeline: mini-C programs to loadable binary images."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.binary import BinaryImage
+from repro.compiler.codegen import FunctionCodegen, function_end_label, function_label
+from repro.compiler.errors import CompileError
+from repro.compiler.normalize import normalize_function
+from repro.isa.assembler import Assembler
+from repro.lang.ast import Program
+
+
+def compile_program(program: Program, name: str = "a.out") -> BinaryImage:
+    """Compile a mini-C program into a :class:`repro.binary.BinaryImage`.
+
+    Global arrays are laid out in ``.data`` first (so code can reference their
+    absolute addresses), then every function is normalized, code-generated and
+    assembled into ``.text``.  Function symbols carry accurate sizes, which the
+    ROP rewriter relies on to delimit what it disassembles and replaces.
+
+    Args:
+        program: the mini-C program.
+        name: name recorded on the produced image.
+
+    Returns:
+        a binary image with ``.text``/``.data`` populated and one ``func``
+        symbol per mini-C function.  ``image.entry`` points at ``main`` when
+        the program defines one.
+
+    Raises:
+        CompileError: on malformed programs (unknown calls, too-deep
+            expressions, too many parameters, duplicate function names).
+    """
+    image = BinaryImage(name)
+    names = [function.name for function in program.functions]
+    if len(set(names)) != len(names):
+        raise CompileError("duplicate function names in program")
+
+    # lay out global data objects
+    global_addresses: Dict[str, int] = {}
+    for array in program.globals:
+        if len(array.initial) > array.size:
+            raise CompileError(f"global {array.name!r} initializer larger than its size")
+        blob = bytes(array.initial) + bytes(array.size - len(array.initial))
+        address = image.data.append(blob)
+        image.add_object(array.name, address, array.size)
+        global_addresses[array.name] = address
+
+    # generate code for every function into a single listing
+    assembler = Assembler()
+    known = set(names)
+    for function in program.functions:
+        normalized = normalize_function(function)
+        codegen = FunctionCodegen(normalized, global_addresses, known)
+        for item in codegen.generate():
+            if isinstance(item, str):
+                assembler.label(item)
+            else:
+                assembler.emit(item)
+
+    code, labels = assembler.assemble(base_address=image.text.address)
+    image.text.append(code)
+
+    for function in program.functions:
+        start = labels[function_label(function.name)]
+        end = labels[function_end_label(function.name)]
+        image.add_function(function.name, start, end - start)
+
+    if "main" in known:
+        image.entry = image.function("main").address
+    image.metadata["source_functions"] = names
+    return image
+
+
+def compile_function(function, globals_=None, name: Optional[str] = None) -> BinaryImage:
+    """Compile a single function (plus optional globals) into an image.
+
+    Convenience wrapper used pervasively in tests, examples and the
+    evaluation harness.
+    """
+    program = Program(functions=[function], globals=list(globals_ or []))
+    return compile_program(program, name or f"{function.name}.bin")

@@ -1,0 +1,14 @@
+"""The paper's primary contribution: the ROP rewriter and its predicates.
+
+:class:`repro.core.rewriter.RopRewriter` takes a compiled
+:class:`repro.binary.BinaryImage` and a list of function names, and rewrites
+each function into a self-contained ROP chain stored in the ``.ropchains``
+section, replacing the original body with a pivoting stub (§IV).  The
+strengthening predicates P1/P2/P3 and gadget confusion (§V) are controlled by
+:class:`repro.core.config.RopConfig`.
+"""
+
+from repro.core.config import RopConfig
+from repro.core.rewriter import RopRewriter, RewriteError, RewriteReport, rop_obfuscate
+
+__all__ = ["RopConfig", "RopRewriter", "RewriteError", "RewriteReport", "rop_obfuscate"]

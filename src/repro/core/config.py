@@ -1,0 +1,76 @@
+"""Configuration of the ROP rewriter (the ROPk settings of Table I)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class RopConfig:
+    """Options controlling chain generation and strengthening predicates.
+
+    The defaults reproduce the paper's ``ROPk`` configuration family
+    (Table I): P1 instantiated with ``n=4, s=n, p=32`` and P3 applied to a
+    fraction ``p3_fraction`` (the paper's *k*) of eligible program points.
+
+    Attributes:
+        p1_enabled: enable the anti-disassembly opaque-array predicate (§V-A).
+        p2_enabled: enable the anti-brute-force data dependencies (§V-B).
+        p3_enabled: enable state-space widening (§V-C).
+        p3_fraction: fraction *k* of eligible program points receiving a P3
+            instance.
+        p3_variant: ``"loop"`` (the FOR-style first variant), ``"array"``
+            (opaque P1-array updates, second variant) or ``"mixed"``.
+        gadget_confusion: enable immediate disguising and unaligned RSP
+            updates (§V-D).
+        p1_branches: ``n`` — number of branch residues encoded in the array.
+        p1_period: ``s`` — array period (cells per repetition, ``s >= n``).
+        p1_repetitions: ``p`` — number of repetitions stored in the array.
+        p1_modulus: ``m`` — residue modulus (power of two so the chain can
+            reduce with a mask; the paper only requires ``m > n``).
+        diversify_gadgets: draw diversified gadget variants from the pool.
+        seed: RNG seed for all obfuscation-time random choices.
+        read_only_chains: if True, P3's array-update variant is disabled so
+            the generated chains never write to themselves or to the opaque
+            array (the paper's read-only chain option, §IV-C).
+    """
+
+    p1_enabled: bool = True
+    p2_enabled: bool = True
+    p3_enabled: bool = True
+    p3_fraction: float = 0.0
+    p3_variant: str = "mixed"
+    gadget_confusion: bool = True
+    p1_branches: int = 4
+    p1_period: int = 4
+    p1_repetitions: int = 32
+    p1_modulus: int = 16
+    diversify_gadgets: bool = True
+    seed: int = 1
+    read_only_chains: bool = False
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.p3_fraction <= 1.0:
+            raise ValueError("p3_fraction must be in [0, 1]")
+        if self.p1_modulus & (self.p1_modulus - 1):
+            raise ValueError("p1_modulus must be a power of two")
+        if self.p1_repetitions & (self.p1_repetitions - 1):
+            raise ValueError("p1_repetitions must be a power of two")
+        if self.p1_period < self.p1_branches:
+            raise ValueError("p1_period must be >= p1_branches")
+        if self.p3_variant not in ("loop", "array", "mixed"):
+            raise ValueError("p3_variant must be 'loop', 'array' or 'mixed'")
+
+    @classmethod
+    def ropk(cls, k: float, seed: int = 1) -> "RopConfig":
+        """The paper's ``ROPk`` configuration: all predicates on, P3 at ``k``."""
+        return cls(p3_fraction=k, seed=seed)
+
+    @classmethod
+    def plain(cls, seed: int = 1) -> "RopConfig":
+        """Plain ROP encoding with every strengthening predicate disabled.
+
+        This is the baseline §V argues is *not* sufficient for obfuscation.
+        """
+        return cls(p1_enabled=False, p2_enabled=False, p3_enabled=False,
+                   gadget_confusion=False, p3_fraction=0.0, seed=seed)

@@ -1,0 +1,110 @@
+"""Materialization: embed chains, stubs and runtime areas in the binary (§IV-B3).
+
+This stage:
+
+* allocates the stack-switching array ``ss`` and the spill slot in ``.data``,
+* places each generated chain in the ``.ropchains`` section,
+* replaces the original function body with a pivoting stub that switches to
+  the chain (and wipes the remaining original bytes),
+* places the P1 opaque arrays in ``.data``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.binary.image import BinaryImage
+from repro.core.chain import Chain, MaterializedChain
+from repro.isa.assembler import assemble
+from repro.isa.instructions import make
+from repro.isa.operands import Imm, Mem, Reg
+from repro.isa.registers import Register
+
+#: Number of concurrently active ROP frames the stack-switching array supports
+#: (recursion and interleaved native/ROP calls consume one cell each).
+SS_CAPACITY = 128
+
+
+class EmbeddingError(Exception):
+    """Raised when a chain cannot be embedded into the binary."""
+
+
+def allocate_runtime_area(image: BinaryImage) -> Tuple[int, int]:
+    """Allocate (once) the ``ss`` array and the spill slot in ``.data``.
+
+    Returns ``(ss_address, spill_slot_address)``.  The first cell of ``ss``
+    holds the byte offset of the innermost active frame's ``other_rsp`` cell
+    and starts at zero.
+    """
+    if "rop_ss_address" in image.metadata:
+        return image.metadata["rop_ss_address"], image.metadata["rop_spill_slot"]
+    ss_address = image.data.append(bytes(8 * (SS_CAPACITY + 1)))
+    image.add_object("__rop_ss", ss_address, 8 * (SS_CAPACITY + 1))
+    spill_slot = image.data.append(bytes(8))
+    image.add_object("__rop_spill", spill_slot, 8)
+    image.metadata["rop_ss_address"] = ss_address
+    image.metadata["rop_spill_slot"] = spill_slot
+    return ss_address, spill_slot
+
+
+def pivot_stub_instructions(ss_address: int, chain_address: int):
+    """The native stub that replaces an obfuscated function's body (§A).
+
+    It reserves a new ``other_rsp`` cell, saves the native stack pointer
+    there, points ``rsp`` at the chain and kicks it off with a ``ret``.
+    """
+    return [
+        make("mov", Reg(Register.RAX), Imm(ss_address, 4)),
+        make("add", Mem(base=Register.RAX), Imm(8, 1)),
+        make("add", Reg(Register.RAX), Mem(base=Register.RAX)),
+        make("mov", Mem(base=Register.RAX), Reg(Register.RSP)),
+        make("mov", Reg(Register.RSP), Imm(chain_address, 4)),
+        make("ret"),
+    ]
+
+
+def pivot_stub_size(ss_address: int = 0x600000, chain_address: int = 0x680000) -> int:
+    """Size in bytes of the pivot stub (the paper's 22-byte threshold analog)."""
+    code, _ = assemble(pivot_stub_instructions(ss_address, chain_address))
+    return len(code)
+
+
+def place_opaque_array(image: BinaryImage, array, function_name: str) -> int:
+    """Append a P1 opaque array to ``.data`` and record its address."""
+    address = image.data.append(array.data())
+    image.add_object(f"__rop_p1_{function_name}", address, array.size)
+    array.address = address
+    return address
+
+
+def embed_chain(image: BinaryImage, chain: Chain, function_name: str,
+                rng=None, gadget_addresses=()) -> MaterializedChain:
+    """Materialize ``chain`` into the ``.ropchains`` section."""
+    base = image.ropchains.end if image.ropchains.size else image.ropchains.address
+    materialized = chain.materialize(base, rng=rng, gadget_addresses=gadget_addresses)
+    image.ropchains.append(materialized.data)
+    image.add_object(f"__rop_chain_{function_name}", base, len(materialized.data))
+    return materialized
+
+
+def install_pivot_stub(image: BinaryImage, function_name: str, ss_address: int,
+                       chain_address: int) -> int:
+    """Overwrite a function's body with the pivot stub, wiping the rest.
+
+    Returns the stub size.
+
+    Raises:
+        EmbeddingError: when the function is too small to hold the stub (the
+            paper skips such functions, §VII-C1).
+    """
+    symbol = image.function(function_name)
+    code, _ = assemble(pivot_stub_instructions(ss_address, chain_address),
+                       base_address=symbol.address)
+    if len(code) > symbol.size:
+        raise EmbeddingError(
+            f"{function_name}: function body ({symbol.size} bytes) smaller than "
+            f"the pivot stub ({len(code)} bytes)"
+        )
+    filler = bytes(symbol.size - len(code))
+    image.write(symbol.address, code + filler)
+    return len(code)

@@ -1,0 +1,22 @@
+"""Strengthening predicates P1, P2, P3 and gadget confusion (§V).
+
+Each predicate targets one of the general attack surfaces of §III-A:
+
+* :mod:`repro.core.predicates.p1_array` — P1, anti-disassembly (A1): branch
+  displacements are partly hidden in a periodic opaque array.
+* :mod:`repro.core.predicates.p2_datadep` — P2, anti-brute-force (A2):
+  artificial data dependencies break the control flow when branches are
+  flipped without satisfying their data constraints.
+* :mod:`repro.core.predicates.p3_state` — P3, state-space widening (A3):
+  input-coupled opaque computations inflate the state space that semantic
+  attacks must explore.
+
+Gadget confusion (immediate disguising and unaligned chain strides) lives in
+the crafter itself since it is a property of how chain slots are emitted.
+"""
+
+from repro.core.predicates.p1_array import OpaqueArray
+from repro.core.predicates.p2_datadep import P2Perturbation, plan_p2, emit_p2
+from repro.core.predicates.p3_state import emit_p3
+
+__all__ = ["OpaqueArray", "P2Perturbation", "plan_p2", "emit_p2", "emit_p3"]

@@ -1,0 +1,116 @@
+"""P1: anti-ROP-disassembly through a periodic opaque array (§V-A).
+
+The array stores seemingly random 64-bit values with a periodic invariant:
+for branch ordinal ``b`` every ``s``-th cell starting at ``b`` holds a value
+congruent to ``a_b`` modulo ``m``.  A branch's chain displacement is split
+into the fixed part ``a_b`` (recovered from the array through an
+input-dependent index) and a branch-specific part stored in the chain, so a
+static tool must both mimic the index computation and reason about the
+aliasing the periodicity induces.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional
+
+from repro.core.chain import ValueSlot
+from repro.core.config import RopConfig
+from repro.isa.registers import Register
+
+_MASK64 = (1 << 64) - 1
+
+
+class OpaqueArray:
+    """The P1 opaque value array of one obfuscated function.
+
+    Args:
+        config: the rewriter configuration (supplies ``n``, ``s``, ``p``, ``m``).
+        rng: obfuscation-time randomness.
+
+    Attributes:
+        address: load address of the array; assigned when the rewriter places
+            the array in ``.data``.
+    """
+
+    def __init__(self, config: RopConfig, rng: Optional[random.Random] = None) -> None:
+        self.config = config
+        self.rng = rng or random.Random(config.seed)
+        self.address: Optional[int] = None
+        #: the fixed displacement parts a_b, one per branch ordinal.
+        self.fixed_parts: List[int] = [
+            self.rng.randrange(config.p1_modulus) for _ in range(config.p1_branches)
+        ]
+        self.cells: List[int] = self._populate()
+
+    def _populate(self) -> List[int]:
+        config = self.config
+        cells: List[int] = []
+        for _ in range(config.p1_repetitions):
+            for position in range(config.p1_period):
+                if position < config.p1_branches:
+                    base = self.rng.getrandbits(60) & ~(config.p1_modulus - 1)
+                    cells.append((base | self.fixed_parts[position]) & _MASK64)
+                else:
+                    cells.append(self.rng.getrandbits(64))
+        return cells
+
+    @property
+    def size(self) -> int:
+        """Array size in bytes."""
+        return 8 * len(self.cells)
+
+    def data(self) -> bytes:
+        """Raw bytes of the populated array."""
+        out = bytearray()
+        for cell in self.cells:
+            out += cell.to_bytes(8, "little")
+        return bytes(out)
+
+    def fixed_part(self, ordinal: int) -> int:
+        """The a_b value encoded for branch ordinal ``ordinal``."""
+        return self.fixed_parts[ordinal % self.config.p1_branches]
+
+    # -- chain emission -------------------------------------------------------
+    def emit_extraction(self, crafter, destination: Register, ordinal: int,
+                        roplet, avoid) -> None:
+        """Emit gadgets computing ``destination = A[f(x)*s + b] mod m``.
+
+        ``f(x)`` opaquely combines up to four input-derived live registers and
+        is reduced modulo the repetition count ``p``, so any program state
+        selects a valid repetition thanks to the array's periodicity.
+        """
+        if self.address is None:
+            raise RuntimeError("opaque array not yet placed in the binary")
+        config = self.config
+        work = frozenset(avoid) | {destination}
+        regs, spilled = crafter.scratch(work, 1, exclude=[destination])
+        helper = regs[0]
+        work = work | {helper}
+
+        sources = [r for r in sorted(roplet.symbolic_registers, key=int)
+                   if r not in (Register.RSP, Register.RBP, destination, helper)][:4]
+        if sources:
+            crafter.emit_gadget("mov_rr", work, dst=destination, src=sources[0])
+            for source in sources[1:]:
+                kind = self.rng.choice(["xor_rr", "add_rr"])
+                crafter.emit_gadget(kind, work, dst=destination, src=source)
+        else:
+            crafter.emit_constant(destination, ValueSlot(self.rng.getrandbits(16)),
+                                  work, allow_disguise=False)
+        # index = f(x) mod p, scaled to a byte offset of one repetition
+        crafter.emit_constant(helper, ValueSlot(config.p1_repetitions - 1), work,
+                              allow_disguise=False)
+        crafter.emit_gadget("and_rr", work, dst=destination, src=helper)
+        stride = config.p1_period * 8
+        crafter.emit_constant(helper, ValueSlot(stride.bit_length() - 1), work,
+                              allow_disguise=False)
+        crafter.emit_gadget("shl_rr", work, dst=destination, src=helper)
+        crafter.emit_constant(helper, ValueSlot(self.address + 8 * (ordinal % config.p1_branches)),
+                              work, allow_disguise=False)
+        crafter.emit_gadget("add_rr", work, dst=destination, src=helper)
+        crafter.emit_gadget("load8", work, dst=destination, src=destination)
+        crafter.emit_constant(helper, ValueSlot(config.p1_modulus - 1), work,
+                              allow_disguise=False)
+        crafter.emit_gadget("and_rr", work, dst=destination, src=helper)
+        crafter.restore(spilled)

@@ -1,0 +1,144 @@
+"""P2: artificial data dependencies against brute-force path flipping (§V-B).
+
+For an equality-driven branch ``cmp a, b ; je/jne L`` the rewriter prepends,
+to each of the two destination blocks, a chain-pointer perturbation that is
+zero exactly when the data condition that legitimately leads there holds:
+
+* on the path taken when ``a == b``:       ``rsp += 16 * (a - b)``
+* on the path taken when ``a != b``:       ``rsp += 16 * (1 - notZero(a - b))``
+
+``notZero`` is computed without reading the condition flags, so an attacker
+who flips the recorded branch decision (ROPMEMU/ROPDissector style) without
+also fixing the operands sends the chain pointer into unintended bytes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Union
+
+from repro.core.chain import ValueSlot
+from repro.core.roplets import RopletKind
+from repro.isa.instructions import Mnemonic
+from repro.isa.operands import Imm, Reg
+from repro.isa.registers import Register
+
+#: Multiplier applied to the perturbation (the paper's ``x``).
+PERTURBATION_SCALE_SHIFT = 4
+
+_MASK64 = (1 << 64) - 1
+
+
+@dataclass
+class P2Perturbation:
+    """A perturbation to prepend to one block.
+
+    Attributes:
+        block: start address of the protected block.
+        reg_a: first compared operand (always a register).
+        operand_b: second compared operand (register or immediate value).
+        mode: ``"equal"`` when the block is legitimately reached with
+            ``a == b``, ``"notequal"`` otherwise.
+    """
+
+    block: int
+    reg_a: Register
+    operand_b: Union[Register, int]
+    mode: str
+
+
+def plan_p2(translated) -> Dict[int, List[P2Perturbation]]:
+    """Decide which blocks receive P2 perturbations.
+
+    Only equality-conditioned branches whose compared operands are a register
+    and a register-or-immediate are shielded, and only when the destination
+    block has a single predecessor (so the zero-perturbation invariant holds
+    on every legitimate path reaching it).
+
+    The returned plan also reserves the compared registers on the branch
+    roplets themselves (``roplet.compare_operands`` stays authoritative); the
+    crafter adds them to the branch's avoid set so the branch lowering cannot
+    clobber them before the perturbation runs.
+    """
+    plan: Dict[int, List[P2Perturbation]] = {}
+    predecessors = translated.cfg.predecessors()
+    for block in translated.block_order():
+        for roplet in block.roplets:
+            if roplet.kind is not RopletKind.INTRA_TRANSFER:
+                continue
+            if roplet.condition not in ("e", "ne") or not roplet.compare_operands:
+                continue
+            operands = roplet.compare_operands
+            if not isinstance(operands[0], Reg):
+                continue
+            reg_a = operands[0].reg
+            second = operands[1]
+            if isinstance(second, Reg):
+                operand_b: Union[Register, int] = second.reg
+                if second.reg is reg_a:
+                    operand_b = 0  # test reg, reg idiom: condition is reg == 0
+            elif isinstance(second, Imm):
+                operand_b = second.value
+            else:
+                continue
+            taken = roplet.branch_target
+            successors = [s for s in block.successors if s != taken]
+            fallthrough = successors[0] if successors else None
+            taken_mode = "equal" if roplet.condition == "e" else "notequal"
+            fall_mode = "notequal" if roplet.condition == "e" else "equal"
+            for target, mode in ((taken, taken_mode), (fallthrough, fall_mode)):
+                if target is None or target not in translated.blocks:
+                    continue
+                if len(predecessors.get(target, set())) != 1:
+                    continue
+                plan.setdefault(target, []).append(
+                    P2Perturbation(block=target, reg_a=reg_a, operand_b=operand_b, mode=mode)
+                )
+            # reserve the compared registers on the branch roplet so the
+            # branch lowering's scratch choices cannot clobber them
+            roplet.live_after = set(roplet.live_after) | {reg_a}
+            if isinstance(operand_b, Register):
+                roplet.live_after.add(operand_b)
+    return plan
+
+
+def emit_p2(crafter, perturbation: P2Perturbation, avoid) -> None:
+    """Emit the chain-pointer perturbation at the head of a protected block."""
+    work = frozenset(avoid) | {perturbation.reg_a}
+    if isinstance(perturbation.operand_b, Register):
+        work = work | {perturbation.operand_b}
+    regs, spilled = crafter.scratch(work, 2)
+    acc, helper = regs
+    work = work | {acc, helper}
+
+    # acc = a - b
+    crafter.emit_gadget("mov_rr", work, dst=acc, src=perturbation.reg_a)
+    if isinstance(perturbation.operand_b, Register):
+        crafter.emit_gadget("sub_rr", work, dst=acc, src=perturbation.operand_b)
+    else:
+        crafter.emit_constant(helper, ValueSlot(perturbation.operand_b & _MASK64), work,
+                              allow_disguise=False)
+        crafter.emit_gadget("sub_rr", work, dst=acc, src=helper)
+
+    if perturbation.mode == "equal":
+        # rsp += 16 * (a - b): zero exactly on the legitimate path
+        crafter.emit_constant(helper, ValueSlot(PERTURBATION_SCALE_SHIFT), work,
+                              allow_disguise=False)
+        crafter.emit_gadget("shl_rr", work, dst=acc, src=helper)
+        crafter.restore(spilled)
+        crafter.emit_gadget("add_rsp_r", work, src=acc)
+        return
+
+    # rsp += 16 * (1 - notZero(a - b)) with a flag-independent notZero
+    crafter.emit_gadget("mov_rr", work, dst=helper, src=acc)
+    crafter.emit_gadget("neg", work, dst=helper)
+    crafter.emit_gadget("or_rr", work, dst=helper, src=acc)
+    crafter.emit_constant(acc, ValueSlot(63), work, allow_disguise=False)
+    crafter.emit_gadget("shr_rr", work, dst=helper, src=acc)
+    crafter.emit_constant(acc, ValueSlot(1), work, allow_disguise=False)
+    crafter.emit_gadget("xor_rr", work, dst=helper, src=acc)
+    crafter.emit_constant(acc, ValueSlot(PERTURBATION_SCALE_SHIFT), work,
+                          allow_disguise=False)
+    crafter.emit_gadget("shl_rr", work, dst=helper, src=acc)
+    crafter.restore(spilled)
+    crafter.emit_gadget("add_rsp_r", work, src=helper)

@@ -1,0 +1,134 @@
+"""P3: state-space widening coupled with program data flows (§V-C).
+
+Two variants are implemented:
+
+* the **loop** variant (an adaptation of the FOR predicate of Ollivier et
+  al.): a dead register is opaquely recomputed through a loop indexed by one
+  input-derived byte and merged back into the symbolic register, preserving
+  its value while introducing 2^8 artificial states for symbolic exploration;
+* the **array** variant (the paper's new second variant): an input-derived
+  value performs an opaque, residue-preserving update of the P1 array,
+  creating implicit flows between program inputs and branch decisions taken
+  later in the chain.
+"""
+
+from __future__ import annotations
+
+from repro.core.chain import DeltaSlot, ValueSlot
+from repro.isa.registers import Register
+
+_MASK64 = (1 << 64) - 1
+
+
+def _pick_symbolic(crafter, roplet) -> Register:
+    candidates = [r for r in sorted(roplet.symbolic_registers, key=int)
+                  if r not in (Register.RSP, Register.RBP)]
+    if not candidates:
+        from repro.core.crafting import RewriteError
+
+        raise RewriteError("no symbolic register available for P3")
+    return crafter.rng.choice(candidates)
+
+
+def emit_p3(crafter, roplet, variant: str) -> None:
+    """Insert one P3 instance before the lowering of ``roplet``."""
+    if variant == "loop":
+        _emit_loop_variant(crafter, roplet)
+    elif variant == "array":
+        _emit_array_variant(crafter, roplet)
+    else:
+        raise ValueError(f"unknown P3 variant {variant!r}")
+
+
+def _emit_loop_variant(crafter, roplet) -> None:
+    """``for (i = 0; i < (char) sym; ++i) dead++`` folded back into ``sym``."""
+    from repro.core.crafting import RewriteError
+
+    symbolic = _pick_symbolic(crafter, roplet)
+    avoid = roplet.avoid_set() | {symbolic}
+    regs, spilled = crafter.scratch(avoid, 5)
+    if spilled:
+        crafter.restore(spilled)
+        raise RewriteError("not enough scratch registers for the P3 loop variant")
+    dead, counter, limit, helper, disp = regs
+    work = frozenset(avoid) | set(regs)
+
+    head = crafter._fresh_label("p3_head")
+    done = crafter._fresh_label("p3_done")
+    exit_anchor = crafter._fresh_label("p3_exit_anchor")
+    back_anchor = crafter._fresh_label("p3_back_anchor")
+
+    # dead = 0 ; limit = sym & 0xff ; counter = 0
+    crafter.emit_gadget("xor_rr", work, dst=dead, src=dead)
+    crafter.emit_gadget("mov_rr", work, dst=limit, src=symbolic)
+    crafter.emit_constant(helper, ValueSlot(0xFF), work, allow_disguise=False)
+    crafter.emit_gadget("and_rr", work, dst=limit, src=helper)
+    crafter.emit_gadget("xor_rr", work, dst=counter, src=counter)
+
+    # loop head: exit when counter >= limit
+    crafter.chain.label(head)
+    crafter.emit_gadget("cmp_rr", work, dst=counter, src=limit)
+    crafter.emit_gadget("set", work, cc="ge", dst=helper)
+    crafter.emit_gadget("movzx_rr1", work, dst=helper, src=helper)
+    crafter.emit_gadget("neg", work, dst=helper)
+    crafter.emit_gadget("pop", work, operand=DeltaSlot(done, exit_anchor), dst=disp)
+    crafter.emit_gadget("and_rr", work, dst=disp, src=helper)
+    crafter.emit_gadget("add_rsp_r", work, src=disp)
+    crafter.chain.label(exit_anchor)
+
+    # body: dead++ ; counter++
+    crafter.emit_constant(helper, ValueSlot(1), work, allow_disguise=False)
+    crafter.emit_gadget("add_rr", work, dst=dead, src=helper)
+    crafter.emit_gadget("add_rr", work, dst=counter, src=helper)
+    # back edge
+    crafter.emit_gadget("pop", work, operand=DeltaSlot(head, back_anchor), dst=disp)
+    crafter.emit_gadget("add_rsp_r", work, src=disp)
+    crafter.chain.label(back_anchor)
+
+    crafter.chain.label(done)
+    # sym = (sym & ~0xff) | (dead & 0xff)  — value preserving
+    crafter.emit_constant(helper, ValueSlot(~0xFF & _MASK64), work, allow_disguise=False)
+    crafter.emit_gadget("and_rr", work, dst=symbolic, src=helper)
+    crafter.emit_constant(helper, ValueSlot(0xFF), work, allow_disguise=False)
+    crafter.emit_gadget("and_rr", work, dst=dead, src=helper)
+    crafter.emit_gadget("or_rr", work, dst=symbolic, src=dead)
+
+
+def _emit_array_variant(crafter, roplet) -> None:
+    """Opaquely update one P1 array cell with an input-derived multiple of m."""
+    from repro.core.crafting import RewriteError
+
+    array = crafter.opaque_array
+    if array is None or array.address is None:
+        raise RewriteError("P3 array variant requires the P1 opaque array")
+    symbolic = _pick_symbolic(crafter, roplet)
+    avoid = roplet.avoid_set() | {symbolic}
+    regs, spilled = crafter.scratch(avoid, 4)
+    if spilled:
+        crafter.restore(spilled)
+        raise RewriteError("not enough scratch registers for the P3 array variant")
+    address, value, amount, helper = regs
+    work = frozenset(avoid) | set(regs)
+    config = crafter.config
+    ordinal = crafter.rng.randrange(config.p1_branches)
+
+    # address = base + ((sym mod p) * s + ordinal) * 8
+    crafter.emit_gadget("mov_rr", work, dst=address, src=symbolic)
+    crafter.emit_constant(helper, ValueSlot(config.p1_repetitions - 1), work, allow_disguise=False)
+    crafter.emit_gadget("and_rr", work, dst=address, src=helper)
+    stride = config.p1_period * 8
+    crafter.emit_constant(helper, ValueSlot(stride.bit_length() - 1), work, allow_disguise=False)
+    crafter.emit_gadget("shl_rr", work, dst=address, src=helper)
+    crafter.emit_constant(helper, ValueSlot(array.address + 8 * ordinal), work, allow_disguise=False)
+    crafter.emit_gadget("add_rr", work, dst=address, src=helper)
+
+    # value = A[address] + m * (sym & 7)   — the residue class is preserved
+    crafter.emit_gadget("load8", work, dst=value, src=address)
+    crafter.emit_gadget("mov_rr", work, dst=amount, src=symbolic)
+    crafter.emit_constant(helper, ValueSlot(7), work, allow_disguise=False)
+    crafter.emit_gadget("and_rr", work, dst=amount, src=helper)
+    crafter.emit_constant(helper, ValueSlot(config.p1_modulus.bit_length() - 1), work,
+                          allow_disguise=False)
+    crafter.emit_gadget("shl_rr", work, dst=amount, src=helper)
+    crafter.emit_gadget("add_rr", work, dst=value, src=amount)
+    crafter.emit_gadget("store8", work, dst=address, src=value)

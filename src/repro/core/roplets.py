@@ -1,0 +1,68 @@
+"""Roplets: the rewriter's intermediate representation (§IV-B1).
+
+Each original instruction is translated into one roplet carrying the
+instruction itself plus the analysis facts the crafter needs: registers live
+around it, whether the condition flags are still needed afterwards, and which
+live registers hold input-derived values (for P3).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional, Set
+
+from repro.isa.instructions import Instruction
+from repro.isa.registers import Register
+
+
+class RopletKind(enum.Enum):
+    """The roplet taxonomy of §IV-B1."""
+
+    INTRA_TRANSFER = "intra_transfer"
+    INTER_TRANSFER = "inter_transfer"
+    EPILOGUE = "epilogue"
+    DIRECT_STACK = "direct_stack"
+    STACK_POINTER_REF = "stack_pointer_ref"
+    INSTRUCTION_POINTER_REF = "instruction_pointer_ref"
+    DATA_MOVEMENT = "data_movement"
+    ALU = "alu"
+
+
+@dataclass
+class Roplet:
+    """One basic rewriting operation.
+
+    Attributes:
+        kind: the roplet kind.
+        instruction: the original instruction being translated.
+        address: original address of the instruction.
+        live_before: registers live before the instruction.
+        live_after: registers live after the instruction.
+        flags_live_after: True when a later instruction may read the flags
+            this instruction leaves behind.
+        symbolic_registers: live registers holding input-derived values at
+            this point (P3 insertion candidates).
+        branch_target: original target address for transfers.
+        condition: condition code for conditional transfers ('' otherwise).
+        compare_operands: the operands of the flag-setting comparison that
+            feeds a conditional transfer (used by P2).
+    """
+
+    kind: RopletKind
+    instruction: Instruction
+    address: int
+    live_before: Set[Register] = field(default_factory=set)
+    live_after: Set[Register] = field(default_factory=set)
+    flags_live_after: bool = False
+    symbolic_registers: Set[Register] = field(default_factory=set)
+    branch_target: Optional[int] = None
+    condition: str = ""
+    compare_operands: Optional[tuple] = None
+
+    def avoid_set(self) -> frozenset:
+        """Registers a lowering of this roplet must not clobber."""
+        return frozenset(self.live_before | self.live_after)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{self.kind.value} {self.address:#x}: {self.instruction}>"

@@ -1,0 +1,132 @@
+"""Translation: original instructions to roplets (Figure 2, first stage).
+
+The translator walks the recovered CFG block by block and classifies every
+instruction into a roplet kind, attaching liveness, flag-liveness and
+input-taint facts.  Unsupported shapes (``push rsp``, rsp-indexed memory with
+an index register, indirect intra-procedural branches) raise
+:class:`TranslationError`, which the coverage study counts as rewriting
+failures exactly like the paper does (§VII-C1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis import compute_liveness, compute_symbolic_registers, recover_cfg
+from repro.analysis.cfg_recovery import FunctionCFG
+from repro.binary.image import BinaryImage
+from repro.core.roplets import Roplet, RopletKind
+from repro.isa.instructions import Instruction, Mnemonic
+from repro.isa.operands import Imm, Mem, Reg, references_rsp
+from repro.isa.registers import Register
+
+
+class TranslationError(Exception):
+    """Raised when a function contains an instruction the rewriter cannot encode."""
+
+
+@dataclass
+class TranslatedBlock:
+    """A basic block translated to roplets."""
+
+    start: int
+    roplets: List[Roplet] = field(default_factory=list)
+    successors: List[int] = field(default_factory=list)
+
+
+@dataclass
+class TranslatedFunction:
+    """The output of the translation stage for one function."""
+
+    name: str
+    entry: int
+    blocks: Dict[int, TranslatedBlock]
+    cfg: FunctionCFG
+
+    def block_order(self) -> List[TranslatedBlock]:
+        """Blocks in original address order."""
+        return [self.blocks[a] for a in sorted(self.blocks)]
+
+    def roplet_count(self) -> int:
+        """Number of roplets (== obfuscated program points, Table III's N)."""
+        return sum(len(b.roplets) for b in self.blocks.values())
+
+
+def classify_instruction(instruction: Instruction) -> RopletKind:
+    """Map an instruction to its roplet kind (§IV-B1)."""
+    m = instruction.mnemonic
+    if m in (Mnemonic.JMP, Mnemonic.JCC):
+        return RopletKind.INTRA_TRANSFER
+    if m is Mnemonic.CALL:
+        return RopletKind.INTER_TRANSFER
+    if m in (Mnemonic.RET, Mnemonic.LEAVE):
+        return RopletKind.EPILOGUE
+    if m in (Mnemonic.PUSH, Mnemonic.POP):
+        return RopletKind.DIRECT_STACK
+    if any(references_rsp(op) for op in instruction.operands):
+        return RopletKind.STACK_POINTER_REF
+    if m in (Mnemonic.MOV, Mnemonic.MOVZX, Mnemonic.MOVSX, Mnemonic.LEA,
+             Mnemonic.XCHG):
+        return RopletKind.DATA_MOVEMENT
+    return RopletKind.ALU
+
+
+def _validate(instruction: Instruction, address: int) -> None:
+    m = instruction.mnemonic
+    if m is Mnemonic.PUSH and isinstance(instruction.operands[0], Reg) \
+            and instruction.operands[0].reg is Register.RSP:
+        raise TranslationError(f"push rsp at {address:#x} is not supported")
+    if m is Mnemonic.POP and isinstance(instruction.operands[0], Reg) \
+            and instruction.operands[0].reg is Register.RSP:
+        raise TranslationError(f"pop rsp at {address:#x} is not supported")
+    for operand in instruction.operands:
+        if isinstance(operand, Mem) and operand.base is Register.RSP and operand.index is not None:
+            raise TranslationError(
+                f"rsp-based indexed memory operand at {address:#x} is not supported"
+            )
+        if isinstance(operand, Mem) and m is Mnemonic.PUSH and operand.base is Register.RSP:
+            raise TranslationError(
+                f"push of an rsp-relative operand at {address:#x} is not supported"
+            )
+    if m is Mnemonic.HLT:
+        raise TranslationError(f"hlt at {address:#x} cannot be encoded in a chain")
+
+
+def translate_function(image: BinaryImage, function_name: str) -> TranslatedFunction:
+    """Recover, analyze and translate ``function_name`` into roplets."""
+    cfg = recover_cfg(image, function_name)
+    liveness = compute_liveness(cfg)
+    symbolic = compute_symbolic_registers(cfg)
+
+    blocks: Dict[int, TranslatedBlock] = {}
+    for block in cfg.block_order():
+        translated = TranslatedBlock(start=block.start, successors=list(block.successors))
+        last_compare: Optional[Tuple] = None
+        for address, instruction in block.instructions:
+            _validate(instruction, address)
+            kind = classify_instruction(instruction)
+            roplet = Roplet(
+                kind=kind,
+                instruction=instruction,
+                address=address,
+                live_before=liveness.live_before.get(address, set()),
+                live_after=liveness.live_after.get(address, set()),
+                flags_live_after=address in liveness.flags_live_after,
+                symbolic_registers=symbolic.get(address, set()) & liveness.live_before.get(address, set()),
+            )
+            if instruction.mnemonic in (Mnemonic.CMP, Mnemonic.TEST):
+                last_compare = tuple(instruction.operands)
+            if kind is RopletKind.INTRA_TRANSFER:
+                target = instruction.operands[0]
+                if not isinstance(target, Imm):
+                    raise TranslationError(
+                        f"indirect intra-procedural branch at {address:#x}"
+                    )
+                roplet.branch_target = target.value
+                roplet.condition = instruction.condition
+                roplet.compare_operands = last_compare
+            blocks[block.start] = translated
+            translated.roplets.append(roplet)
+        blocks[block.start] = translated
+    return TranslatedFunction(name=function_name, entry=cfg.entry, blocks=blocks, cfg=cfg)

@@ -1,0 +1,17 @@
+"""CPU state, emulator, host runtime and tracing facilities."""
+
+from repro.cpu.state import CpuState, EmulationError
+from repro.cpu.host import HostEnvironment, EXIT_ADDRESS
+from repro.cpu.emulator import Emulator, call_function
+from repro.cpu.tracing import TraceRecorder, TraceEntry
+
+__all__ = [
+    "CpuState",
+    "EmulationError",
+    "HostEnvironment",
+    "EXIT_ADDRESS",
+    "Emulator",
+    "call_function",
+    "TraceRecorder",
+    "TraceEntry",
+]

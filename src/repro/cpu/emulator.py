@@ -1,0 +1,402 @@
+"""Concrete emulator for the reproduction ISA.
+
+The emulator executes encoded instructions directly from memory, which means
+ROP chains run exactly as the paper describes them: ``ret`` pops the next
+gadget address from the stack and execution continues wherever ``rsp`` points.
+The emulator also services host runtime calls and drives the tracing hooks the
+attack engines (DSE, TDS, ROPMEMU) build on.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.binary.loader import LoadedProgram
+from repro.cpu.host import EXIT_ADDRESS, HostEnvironment, is_host_address
+from repro.cpu.state import CpuState, EmulationError, to_signed
+from repro.isa.encoding import DecodeError, decode_instruction
+from repro.isa.flags import Flag
+from repro.isa.instructions import Instruction, Mnemonic
+from repro.isa.operands import Imm, Mem, Reg
+from repro.isa.registers import ARG_REGISTERS, Register
+from repro.memory import Memory, MemoryError_
+
+#: Largest possible encoded instruction, used to bound fetch windows.
+_MAX_INSTRUCTION_LENGTH = 64
+
+#: 64-bit mask.
+_MASK64 = (1 << 64) - 1
+
+
+class Emulator:
+    """Executes instructions against a :class:`CpuState` and a memory.
+
+    Args:
+        memory: the program memory (usually from :func:`repro.binary.load_image`).
+        host: host runtime environment; a fresh one is created if omitted.
+        max_steps: hard cap on executed instructions (guards against runaway
+            obfuscated code and is also the knob attack budgets use).
+    """
+
+    def __init__(self, memory: Memory, host: Optional[HostEnvironment] = None,
+                 max_steps: int = 2_000_000) -> None:
+        self.memory = memory
+        self.state = CpuState()
+        self.host = host or HostEnvironment()
+        self.host_handlers = self.host.handlers()
+        self.max_steps = max_steps
+        self.steps = 0
+        self.halted = False
+        #: hooks called as ``hook(emulator, address, instruction)`` before
+        #: each instruction executes.
+        self.pre_hooks: List[Callable] = []
+
+    # -- fetch / decode -----------------------------------------------------
+    def fetch(self, address: int) -> tuple:
+        """Decode the instruction at ``address``.
+
+        Returns ``(instruction, length)``.
+
+        Raises:
+            EmulationError: when the address is unmapped or undecodable.
+        """
+        region = self.memory.region_at(address)
+        if region is None:
+            raise EmulationError(f"fetch from unmapped address {address:#x}")
+        window = min(_MAX_INSTRUCTION_LENGTH, region.end - address)
+        blob = self.memory.read(address, window)
+        try:
+            return decode_instruction(blob, 0)
+        except DecodeError as exc:
+            raise EmulationError(f"undecodable instruction at {address:#x}: {exc}") from exc
+
+    # -- operand access -----------------------------------------------------
+    def effective_address(self, operand: Mem) -> int:
+        """Compute the effective address of a memory operand."""
+        address = operand.disp
+        if operand.base is not None:
+            address += self.state.read_reg(operand.base)
+        if operand.index is not None:
+            address += self.state.read_reg(operand.index) * operand.scale
+        return address & _MASK64
+
+    def read_operand(self, operand) -> int:
+        """Read the unsigned value of a register, immediate or memory operand."""
+        if isinstance(operand, Reg):
+            return self.state.read_reg(operand.reg, operand.size)
+        if isinstance(operand, Imm):
+            return operand.value & ((1 << (8 * operand.size)) - 1)
+        if isinstance(operand, Mem):
+            try:
+                return self.memory.read_int(self.effective_address(operand), operand.size)
+            except MemoryError_ as exc:
+                raise EmulationError(str(exc)) from exc
+        raise EmulationError(f"cannot read operand {operand!r}")
+
+    def write_operand(self, operand, value: int) -> None:
+        """Write ``value`` to a register or memory operand."""
+        if isinstance(operand, Reg):
+            self.state.write_reg(operand.reg, value, operand.size)
+            return
+        if isinstance(operand, Mem):
+            try:
+                self.memory.write_int(self.effective_address(operand), value, operand.size)
+            except MemoryError_ as exc:
+                raise EmulationError(str(exc)) from exc
+            return
+        raise EmulationError(f"cannot write operand {operand!r}")
+
+    # -- stack helpers ------------------------------------------------------
+    def push(self, value: int) -> None:
+        """Push a 64-bit value on the stack."""
+        rsp = (self.state.read_reg(Register.RSP) - 8) & _MASK64
+        self.state.write_reg(Register.RSP, rsp)
+        try:
+            self.memory.write_int(rsp, value, 8)
+        except MemoryError_ as exc:
+            raise EmulationError(str(exc)) from exc
+
+    def pop(self) -> int:
+        """Pop a 64-bit value from the stack."""
+        rsp = self.state.read_reg(Register.RSP)
+        try:
+            value = self.memory.read_int(rsp, 8)
+        except MemoryError_ as exc:
+            raise EmulationError(str(exc)) from exc
+        self.state.write_reg(Register.RSP, (rsp + 8) & _MASK64)
+        return value
+
+    # -- flag computation ---------------------------------------------------
+    def _set_logic_flags(self, result: int, size: int) -> None:
+        bits = 8 * size
+        result &= (1 << bits) - 1
+        self.state.write_flag(Flag.CF, 0)
+        self.state.write_flag(Flag.OF, 0)
+        self.state.write_flag(Flag.ZF, result == 0)
+        self.state.write_flag(Flag.SF, (result >> (bits - 1)) & 1)
+
+    def _set_add_flags(self, a: int, b: int, carry_in: int, size: int) -> int:
+        bits = 8 * size
+        mask = (1 << bits) - 1
+        total = (a & mask) + (b & mask) + carry_in
+        result = total & mask
+        sa, sb = to_signed(a, size), to_signed(b, size)
+        signed_total = sa + sb + carry_in
+        self.state.write_flag(Flag.CF, total > mask)
+        self.state.write_flag(Flag.OF,
+                              signed_total < -(1 << (bits - 1)) or signed_total >= (1 << (bits - 1)))
+        self.state.write_flag(Flag.ZF, result == 0)
+        self.state.write_flag(Flag.SF, (result >> (bits - 1)) & 1)
+        return result
+
+    def _set_sub_flags(self, a: int, b: int, borrow_in: int, size: int) -> int:
+        bits = 8 * size
+        mask = (1 << bits) - 1
+        a &= mask
+        b &= mask
+        result = (a - b - borrow_in) & mask
+        sa, sb = to_signed(a, size), to_signed(b, size)
+        signed_total = sa - sb - borrow_in
+        self.state.write_flag(Flag.CF, a < b + borrow_in)
+        self.state.write_flag(Flag.OF,
+                              signed_total < -(1 << (bits - 1)) or signed_total >= (1 << (bits - 1)))
+        self.state.write_flag(Flag.ZF, result == 0)
+        self.state.write_flag(Flag.SF, (result >> (bits - 1)) & 1)
+        return result
+
+    # -- execution ----------------------------------------------------------
+    def step(self) -> None:
+        """Execute a single instruction (or host function)."""
+        if self.halted:
+            return
+        if self.steps >= self.max_steps:
+            raise EmulationError(f"instruction budget exhausted ({self.max_steps})")
+        address = self.state.rip
+        if address == EXIT_ADDRESS:
+            self.halted = True
+            return
+        if is_host_address(address):
+            self._run_host_function(address)
+            self.steps += 1
+            return
+        instruction, length = self.fetch(address)
+        for hook in self.pre_hooks:
+            hook(self, address, instruction)
+        self.state.rip = (address + length) & _MASK64
+        self._execute(instruction)
+        self.steps += 1
+
+    def run(self, max_steps: Optional[int] = None) -> None:
+        """Run until halted, hitting :data:`EXIT_ADDRESS`, or out of budget."""
+        if max_steps is not None:
+            self.max_steps = max_steps
+        while not self.halted:
+            self.step()
+
+    def _run_host_function(self, address: int) -> None:
+        handler = self.host_handlers.get(address)
+        if handler is None:
+            raise EmulationError(f"call to unknown host function at {address:#x}")
+        result = handler(self)
+        self.state.write_reg(Register.RAX, result & _MASK64)
+        if self.halted:
+            return
+        # behave like a native function: return to the caller
+        self.state.rip = self.pop()
+
+    def _execute(self, instruction: Instruction) -> None:
+        mnemonic = instruction.mnemonic
+        ops = instruction.operands
+        state = self.state
+
+        if mnemonic is Mnemonic.NOP:
+            return
+        if mnemonic is Mnemonic.HLT:
+            self.halted = True
+            return
+        if mnemonic is Mnemonic.MOV:
+            self.write_operand(ops[0], self.read_operand(ops[1]))
+            return
+        if mnemonic is Mnemonic.MOVZX:
+            self.write_operand(ops[0], self.read_operand(ops[1]))
+            return
+        if mnemonic is Mnemonic.MOVSX:
+            src = ops[1]
+            value = to_signed(self.read_operand(src), getattr(src, "size", 8))
+            self.write_operand(ops[0], value & _MASK64)
+            return
+        if mnemonic is Mnemonic.LEA:
+            if not isinstance(ops[1], Mem):
+                raise EmulationError("lea requires a memory source")
+            self.write_operand(ops[0], self.effective_address(ops[1]))
+            return
+        if mnemonic is Mnemonic.XCHG:
+            a, b = self.read_operand(ops[0]), self.read_operand(ops[1])
+            self.write_operand(ops[0], b)
+            self.write_operand(ops[1], a)
+            return
+        if mnemonic is Mnemonic.PUSH:
+            self.push(self.read_operand(ops[0]))
+            return
+        if mnemonic is Mnemonic.POP:
+            self.write_operand(ops[0], self.pop())
+            return
+
+        if mnemonic in (Mnemonic.ADD, Mnemonic.ADC):
+            size = getattr(ops[0], "size", 8)
+            carry = state.read_flag(Flag.CF) if mnemonic is Mnemonic.ADC else 0
+            result = self._set_add_flags(self.read_operand(ops[0]),
+                                         self.read_operand(ops[1]), carry, size)
+            self.write_operand(ops[0], result)
+            return
+        if mnemonic in (Mnemonic.SUB, Mnemonic.SBB):
+            size = getattr(ops[0], "size", 8)
+            borrow = state.read_flag(Flag.CF) if mnemonic is Mnemonic.SBB else 0
+            result = self._set_sub_flags(self.read_operand(ops[0]),
+                                         self.read_operand(ops[1]), borrow, size)
+            self.write_operand(ops[0], result)
+            return
+        if mnemonic is Mnemonic.CMP:
+            size = getattr(ops[0], "size", 8)
+            self._set_sub_flags(self.read_operand(ops[0]), self.read_operand(ops[1]), 0, size)
+            return
+        if mnemonic is Mnemonic.TEST:
+            size = getattr(ops[0], "size", 8)
+            self._set_logic_flags(self.read_operand(ops[0]) & self.read_operand(ops[1]), size)
+            return
+        if mnemonic in (Mnemonic.AND, Mnemonic.OR, Mnemonic.XOR):
+            size = getattr(ops[0], "size", 8)
+            a, b = self.read_operand(ops[0]), self.read_operand(ops[1])
+            result = {Mnemonic.AND: a & b, Mnemonic.OR: a | b, Mnemonic.XOR: a ^ b}[mnemonic]
+            self._set_logic_flags(result, size)
+            self.write_operand(ops[0], result)
+            return
+        if mnemonic is Mnemonic.NEG:
+            size = getattr(ops[0], "size", 8)
+            value = self.read_operand(ops[0])
+            result = self._set_sub_flags(0, value, 0, size)
+            self.state.write_flag(Flag.CF, value != 0)
+            self.write_operand(ops[0], result)
+            return
+        if mnemonic is Mnemonic.NOT:
+            size = getattr(ops[0], "size", 8)
+            mask = (1 << (8 * size)) - 1
+            self.write_operand(ops[0], (~self.read_operand(ops[0])) & mask)
+            return
+        if mnemonic in (Mnemonic.SHL, Mnemonic.SHR, Mnemonic.SAR):
+            size = getattr(ops[0], "size", 8)
+            bits = 8 * size
+            mask = (1 << bits) - 1
+            value = self.read_operand(ops[0])
+            amount = self.read_operand(ops[1]) & 0x3F
+            if mnemonic is Mnemonic.SHL:
+                result = (value << amount) & mask
+                carry = (value >> (bits - amount)) & 1 if 0 < amount <= bits else 0
+            elif mnemonic is Mnemonic.SHR:
+                result = (value & mask) >> amount
+                carry = (value >> (amount - 1)) & 1 if amount else 0
+            else:
+                result = (to_signed(value, size) >> amount) & mask
+                carry = (value >> (amount - 1)) & 1 if amount else 0
+            self._set_logic_flags(result, size)
+            self.state.write_flag(Flag.CF, carry)
+            self.write_operand(ops[0], result)
+            return
+        if mnemonic is Mnemonic.IMUL:
+            size = getattr(ops[0], "size", 8)
+            bits = 8 * size
+            a = to_signed(self.read_operand(ops[0]), size)
+            b = to_signed(self.read_operand(ops[1]), size)
+            full = a * b
+            result = full & ((1 << bits) - 1)
+            overflow = not (-(1 << (bits - 1)) <= full < (1 << (bits - 1)))
+            self._set_logic_flags(result, size)
+            self.state.write_flag(Flag.CF, overflow)
+            self.state.write_flag(Flag.OF, overflow)
+            self.write_operand(ops[0], result)
+            return
+        if mnemonic is Mnemonic.CQO:
+            rax = to_signed(state.read_reg(Register.RAX))
+            state.write_reg(Register.RDX, _MASK64 if rax < 0 else 0)
+            return
+        if mnemonic is Mnemonic.IDIV:
+            divisor = to_signed(self.read_operand(ops[0]))
+            if divisor == 0:
+                raise EmulationError("integer division by zero")
+            dividend = to_signed(state.read_reg(Register.RAX))
+            quotient = int(dividend / divisor)
+            remainder = dividend - quotient * divisor
+            state.write_reg(Register.RAX, quotient & _MASK64)
+            state.write_reg(Register.RDX, remainder & _MASK64)
+            return
+        if mnemonic in (Mnemonic.INC, Mnemonic.DEC):
+            size = getattr(ops[0], "size", 8)
+            saved_cf = state.read_flag(Flag.CF)
+            delta = 1
+            if mnemonic is Mnemonic.INC:
+                result = self._set_add_flags(self.read_operand(ops[0]), delta, 0, size)
+            else:
+                result = self._set_sub_flags(self.read_operand(ops[0]), delta, 0, size)
+            state.write_flag(Flag.CF, saved_cf)
+            self.write_operand(ops[0], result)
+            return
+        if mnemonic is Mnemonic.CMOV:
+            if state.condition(instruction.condition):
+                self.write_operand(ops[0], self.read_operand(ops[1]))
+            return
+        if mnemonic is Mnemonic.SET:
+            self.write_operand(ops[0], 1 if state.condition(instruction.condition) else 0)
+            return
+
+        if mnemonic is Mnemonic.JMP:
+            state.rip = self.read_operand(ops[0])
+            return
+        if mnemonic is Mnemonic.JCC:
+            if state.condition(instruction.condition):
+                state.rip = self.read_operand(ops[0])
+            return
+        if mnemonic is Mnemonic.CALL:
+            target = self.read_operand(ops[0])
+            self.push(state.rip)
+            state.rip = target
+            return
+        if mnemonic is Mnemonic.RET:
+            state.rip = self.pop()
+            return
+        if mnemonic is Mnemonic.LEAVE:
+            state.write_reg(Register.RSP, state.read_reg(Register.RBP))
+            state.write_reg(Register.RBP, self.pop())
+            return
+
+        raise EmulationError(f"unimplemented instruction {instruction}")
+
+
+def call_function(program: LoadedProgram, name_or_address, args: Sequence[int] = (),
+                  host: Optional[HostEnvironment] = None,
+                  max_steps: int = 2_000_000) -> tuple:
+    """Call a function in a loaded program and run it to completion.
+
+    Args:
+        program: the loaded program.
+        name_or_address: function symbol name or absolute entry address.
+        args: up to six integer arguments passed in registers.
+        host: optional pre-existing host environment (for heap persistence).
+        max_steps: instruction budget.
+
+    Returns:
+        ``(return_value, emulator)`` — the emulator is returned so callers can
+        inspect output, probes, traces or final memory.
+    """
+    if isinstance(name_or_address, str):
+        address = program.image.function(name_or_address).address
+    else:
+        address = int(name_or_address)
+    emulator = Emulator(program.memory, host=host, max_steps=max_steps)
+    emulator.state.write_reg(Register.RSP, program.stack_top)
+    emulator.state.write_reg(Register.RBP, program.stack_top)
+    for reg, value in zip(ARG_REGISTERS, args):
+        emulator.state.write_reg(reg, value & _MASK64)
+    emulator.push(EXIT_ADDRESS)
+    emulator.state.rip = address
+    emulator.run()
+    return emulator.state.read_reg(Register.RAX), emulator

@@ -1,0 +1,106 @@
+"""Architectural CPU state: registers, flags and the instruction pointer."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.isa.flags import Flag, fresh_flags
+from repro.isa.registers import Register
+
+#: Two's-complement mask for 64-bit register arithmetic.
+MASK64 = (1 << 64) - 1
+
+
+class EmulationError(RuntimeError):
+    """Raised when emulation cannot proceed (bad fetch, fault, limits)."""
+
+
+def _mask(size: int) -> int:
+    return (1 << (8 * size)) - 1
+
+
+def to_signed(value: int, size: int = 8) -> int:
+    """Interpret ``value`` (unsigned, ``size`` bytes) as a signed integer."""
+    value &= _mask(size)
+    sign_bit = 1 << (8 * size - 1)
+    return value - (1 << (8 * size)) if value & sign_bit else value
+
+
+def to_unsigned(value: int, size: int = 8) -> int:
+    """Truncate a Python integer to an unsigned ``size``-byte value."""
+    return value & _mask(size)
+
+
+class CpuState:
+    """Register file, condition flags and instruction pointer.
+
+    Registers always hold 64-bit unsigned values internally.  Sized accesses
+    follow the simplified x86-64 convention documented on
+    :class:`repro.isa.operands.Reg`.
+    """
+
+    def __init__(self) -> None:
+        self.regs: Dict[Register, int] = {reg: 0 for reg in Register}
+        self.flags: Dict[Flag, int] = fresh_flags()
+        self.rip: int = 0
+
+    def read_reg(self, reg: Register, size: int = 8) -> int:
+        """Read ``size`` low bytes of a register as an unsigned value."""
+        return self.regs[reg] & _mask(size)
+
+    def write_reg(self, reg: Register, value: int, size: int = 8) -> None:
+        """Write ``size`` bytes into a register.
+
+        Size-8 and size-4 writes replace the whole register (4-byte writes
+        zero-extend); 1- and 2-byte writes merge into the low bytes.
+        """
+        value &= _mask(size)
+        if size >= 4:
+            self.regs[reg] = value
+        else:
+            self.regs[reg] = (self.regs[reg] & ~_mask(size) & MASK64) | value
+
+    def read_flag(self, flag: Flag) -> int:
+        """Read a condition flag (0 or 1)."""
+        return self.flags[flag]
+
+    def write_flag(self, flag: Flag, value: int) -> None:
+        """Set a condition flag to 0 or 1."""
+        self.flags[flag] = 1 if value else 0
+
+    def condition(self, code: str) -> bool:
+        """Evaluate a condition code against the current flags."""
+        cf = self.flags[Flag.CF]
+        zf = self.flags[Flag.ZF]
+        sf = self.flags[Flag.SF]
+        of = self.flags[Flag.OF]
+        table = {
+            "e": zf == 1,
+            "ne": zf == 0,
+            "l": sf != of,
+            "ge": sf == of,
+            "le": zf == 1 or sf != of,
+            "g": zf == 0 and sf == of,
+            "b": cf == 1,
+            "ae": cf == 0,
+            "be": cf == 1 or zf == 1,
+            "a": cf == 0 and zf == 0,
+            "s": sf == 1,
+            "ns": sf == 0,
+        }
+        try:
+            return table[code]
+        except KeyError:
+            raise EmulationError(f"unknown condition code {code!r}") from None
+
+    def copy(self) -> "CpuState":
+        """Return an independent copy of the state."""
+        clone = CpuState()
+        clone.regs = dict(self.regs)
+        clone.flags = dict(self.flags)
+        clone.rip = self.rip
+        return clone
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        regs = ", ".join(f"{reg}={value:#x}" for reg, value in self.regs.items() if value)
+        return f"<CpuState rip={self.rip:#x} {regs}>"

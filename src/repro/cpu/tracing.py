@@ -1,0 +1,81 @@
+"""Execution tracing used by the dynamic deobfuscation attacks.
+
+A :class:`TraceRecorder` attaches to an :class:`repro.cpu.Emulator` and
+records every executed instruction with its address and the pre-execution
+register snapshot the analyses need (TDS taint tracking, ROPMEMU flag-leak
+detection, DSE concolic state updates).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.isa.instructions import Instruction
+from repro.isa.registers import Register
+
+
+@dataclass
+class TraceEntry:
+    """One executed instruction.
+
+    Attributes:
+        index: position in the trace.
+        address: address the instruction was fetched from.
+        instruction: the decoded instruction.
+        rsp: value of the stack pointer before execution (the ROP virtual PC).
+        regs: optional register snapshot before execution.
+    """
+
+    index: int
+    address: int
+    instruction: Instruction
+    rsp: int
+    regs: Optional[Dict[Register, int]] = None
+
+
+class TraceRecorder:
+    """Records executed instructions from an emulator.
+
+    Args:
+        capture_registers: store a full register snapshot per entry.  This is
+            what TDS and ROPMEMU need; it is off by default to keep plain
+            functional runs cheap.
+        limit: maximum number of entries kept (older entries are not dropped;
+            recording simply stops, mirroring a bounded trace buffer).
+    """
+
+    def __init__(self, capture_registers: bool = False, limit: int = 2_000_000) -> None:
+        self.capture_registers = capture_registers
+        self.limit = limit
+        self.entries: List[TraceEntry] = []
+
+    def attach(self, emulator) -> "TraceRecorder":
+        """Register this recorder as a pre-execution hook on ``emulator``."""
+        emulator.pre_hooks.append(self._hook)
+        return self
+
+    def _hook(self, emulator, address: int, instruction: Instruction) -> None:
+        if len(self.entries) >= self.limit:
+            return
+        regs = dict(emulator.state.regs) if self.capture_registers else None
+        self.entries.append(
+            TraceEntry(
+                index=len(self.entries),
+                address=address,
+                instruction=instruction,
+                rsp=emulator.state.read_reg(Register.RSP),
+                regs=regs,
+            )
+        )
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def addresses(self) -> List[int]:
+        """Return the sequence of executed addresses."""
+        return [entry.address for entry in self.entries]
+
+    def executed_in(self, start: int, end: int) -> List[TraceEntry]:
+        """Return entries whose address falls in ``[start, end)``."""
+        return [entry for entry in self.entries if start <= entry.address < end]

@@ -1,0 +1,29 @@
+"""Evaluation harness regenerating every table and figure of §VII."""
+
+from repro.evaluation.configurations import TABLE2_CONFIGURATIONS, ROPK_SWEEP, NATIVE
+from repro.evaluation.table2 import Table2Row, run_table2
+from repro.evaluation.table3 import Table3Row, run_table3
+from repro.evaluation.figure5 import Figure5Bar, run_figure5
+from repro.evaluation.coverage_study import CoverageStudyResult, run_coverage_study
+from repro.evaluation.case_study import CaseStudyResult, run_case_study
+from repro.evaluation.efficacy import EfficacyResult, run_efficacy_study
+from repro.evaluation.reporting import render_table
+
+__all__ = [
+    "TABLE2_CONFIGURATIONS",
+    "ROPK_SWEEP",
+    "NATIVE",
+    "Table2Row",
+    "run_table2",
+    "Table3Row",
+    "run_table3",
+    "Figure5Bar",
+    "run_figure5",
+    "CoverageStudyResult",
+    "run_coverage_study",
+    "CaseStudyResult",
+    "run_case_study",
+    "EfficacyResult",
+    "run_efficacy_study",
+    "render_table",
+]

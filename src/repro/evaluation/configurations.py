@@ -1,0 +1,21 @@
+"""Configuration registry used by the evaluation (re-exported from Table I)."""
+
+from repro.obfuscation.configs import (
+    NATIVE,
+    ObfuscationConfig,
+    ROPK_SWEEP,
+    TABLE2_CONFIGURATIONS,
+    apply_configuration,
+    nvm,
+    ropk,
+)
+
+__all__ = [
+    "NATIVE",
+    "ObfuscationConfig",
+    "ROPK_SWEEP",
+    "TABLE2_CONFIGURATIONS",
+    "apply_configuration",
+    "nvm",
+    "ropk",
+]

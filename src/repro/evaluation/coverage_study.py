@@ -1,0 +1,87 @@
+"""§VII-C1: how much of a heterogeneous code base the rewriter can handle."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core import RopConfig, rop_obfuscate
+from repro.core.materialization import pivot_stub_size
+from repro.workloads.coreutils import build_coreutils_corpus
+
+
+@dataclass
+class CoverageStudyResult:
+    """Outcome of rewriting the synthetic coreutils-like corpus.
+
+    Attributes:
+        total_functions: unique functions in the corpus.
+        skipped_small: functions shorter than the pivot stub.
+        attempted: functions the rewriter attempted.
+        rewritten: functions successfully converted to chains.
+        failure_categories: failure reason histogram (register pressure,
+            unsupported instructions, CFG recovery...).
+    """
+
+    total_functions: int
+    skipped_small: int
+    attempted: int
+    rewritten: int
+    failure_categories: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of attempted (non-stub) functions successfully rewritten."""
+        if not self.attempted:
+            return 0.0
+        return self.rewritten / self.attempted
+
+
+def run_coverage_study(programs: int = 20, functions_per_program: int = 12,
+                       seed: int = 1, config: Optional[RopConfig] = None) -> CoverageStudyResult:
+    """Rewrite every function of the corpus and tally the outcome categories."""
+    corpus = build_coreutils_corpus(programs=programs,
+                                    functions_per_program=functions_per_program, seed=seed)
+    config = config or RopConfig.ropk(0.25, seed=seed)
+    stub_size = pivot_stub_size()
+
+    total = 0
+    skipped_small = 0
+    attempted = 0
+    rewritten = 0
+    failures: Dict[str, int] = {}
+
+    for image, entries in corpus:
+        names = [entry.name for entry in entries]
+        total += len(names)
+        small = [n for n in names if image.function(n).size < stub_size]
+        skipped_small += len(small)
+        candidates = [n for n in names if n not in small]
+        if not candidates:
+            continue
+        attempted += len(candidates)
+        _, report = rop_obfuscate(image, candidates, config)
+        rewritten += len(report.rewritten)
+        for reason, count in report.failure_categories().items():
+            key = _categorize(reason)
+            failures[key] = failures.get(key, 0) + count
+
+    return CoverageStudyResult(
+        total_functions=total,
+        skipped_small=skipped_small,
+        attempted=attempted,
+        rewritten=rewritten,
+        failure_categories=failures,
+    )
+
+
+def _categorize(reason: str) -> str:
+    if "pressure" in reason or "register allocation" in reason:
+        return "register pressure"
+    if "unsupported instruction" in reason or "push" in reason:
+        return "unsupported stack idiom"
+    if "cfg" in reason.lower():
+        return "cfg reconstruction"
+    if "smaller than pivot" in reason:
+        return "too small"
+    return "other"

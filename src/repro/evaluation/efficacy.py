@@ -1,0 +1,98 @@
+"""§VII-A: per-technique efficacy of the strengthening transformations.
+
+The study reproduces the qualitative findings of the section:
+
+* P1 slows (static) symbolic execution down already on small functions;
+* P3 inflates the state space the concolic engine must cover;
+* TDS cannot simplify away the input-coupled P3/P1 machinery;
+* ROPDissector-style flipping is broken by P2 and gadget guessing explodes
+  under gadget confusion.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.attacks import AttackBudget, secret_finding_attack
+from repro.attacks.dse import DseEngine, InputSpec
+from repro.attacks.ropaware import RopDissector, RopMemuExplorer
+from repro.attacks.symbolic import SymbolicExecutionEngine
+from repro.attacks.tds import TaintDrivenSimplifier
+from repro.compiler import compile_program
+from repro.core import RopConfig, rop_obfuscate
+from repro.workloads.randomfuns import RandomFunSpec, generate_random_function
+
+
+@dataclass
+class EfficacyResult:
+    """Aggregated measurements of the §VII-A experiments."""
+
+    se_native_paths: int
+    se_rop_p1_paths: int
+    dse_native_paths: int
+    dse_rop_p3_paths: int
+    dse_native_instructions: int
+    dse_rop_p3_instructions: int
+    tds_plain_tainted_branches: int
+    tds_p3_tainted_branches: int
+    ropmemu_valid_flips_plain: int
+    ropmemu_valid_flips_p2: int
+    dissector_plain_fraction: float
+    dissector_confused_fraction: float
+    guessed_gadgets: int
+
+
+def run_efficacy_study(budget_seconds: float = 3.0, seed: int = 1) -> EfficacyResult:
+    """Run the §VII-A micro-experiments on a small Tigress-style function."""
+    spec = RandomFunSpec(structure="for(if(bb4,bb4))", input_size=1, seed=seed)
+    program, _, _ = generate_random_function(spec)
+    name = spec.name
+    native = compile_program(program)
+    rop_p1_only, _ = rop_obfuscate(native, [name], RopConfig(
+        p1_enabled=True, p2_enabled=False, p3_enabled=False, gadget_confusion=False))
+    rop_full, _ = rop_obfuscate(native, [name], RopConfig.ropk(1.0, seed=seed))
+    rop_plain, _ = rop_obfuscate(native, [name], RopConfig.plain(seed=seed))
+    rop_p2, _ = rop_obfuscate(native, [name], RopConfig(
+        p1_enabled=False, p2_enabled=True, p3_enabled=False, gadget_confusion=True))
+
+    input_spec = InputSpec(argument_sizes=[1])
+
+    # A1: static SE vs P1
+    se_native = SymbolicExecutionEngine(native, name, input_spec, seed=seed)
+    _, se_native_stats = se_native.explore(time_budget=budget_seconds, max_executions=40)
+    se_p1 = SymbolicExecutionEngine(rop_p1_only, name, input_spec, seed=seed)
+    _, se_p1_stats = se_p1.explore(time_budget=budget_seconds, max_executions=40)
+
+    # A3: DSE vs P3
+    dse_native = DseEngine(native, name, input_spec, seed=seed)
+    _, dse_native_stats = dse_native.explore(time_budget=budget_seconds, max_executions=40)
+    dse_p3 = DseEngine(rop_full, name, input_spec, seed=seed)
+    _, dse_p3_stats = dse_p3.explore(time_budget=budget_seconds, max_executions=40)
+
+    # TDS simplification
+    tds_plain = TaintDrivenSimplifier(rop_plain, name).simplify([3])
+    tds_p3 = TaintDrivenSimplifier(rop_full, name).simplify([3])
+
+    # A2: ROP-aware flipping and gadget guessing
+    memu_plain = RopMemuExplorer(rop_plain, name).explore([3], max_flips=6)
+    memu_p2 = RopMemuExplorer(rop_p2, name).explore([3], max_flips=6)
+    dissector_plain = RopDissector(rop_plain).dissect(name)
+    dissector_confused = RopDissector(rop_p2).dissect(name, gadget_guessing=True)
+
+    return EfficacyResult(
+        se_native_paths=se_native_stats.paths_seen,
+        se_rop_p1_paths=se_p1_stats.paths_seen,
+        dse_native_paths=dse_native_stats.paths_seen,
+        dse_rop_p3_paths=dse_p3_stats.paths_seen,
+        dse_native_instructions=dse_native_stats.instructions,
+        dse_rop_p3_instructions=dse_p3_stats.instructions,
+        tds_plain_tainted_branches=tds_plain.tainted_branches,
+        tds_p3_tainted_branches=tds_p3.tainted_branches,
+        ropmemu_valid_flips_plain=memu_plain.valid_alternate_paths,
+        ropmemu_valid_flips_p2=memu_p2.valid_alternate_paths,
+        dissector_plain_fraction=dissector_plain.address_looking_fraction,
+        dissector_confused_fraction=dissector_confused.address_looking_fraction,
+        guessed_gadgets=dissector_confused.guessed_gadgets,
+    )

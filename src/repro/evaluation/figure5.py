@@ -1,0 +1,83 @@
+"""Figure 5: run-time overhead of ROPk on the clbg suite vs 2VM-IMPlast."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.binary import load_image
+from repro.compiler import compile_program
+from repro.cpu import call_function
+from repro.evaluation.configurations import ROPK_SWEEP, apply_configuration, nvm, ropk
+from repro.workloads.clbg import CLBG_BENCHMARKS, build_clbg_program
+
+#: Maximum emulated instructions per benchmark run.
+_RUN_BUDGET = 30_000_000
+
+
+@dataclass
+class Figure5Bar:
+    """One bar of the stacked chart: slowdown of ROPk vs the VM baseline.
+
+    Slowdowns are measured in executed instructions (the emulator's unit of
+    work), which is the deterministic analog of the paper's wall-clock ratios.
+    """
+
+    benchmark: str
+    k: float
+    native_instructions: int
+    rop_instructions: int
+    baseline_instructions: int
+
+    @property
+    def slowdown_vs_native(self) -> float:
+        return self.rop_instructions / max(1, self.native_instructions)
+
+    @property
+    def slowdown_vs_baseline(self) -> float:
+        """The Figure 5 metric: ROPk relative to 2VM-IMPlast."""
+        return self.rop_instructions / max(1, self.baseline_instructions)
+
+
+def _run(image, entry: str, argument: int) -> int:
+    from repro.cpu.state import EmulationError
+
+    try:
+        _, emulator = call_function(load_image(image), entry, [argument],
+                                    max_steps=_RUN_BUDGET)
+        return emulator.steps
+    except EmulationError:
+        # instruction cap reached: report the cap (a lower bound on the cost)
+        return _RUN_BUDGET
+
+
+def run_figure5(benchmarks: Optional[Sequence[str]] = None,
+                k_values: Optional[Sequence[float]] = None,
+                baseline=None, seed: int = 1) -> List[Figure5Bar]:
+    """Measure the relative cost of every ROPk setting for each benchmark.
+
+    ``baseline`` defaults to the paper's 2VM-IMPlast configuration; scaled
+    benchmark runs may pass a single-layer VM baseline to keep emulation time
+    bounded (see benchmarks/conftest.py).
+    """
+    benchmarks = list(benchmarks or sorted(CLBG_BENCHMARKS))
+    k_values = list(k_values if k_values is not None else [k for k in ROPK_SWEEP if k > 0])
+    baseline_config = baseline or nvm(2, "last")
+    bars: List[Figure5Bar] = []
+    for name in benchmarks:
+        program, entry, argument, targets = build_clbg_program(name)
+        native_image = compile_program(program)
+        native_steps = _run(native_image, entry, argument)
+        baseline_image = apply_configuration(program, targets, baseline_config, seed=seed)
+        baseline_steps = _run(baseline_image, entry, argument)
+        for k in k_values:
+            rop_image = apply_configuration(program, targets, ropk(k), seed=seed)
+            rop_steps = _run(rop_image, entry, argument)
+            bars.append(Figure5Bar(
+                benchmark=name,
+                k=k,
+                native_instructions=native_steps,
+                rop_instructions=rop_steps,
+                baseline_instructions=baseline_steps,
+            ))
+    return bars

@@ -1,0 +1,114 @@
+"""Table II: secret finding and code coverage across obfuscation configurations."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.attacks import AttackBudget, coverage_attack, secret_finding_attack
+from repro.attacks.dse import InputSpec
+from repro.evaluation.configurations import (
+    ObfuscationConfig,
+    TABLE2_CONFIGURATIONS,
+    apply_configuration,
+)
+from repro.workloads.randomfuns import RandomFunSpec, generate_random_function, generate_table2_suite
+
+
+@dataclass
+class Table2Row:
+    """One row of Table II.
+
+    Attributes:
+        configuration: configuration name (``NATIVE``, ``ROP0.25``, ``2VM``...).
+        secrets_found: functions whose secret was recovered within the budget.
+        functions: functions attempted.
+        average_time: mean time-to-success over the successful attempts.
+        full_coverage: functions whose reachable probes were all covered.
+    """
+
+    configuration: str
+    secrets_found: int
+    functions: int
+    average_time: float
+    full_coverage: int
+
+    def as_cells(self) -> Sequence[object]:
+        return (self.configuration, f"{self.secrets_found}/{self.functions}",
+                f"{self.average_time:.2f}s", f"{self.full_coverage}/{self.functions}")
+
+
+def run_table2(configurations: Optional[Sequence[ObfuscationConfig]] = None,
+               specs: Optional[Sequence[RandomFunSpec]] = None,
+               budget: Optional[AttackBudget] = None,
+               include_coverage: bool = True, seed: int = 1) -> List[Table2Row]:
+    """Run the Table II grid.
+
+    The defaults use a scaled-down grid (see EXPERIMENTS.md); pass the full
+    ``generate_table2_suite()`` and larger budgets to reproduce the paper's
+    setup at full size.
+    """
+    configurations = list(configurations or TABLE2_CONFIGURATIONS)
+    specs = list(specs or generate_table2_suite())
+    budget = budget or AttackBudget()
+    rows: List[Table2Row] = []
+
+    for configuration in configurations:
+        found = 0
+        covered = 0
+        times: List[float] = []
+        for spec in specs:
+            secret_spec = RandomFunSpec(structure=spec.structure, input_size=spec.input_size,
+                                        seed=spec.seed, point_test=True,
+                                        loop_iterations=spec.loop_iterations)
+            program, _, _ = generate_random_function(secret_spec)
+            image = apply_configuration(program, [secret_spec.name], configuration, seed=seed)
+            input_spec = InputSpec(argument_sizes=[spec.input_size])
+            outcome = secret_finding_attack(image, secret_spec.name, input_spec, budget,
+                                            seed=seed)
+            if outcome.success:
+                found += 1
+                times.append(outcome.time_to_success)
+
+            if include_coverage:
+                coverage_spec = RandomFunSpec(structure=spec.structure,
+                                              input_size=spec.input_size, seed=spec.seed,
+                                              point_test=False,
+                                              loop_iterations=spec.loop_iterations)
+                cov_program, _, probe_count = generate_random_function(coverage_spec)
+                cov_image = apply_configuration(cov_program, [coverage_spec.name],
+                                                configuration, seed=seed)
+                reachable = _reachable_probes(cov_program, coverage_spec, probe_count)
+                cov_outcome = coverage_attack(cov_image, coverage_spec.name, reachable,
+                                              input_spec, budget, seed=seed)
+                if cov_outcome.success:
+                    covered += 1
+        rows.append(Table2Row(
+            configuration=configuration.name,
+            secrets_found=found,
+            functions=len(specs),
+            average_time=sum(times) / len(times) if times else 0.0,
+            full_coverage=covered,
+        ))
+    return rows
+
+
+def _reachable_probes(program, spec: RandomFunSpec, probe_count: int) -> set:
+    """Determine the probes actually reachable by sampling the native function.
+
+    Coverage is "all or nothing" against the *reachable* probe set, like the
+    paper's use of Tigress's split/join annotations on the native CFG.
+    """
+    from repro.binary import load_image
+    from repro.compiler import compile_program
+    from repro.cpu import call_function
+
+    image = compile_program(program)
+    reachable = set()
+    mask = (1 << (8 * spec.input_size)) - 1
+    samples = list(range(0, min(mask + 1, 64))) + [mask, mask // 2, mask // 3]
+    for sample in samples:
+        _, emulator = call_function(load_image(image), spec.name, [sample & mask],
+                                    max_steps=5_000_000)
+        reachable.update(emulator.host.probes)
+    return reachable

@@ -1,0 +1,59 @@
+"""Table III: gadget statistics for the clbg benchmarks across ROPk settings."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.compiler import compile_program
+from repro.core import RopConfig, rop_obfuscate
+from repro.evaluation.configurations import ROPK_SWEEP
+from repro.workloads.clbg import CLBG_BENCHMARKS, build_clbg_program
+
+
+@dataclass
+class Table3Row:
+    """Gadget statistics of one benchmark under one ROPk setting.
+
+    Mirrors the paper's columns: ``N`` program points, ``A`` total gadgets,
+    ``B`` unique gadgets, ``C`` average gadgets per program point.
+    """
+
+    benchmark: str
+    k: float
+    program_points: int
+    total_gadgets: int
+    unique_gadgets: int
+
+    @property
+    def gadgets_per_point(self) -> float:
+        if not self.program_points:
+            return 0.0
+        return self.total_gadgets / self.program_points
+
+    def as_cells(self) -> Sequence[object]:
+        return (self.benchmark, f"{self.k:.2f}", self.program_points, self.total_gadgets,
+                self.unique_gadgets, f"{self.gadgets_per_point:.2f}")
+
+
+def run_table3(benchmarks: Optional[Sequence[str]] = None,
+               k_values: Optional[Sequence[float]] = None,
+               seed: int = 1) -> List[Table3Row]:
+    """Rewrite each benchmark at every k and collect the A/B/C statistics."""
+    benchmarks = list(benchmarks or sorted(CLBG_BENCHMARKS))
+    k_values = list(k_values if k_values is not None else ROPK_SWEEP)
+    rows: List[Table3Row] = []
+    for name in benchmarks:
+        program, _, _, targets = build_clbg_program(name)
+        image = compile_program(program)
+        for k in k_values:
+            _, report = rop_obfuscate(image, targets, RopConfig.ropk(k, seed=seed))
+            totals = report.totals()
+            rows.append(Table3Row(
+                benchmark=name,
+                k=k,
+                program_points=int(totals["program_points"]),
+                total_gadgets=int(totals["total_gadgets"]),
+                unique_gadgets=int(totals["unique_gadgets"]),
+            ))
+    return rows

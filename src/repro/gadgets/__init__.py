@@ -1,0 +1,8 @@
+"""Gadget modelling, discovery, synthesis and the diversified gadget pool."""
+
+from repro.gadgets.gadget import Gadget
+from repro.gadgets.finder import find_gadgets
+from repro.gadgets.classify import classify_gadget
+from repro.gadgets.pool import GadgetPool
+
+__all__ = ["Gadget", "find_gadgets", "classify_gadget", "GadgetPool"]

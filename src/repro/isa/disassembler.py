@@ -1,0 +1,78 @@
+"""Disassembly helpers built on :mod:`repro.isa.encoding`.
+
+Three disassembly styles are offered, mirroring the tools the paper's
+pipeline depends on:
+
+* :func:`disassemble` — decode a single instruction at an address;
+* :func:`disassemble_range` — sequential decoding of a byte range (the
+  building block of linear-sweep CFG recovery in :mod:`repro.analysis`);
+* :func:`linear_sweep` — tolerant sweep that skips undecodable bytes, used by
+  the gadget finder to scan ``.text`` including dead artificial gadget code.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Tuple
+
+from repro.isa.encoding import DecodeError, decode_instruction
+from repro.isa.instructions import Instruction
+
+
+def disassemble(data: bytes, offset: int = 0) -> Tuple[Instruction, int]:
+    """Decode one instruction; alias of :func:`decode_instruction`."""
+    return decode_instruction(data, offset)
+
+
+def disassemble_range(
+    data: bytes, start: int = 0, end: int = None
+) -> List[Tuple[int, Instruction]]:
+    """Sequentially decode ``data[start:end]``.
+
+    Returns a list of ``(offset, instruction)`` pairs.  Decoding stops with a
+    :class:`DecodeError` if an undecodable byte is reached before ``end``.
+    """
+    if end is None:
+        end = len(data)
+    out: List[Tuple[int, Instruction]] = []
+    cursor = start
+    while cursor < end:
+        instruction, length = decode_instruction(data, cursor)
+        out.append((cursor, instruction))
+        cursor += length
+    return out
+
+
+def linear_sweep(data: bytes, start: int = 0, end: int = None) -> Dict[int, Instruction]:
+    """Decode as much of ``data`` as possible, skipping undecodable bytes.
+
+    Unlike :func:`disassemble_range` this never raises: offsets that do not
+    start a valid instruction are skipped one byte at a time.  The result maps
+    offsets to instructions and is the raw material of gadget discovery.
+    """
+    if end is None:
+        end = len(data)
+    out: Dict[int, Instruction] = {}
+    cursor = start
+    while cursor < end:
+        try:
+            instruction, length = decode_instruction(data, cursor)
+        except DecodeError:
+            cursor += 1
+            continue
+        out[cursor] = instruction
+        cursor += length
+    return out
+
+
+def iter_all_offsets(data: bytes) -> Iterator[Tuple[int, Instruction, int]]:
+    """Yield ``(offset, instruction, length)`` for every decodable offset.
+
+    Every byte offset is tried independently (superset disassembly), which is
+    what speculative gadget guessing needs.
+    """
+    for offset in range(len(data)):
+        try:
+            instruction, length = decode_instruction(data, offset)
+        except DecodeError:
+            continue
+        yield offset, instruction, length

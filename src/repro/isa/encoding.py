@@ -1,0 +1,234 @@
+"""Byte encoding and decoding of instructions.
+
+The encoding is deliberately variable-length and decodable from arbitrary
+offsets: the same property of x86-64 that ROP gadget finding and the paper's
+*gadget confusion* (§V-D) exploit.  Decoding an offset that does not start a
+real instruction usually fails quickly with :class:`DecodeError`, but can also
+yield a plausible-looking, unintended instruction — exactly the ambiguity the
+ROP-aware attacks in :mod:`repro.attacks.ropaware` have to cope with.
+
+Layout of an encoded instruction::
+
+    +--------+---------+----------------------------------+
+    | opcode | n_opnds | operand_0 ... operand_{n-1}      |
+    +--------+---------+----------------------------------+
+
+with operands encoded as:
+
+* register:  ``0x01``, ``size_code << 4 | reg_id``
+* immediate: ``0x02``, ``width``, ``width`` little-endian bytes
+* memory:    ``0x03``, ``size``, ``flags``, [base], [index, scale], disp32
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.isa.instructions import Instruction, Mnemonic, CONDITION_CODES, has_label
+from repro.isa.operands import Reg, Imm, Mem, Operand
+from repro.isa.registers import Register
+
+
+class DecodeError(ValueError):
+    """Raised when a byte range does not encode a valid instruction."""
+
+
+_SIZE_TO_CODE = {8: 0, 4: 1, 2: 2, 1: 3}
+_CODE_TO_SIZE = {v: k for k, v in _SIZE_TO_CODE.items()}
+
+_TAG_REG = 0x01
+_TAG_IMM = 0x02
+_TAG_MEM = 0x03
+
+# Opcode map. ``ret`` intentionally gets the x86 value 0xC3 so the gadget
+# finder's byte scans read naturally.
+_BASE_OPCODES = {
+    Mnemonic.MOV: 0x10,
+    Mnemonic.MOVZX: 0x11,
+    Mnemonic.MOVSX: 0x12,
+    Mnemonic.LEA: 0x13,
+    Mnemonic.XCHG: 0x14,
+    Mnemonic.PUSH: 0x15,
+    Mnemonic.POP: 0x16,
+    Mnemonic.ADD: 0x20,
+    Mnemonic.SUB: 0x21,
+    Mnemonic.ADC: 0x22,
+    Mnemonic.SBB: 0x23,
+    Mnemonic.AND: 0x24,
+    Mnemonic.OR: 0x25,
+    Mnemonic.XOR: 0x26,
+    Mnemonic.NEG: 0x27,
+    Mnemonic.NOT: 0x28,
+    Mnemonic.SHL: 0x29,
+    Mnemonic.SHR: 0x2A,
+    Mnemonic.SAR: 0x2B,
+    Mnemonic.IMUL: 0x2C,
+    Mnemonic.IDIV: 0x2D,
+    Mnemonic.INC: 0x2E,
+    Mnemonic.DEC: 0x2F,
+    Mnemonic.CMP: 0x30,
+    Mnemonic.TEST: 0x31,
+    Mnemonic.CQO: 0x32,
+    Mnemonic.JMP: 0x40,
+    Mnemonic.CALL: 0x41,
+    Mnemonic.LEAVE: 0x42,
+    Mnemonic.NOP: 0x90,
+    Mnemonic.HLT: 0xF4,
+    Mnemonic.RET: 0xC3,
+}
+
+_JCC_BASE = 0x50
+_CMOV_BASE = 0x60
+_SET_BASE = 0x70
+
+_OPCODE_TO_MNEMONIC = {}
+for _mn, _op in _BASE_OPCODES.items():
+    _OPCODE_TO_MNEMONIC[_op] = (_mn, "")
+for _i, _cc in enumerate(CONDITION_CODES):
+    _OPCODE_TO_MNEMONIC[_JCC_BASE + _i] = (Mnemonic.JCC, _cc)
+    _OPCODE_TO_MNEMONIC[_CMOV_BASE + _i] = (Mnemonic.CMOV, _cc)
+    _OPCODE_TO_MNEMONIC[_SET_BASE + _i] = (Mnemonic.SET, _cc)
+
+#: Encoded opcode byte of ``ret``; the gadget finder scans for it.
+RET_OPCODE = _BASE_OPCODES[Mnemonic.RET]
+
+
+def opcode_of(instruction: Instruction) -> int:
+    """Return the opcode byte of ``instruction``."""
+    if instruction.mnemonic is Mnemonic.JCC:
+        return _JCC_BASE + CONDITION_CODES.index(instruction.condition)
+    if instruction.mnemonic is Mnemonic.CMOV:
+        return _CMOV_BASE + CONDITION_CODES.index(instruction.condition)
+    if instruction.mnemonic is Mnemonic.SET:
+        return _SET_BASE + CONDITION_CODES.index(instruction.condition)
+    return _BASE_OPCODES[instruction.mnemonic]
+
+
+def _encode_operand(operand: Operand) -> bytes:
+    if isinstance(operand, Reg):
+        return bytes([_TAG_REG, (_SIZE_TO_CODE[operand.size] << 4) | int(operand.reg)])
+    if isinstance(operand, Imm):
+        width = operand.size
+        value = operand.value & ((1 << (8 * width)) - 1)
+        return bytes([_TAG_IMM, width]) + value.to_bytes(width, "little")
+    if isinstance(operand, Mem):
+        flags = (1 if operand.base is not None else 0) | (
+            2 if operand.index is not None else 0
+        )
+        out = bytearray([_TAG_MEM, operand.size, flags])
+        if operand.base is not None:
+            out.append(int(operand.base))
+        if operand.index is not None:
+            out.append(int(operand.index))
+            out.append(operand.scale)
+        out += (operand.disp & 0xFFFFFFFF).to_bytes(4, "little")
+        return bytes(out)
+    raise ValueError(f"cannot encode operand {operand!r}")
+
+
+def encode_instruction(instruction: Instruction) -> bytes:
+    """Encode ``instruction`` into its byte representation.
+
+    Raises:
+        ValueError: if the instruction still contains unresolved labels.
+    """
+    if has_label(instruction):
+        raise ValueError(f"cannot encode instruction with labels: {instruction}")
+    out = bytearray([opcode_of(instruction), len(instruction.operands)])
+    for operand in instruction.operands:
+        out += _encode_operand(operand)
+    return bytes(out)
+
+
+def encoded_length(instruction: Instruction) -> int:
+    """Return the encoded length of ``instruction`` in bytes."""
+    return len(encode_instruction(instruction))
+
+
+def _decode_operand(data: bytes, offset: int) -> Tuple[Operand, int]:
+    if offset >= len(data):
+        raise DecodeError("truncated operand")
+    tag = data[offset]
+    if tag == _TAG_REG:
+        if offset + 2 > len(data):
+            raise DecodeError("truncated register operand")
+        byte = data[offset + 1]
+        size_code, reg_id = byte >> 4, byte & 0x0F
+        if size_code not in _CODE_TO_SIZE:
+            raise DecodeError(f"bad register size code {size_code}")
+        return Reg(Register(reg_id), _CODE_TO_SIZE[size_code]), offset + 2
+    if tag == _TAG_IMM:
+        if offset + 2 > len(data):
+            raise DecodeError("truncated immediate operand")
+        width = data[offset + 1]
+        if width not in (1, 2, 4, 8):
+            raise DecodeError(f"bad immediate width {width}")
+        end = offset + 2 + width
+        if end > len(data):
+            raise DecodeError("truncated immediate bytes")
+        value = int.from_bytes(data[offset + 2:end], "little")
+        return Imm(value, width), end
+    if tag == _TAG_MEM:
+        if offset + 3 > len(data):
+            raise DecodeError("truncated memory operand")
+        size, flags = data[offset + 1], data[offset + 2]
+        if size not in (1, 2, 4, 8):
+            raise DecodeError(f"bad memory operand size {size}")
+        if flags & ~0x03:
+            raise DecodeError(f"bad memory operand flags {flags:#x}")
+        cursor = offset + 3
+        base = index = None
+        scale = 1
+        if flags & 1:
+            if cursor >= len(data):
+                raise DecodeError("truncated base register")
+            if data[cursor] > 15:
+                raise DecodeError("bad base register")
+            base = Register(data[cursor])
+            cursor += 1
+        if flags & 2:
+            if cursor + 2 > len(data):
+                raise DecodeError("truncated index register")
+            if data[cursor] > 15:
+                raise DecodeError("bad index register")
+            index = Register(data[cursor])
+            scale = data[cursor + 1]
+            if scale not in (1, 2, 4, 8):
+                raise DecodeError(f"bad scale {scale}")
+            cursor += 2
+        if cursor + 4 > len(data):
+            raise DecodeError("truncated displacement")
+        disp = int.from_bytes(data[cursor:cursor + 4], "little")
+        if disp >= 1 << 31:
+            disp -= 1 << 32
+        return Mem(base, index, scale, disp, size), cursor + 4
+    raise DecodeError(f"unknown operand tag {tag:#x}")
+
+
+def decode_instruction(data: bytes, offset: int = 0) -> Tuple[Instruction, int]:
+    """Decode one instruction starting at ``offset`` in ``data``.
+
+    Returns:
+        a ``(instruction, length)`` pair.
+
+    Raises:
+        DecodeError: if the bytes at ``offset`` are not a valid encoding.
+    """
+    if offset >= len(data):
+        raise DecodeError("offset beyond data")
+    opcode = data[offset]
+    if opcode not in _OPCODE_TO_MNEMONIC:
+        raise DecodeError(f"unknown opcode {opcode:#x}")
+    mnemonic, condition = _OPCODE_TO_MNEMONIC[opcode]
+    if offset + 1 >= len(data):
+        raise DecodeError("truncated instruction")
+    count = data[offset + 1]
+    if count > 3:
+        raise DecodeError(f"implausible operand count {count}")
+    cursor = offset + 2
+    operands = []
+    for _ in range(count):
+        operand, cursor = _decode_operand(data, cursor)
+        operands.append(operand)
+    instruction = Instruction(mnemonic, tuple(operands), condition)
+    return instruction, cursor - offset

@@ -1,0 +1,56 @@
+"""Mini-C: the small structured language workloads are written in.
+
+The paper obfuscates compiled C functions (coreutils, CLBG benchmarks, Tigress
+RandomFuns output, base64).  Without a C toolchain, the reproduction expresses
+those workloads in *mini-C*: an AST of expressions and statements with 64-bit
+integers, byte/word arrays, calls, loops and switches.  The compiler in
+:mod:`repro.compiler` lowers mini-C to the reproduction ISA with ordinary
+compiled-code shapes (stack frames, flag-driven branches, call conventions),
+which is exactly what the ROP rewriter expects to find.
+"""
+
+from repro.lang.ast import (
+    Assign,
+    BinOp,
+    Break,
+    Call,
+    Const,
+    Continue,
+    ExprStmt,
+    For,
+    Function,
+    GlobalArray,
+    If,
+    Load,
+    Probe,
+    Program,
+    Return,
+    Store,
+    Switch,
+    UnOp,
+    Var,
+    While,
+)
+
+__all__ = [
+    "Program",
+    "Function",
+    "GlobalArray",
+    "Const",
+    "Var",
+    "BinOp",
+    "UnOp",
+    "Load",
+    "Call",
+    "Assign",
+    "Store",
+    "If",
+    "While",
+    "For",
+    "Switch",
+    "Break",
+    "Continue",
+    "Return",
+    "ExprStmt",
+    "Probe",
+]

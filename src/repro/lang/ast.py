@@ -1,0 +1,230 @@
+"""AST node definitions for mini-C.
+
+All values are 64-bit integers.  Memory is accessed through explicit
+:class:`Load`/:class:`Store` nodes with a byte size, which is how the
+workloads implement byte arrays (base64 tables, fasta sequences, hash state).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+
+# --------------------------------------------------------------------------
+# expressions
+# --------------------------------------------------------------------------
+@dataclass(frozen=True)
+class Const:
+    """An integer literal."""
+
+    value: int
+
+
+@dataclass(frozen=True)
+class Var:
+    """A reference to a parameter, local variable, local array or global.
+
+    Referencing an array-valued name yields its base address, so arrays decay
+    to pointers exactly like in C.
+    """
+
+    name: str
+
+
+@dataclass(frozen=True)
+class BinOp:
+    """A binary operation.
+
+    Supported operators: ``+ - * / % & | ^ << >>`` and the comparisons
+    ``== != < <= > >=`` (signed), which evaluate to 0 or 1.
+    """
+
+    op: str
+    left: "Expr"
+    right: "Expr"
+
+
+@dataclass(frozen=True)
+class UnOp:
+    """A unary operation: ``-`` (negate), ``~`` (bitwise not), ``!`` (logical not)."""
+
+    op: str
+    operand: "Expr"
+
+
+@dataclass(frozen=True)
+class Load:
+    """Load ``size`` bytes from the address computed by ``address``.
+
+    Loads of fewer than 8 bytes are zero-extended.
+    """
+
+    address: "Expr"
+    size: int = 8
+
+
+@dataclass(frozen=True)
+class Call:
+    """Call a mini-C or host runtime function and use its return value."""
+
+    name: str
+    args: Tuple["Expr", ...] = ()
+
+    def __init__(self, name: str, args: Sequence["Expr"] = ()) -> None:
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "args", tuple(args))
+
+
+Expr = Union[Const, Var, BinOp, UnOp, Load, Call]
+
+
+# --------------------------------------------------------------------------
+# statements
+# --------------------------------------------------------------------------
+@dataclass
+class Assign:
+    """Assign an expression to a scalar variable (created on first use)."""
+
+    name: str
+    value: Expr
+
+
+@dataclass
+class Store:
+    """Store ``value`` (truncated to ``size`` bytes) at address ``address``."""
+
+    address: Expr
+    value: Expr
+    size: int = 8
+
+
+@dataclass
+class If:
+    """Two-way conditional."""
+
+    condition: Expr
+    then_body: List["Stmt"]
+    else_body: List["Stmt"] = field(default_factory=list)
+
+
+@dataclass
+class While:
+    """Pre-tested loop."""
+
+    condition: Expr
+    body: List["Stmt"]
+
+
+@dataclass
+class For:
+    """C-style ``for`` loop, desugared to a :class:`While` by the compiler."""
+
+    init: "Stmt"
+    condition: Expr
+    step: "Stmt"
+    body: List["Stmt"]
+
+
+@dataclass
+class Switch:
+    """Multi-way branch over an integer selector.
+
+    Cases do not fall through; each case body is independent (this matches
+    how the generated workloads use switches).
+    """
+
+    selector: Expr
+    cases: Dict[int, List["Stmt"]]
+    default: List["Stmt"] = field(default_factory=list)
+
+
+@dataclass
+class Break:
+    """Exit the innermost loop."""
+
+
+@dataclass
+class Continue:
+    """Continue with the next iteration of the innermost loop."""
+
+
+@dataclass
+class Return:
+    """Return from the function with an optional value (default 0)."""
+
+    value: Optional[Expr] = None
+
+
+@dataclass
+class ExprStmt:
+    """Evaluate an expression for its side effects (typically a call)."""
+
+    expr: Expr
+
+
+@dataclass
+class Probe:
+    """A coverage probe: compiles to a call to the ``__probe`` host function.
+
+    The RandomFuns workload places probes at CFG split and join points, which
+    is how the code-coverage goal (G2) is measured, mirroring Tigress's
+    ``RandomFunsTrace`` annotations.
+    """
+
+    probe_id: int
+
+
+Stmt = Union[Assign, Store, If, While, For, Switch, Break, Continue, Return, ExprStmt, Probe]
+
+
+# --------------------------------------------------------------------------
+# functions and programs
+# --------------------------------------------------------------------------
+@dataclass
+class Function:
+    """A mini-C function definition.
+
+    Attributes:
+        name: function name (becomes the binary symbol).
+        params: parameter names, passed in the first argument registers.
+        body: statement list.
+        local_arrays: mapping of local array names to their size in bytes;
+            arrays live in the stack frame and their name evaluates to their
+            base address.
+    """
+
+    name: str
+    params: List[str]
+    body: List[Stmt]
+    local_arrays: Dict[str, int] = field(default_factory=dict)
+
+
+@dataclass
+class GlobalArray:
+    """A global data object placed in ``.data``.
+
+    Attributes:
+        name: symbol name; a :class:`Var` reference yields its address.
+        size: object size in bytes.
+        initial: optional initial contents (zero padded to ``size``).
+    """
+
+    name: str
+    size: int
+    initial: bytes = b""
+
+
+@dataclass
+class Program:
+    """A complete mini-C program: functions plus global data."""
+
+    functions: List[Function]
+    globals: List[GlobalArray] = field(default_factory=list)
+
+    def function(self, name: str) -> Function:
+        """Return the function named ``name``."""
+        for function in self.functions:
+            if function.name == name:
+                return function
+        raise KeyError(f"no function {name!r} in program")

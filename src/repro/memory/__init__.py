@@ -1,0 +1,5 @@
+"""Flat byte-addressable memory used by the emulator and the attack engines."""
+
+from repro.memory.memory import Memory, MemoryError_, Region
+
+__all__ = ["Memory", "MemoryError_", "Region"]

@@ -1,0 +1,146 @@
+"""A simple region-based flat memory.
+
+The memory is split into named regions (``.text``, ``.data``, stack, heap,
+ROP stack, …).  Reads and writes must fall entirely inside one mapped region;
+anything else raises :class:`MemoryError_`, which the emulator reports as a
+fault — the behaviour the paper's P2 predicate relies on when brute-forced
+branches send ``rsp`` into unintended code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+class MemoryError_(RuntimeError):
+    """Raised on out-of-bounds or unmapped accesses."""
+
+
+@dataclass
+class Region:
+    """A contiguous mapped memory region.
+
+    Attributes:
+        name: human readable name (section or runtime area).
+        start: first mapped address.
+        data: backing byte storage.
+        writable: whether stores are permitted.
+    """
+
+    name: str
+    start: int
+    data: bytearray
+    writable: bool = True
+
+    @property
+    def end(self) -> int:
+        """One past the last mapped address."""
+        return self.start + len(self.data)
+
+    def contains(self, address: int, size: int = 1) -> bool:
+        """True if ``[address, address+size)`` falls inside the region."""
+        return self.start <= address and address + size <= self.end
+
+
+class Memory:
+    """Region-based flat memory with little-endian integer accessors."""
+
+    def __init__(self) -> None:
+        self._regions: List[Region] = []
+
+    def map(self, name: str, start: int, size: int, data: bytes = b"",
+            writable: bool = True) -> Region:
+        """Map a new region.
+
+        Args:
+            name: region name.
+            start: base address.
+            size: region size in bytes (grown to fit ``data`` if needed).
+            data: initial contents, zero padded to ``size``.
+            writable: whether the region accepts stores.
+
+        Raises:
+            MemoryError_: if the new region overlaps an existing one.
+        """
+        size = max(size, len(data))
+        for region in self._regions:
+            if start < region.end and region.start < start + size:
+                raise MemoryError_(
+                    f"region {name!r} [{start:#x}, {start + size:#x}) overlaps {region.name!r}"
+                )
+        backing = bytearray(size)
+        backing[: len(data)] = data
+        region = Region(name, start, backing, writable)
+        self._regions.append(region)
+        self._regions.sort(key=lambda r: r.start)
+        return region
+
+    @property
+    def regions(self) -> List[Region]:
+        """Mapped regions in address order."""
+        return list(self._regions)
+
+    def region_at(self, address: int) -> Optional[Region]:
+        """Return the region containing ``address``, or None."""
+        for region in self._regions:
+            if region.contains(address):
+                return region
+        return None
+
+    def _region_for(self, address: int, size: int) -> Region:
+        region = self.region_at(address)
+        if region is None or not region.contains(address, size):
+            raise MemoryError_(f"unmapped access at {address:#x} size {size}")
+        return region
+
+    def is_mapped(self, address: int, size: int = 1) -> bool:
+        """True if the full range is mapped inside a single region."""
+        region = self.region_at(address)
+        return region is not None and region.contains(address, size)
+
+    def read(self, address: int, size: int) -> bytes:
+        """Read ``size`` raw bytes."""
+        region = self._region_for(address, size)
+        offset = address - region.start
+        return bytes(region.data[offset:offset + size])
+
+    def write(self, address: int, data: bytes) -> None:
+        """Write raw bytes.
+
+        Raises:
+            MemoryError_: on unmapped or read-only destinations.
+        """
+        region = self._region_for(address, len(data))
+        if not region.writable:
+            raise MemoryError_(f"write to read-only region {region.name!r} at {address:#x}")
+        offset = address - region.start
+        region.data[offset:offset + len(data)] = data
+
+    def read_int(self, address: int, size: int = 8, signed: bool = False) -> int:
+        """Read a little-endian integer of ``size`` bytes."""
+        return int.from_bytes(self.read(address, size), "little", signed=signed)
+
+    def write_int(self, address: int, value: int, size: int = 8) -> None:
+        """Write a little-endian integer of ``size`` bytes (two's complement)."""
+        mask = (1 << (8 * size)) - 1
+        self.write(address, (value & mask).to_bytes(size, "little"))
+
+    def read_cstring(self, address: int, limit: int = 4096) -> bytes:
+        """Read a NUL-terminated byte string (without the terminator)."""
+        out = bytearray()
+        for i in range(limit):
+            byte = self.read(address + i, 1)[0]
+            if byte == 0:
+                break
+            out.append(byte)
+        return bytes(out)
+
+    def snapshot(self) -> "Memory":
+        """Return a deep copy of the memory (used by attack engines to fork)."""
+        clone = Memory()
+        for region in self._regions:
+            clone._regions.append(
+                Region(region.name, region.start, bytearray(region.data), region.writable)
+            )
+        return clone

@@ -1,0 +1,36 @@
+"""Baseline obfuscations the paper compares against (Tigress analogs).
+
+* :mod:`repro.obfuscation.vm` — virtualization obfuscation: the function is
+  compiled to a randomly-encoded bytecode and replaced by a generated
+  interpreter; layers can be nested (``nVM``).
+* :mod:`repro.obfuscation.implicit_flow` — implicit virtual-program-counter
+  updates (``nVM-IMPx``) that frustrate taint tracking and inflate the state
+  space when the VPC becomes symbolic.
+* :mod:`repro.obfuscation.flattening` — control-flow flattening.
+* :mod:`repro.obfuscation.configs` — the named configurations of Table I.
+"""
+
+from repro.obfuscation.vm import virtualize_function, virtualize_program
+from repro.obfuscation.flattening import flatten_function
+from repro.obfuscation.configs import (
+    NATIVE,
+    ObfuscationConfig,
+    ROPK_SWEEP,
+    TABLE2_CONFIGURATIONS,
+    apply_configuration,
+    nvm,
+    ropk,
+)
+
+__all__ = [
+    "virtualize_function",
+    "virtualize_program",
+    "flatten_function",
+    "ObfuscationConfig",
+    "apply_configuration",
+    "NATIVE",
+    "ropk",
+    "nvm",
+    "TABLE2_CONFIGURATIONS",
+    "ROPK_SWEEP",
+]

@@ -1,0 +1,316 @@
+"""Bytecode compiler used by the virtualization obfuscation.
+
+Mini-C function bodies are lowered to a stack-machine bytecode with a
+randomly assigned opcode encoding (a fresh instruction set is generated for
+every virtualized function, one of the strengths of VM obfuscation the paper
+lists in §II-A).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.compiler.normalize import normalize_function
+from repro.lang.ast import (
+    Assign,
+    BinOp,
+    Break,
+    Call,
+    Const,
+    Continue,
+    Expr,
+    ExprStmt,
+    Function,
+    If,
+    Load,
+    Probe,
+    Return,
+    Stmt,
+    Store,
+    Switch,
+    UnOp,
+    Var,
+    While,
+)
+
+_MASK64 = (1 << 64) - 1
+
+#: Abstract operation names; each virtualized function maps them to random
+#: opcode bytes.
+OPERATIONS = (
+    "push", "load_local", "store_local", "load_mem1", "load_mem2", "load_mem4",
+    "load_mem8", "store_mem1", "store_mem2", "store_mem4", "store_mem8",
+    "addr_array", "addr_global",
+    "add", "sub", "mul", "div", "mod", "and", "or", "xor", "shl", "shr",
+    "eq", "ne", "lt", "le", "gt", "ge",
+    "neg", "not", "lnot",
+    "jmp", "jz", "pop", "probe", "ret", "call",
+)
+
+_BINOPS = {
+    "+": "add", "-": "sub", "*": "mul", "/": "div", "%": "mod",
+    "&": "and", "|": "or", "^": "xor", "<<": "shl", ">>": "shr",
+    "==": "eq", "!=": "ne", "<": "lt", "<=": "le", ">": "gt", ">=": "ge",
+}
+_UNOPS = {"-": "neg", "~": "not", "!": "lnot"}
+
+
+class VirtualizeError(Exception):
+    """Raised when a function cannot be virtualized."""
+
+
+@dataclass
+class CallSite:
+    """A distinct (callee, argument count) pair used by ``call`` instructions."""
+
+    name: str
+    arg_count: int
+
+
+@dataclass
+class BytecodeProgram:
+    """The result of compiling one function to bytecode.
+
+    Attributes:
+        code: the encoded bytecode.
+        opcode_map: operation name -> randomly chosen opcode byte.
+        locals_map: scalar variable name -> locals-array slot index.
+        arrays: original local arrays (kept as interpreter locals).
+        globals_used: global names referenced through ``addr_global``.
+        call_sites: distinct call targets, indexed by ``call`` operands.
+    """
+
+    code: bytes
+    opcode_map: Dict[str, int]
+    locals_map: Dict[str, int]
+    arrays: Dict[str, int]
+    globals_used: List[str]
+    call_sites: List[CallSite]
+
+
+class _BytecodeBuilder:
+    def __init__(self, function: Function, known_globals: List[str], rng: random.Random) -> None:
+        self.function = function
+        self.known_globals = set(known_globals)
+        self.rng = rng
+        opcodes = list(range(1, 256))
+        rng.shuffle(opcodes)
+        self.opcode_map = {name: opcodes[i] for i, name in enumerate(OPERATIONS)}
+        self.locals_map: Dict[str, int] = {}
+        self.globals_used: List[str] = []
+        self.call_sites: List[CallSite] = []
+        self.code = bytearray()
+        self._fixups: List[Tuple[int, int]] = []  # (position, label id)
+        self._labels: Dict[int, int] = {}
+        self._label_counter = 0
+        self._loops: List[Tuple[int, int]] = []
+
+    # -- low level emission ---------------------------------------------------
+    def _emit_op(self, name: str) -> None:
+        self.code.append(self.opcode_map[name])
+
+    def _emit_u64(self, value: int) -> None:
+        self.code += (value & _MASK64).to_bytes(8, "little")
+
+    def _emit_u32(self, value: int) -> None:
+        self.code += (value & 0xFFFFFFFF).to_bytes(4, "little")
+
+    def _new_label(self) -> int:
+        self._label_counter += 1
+        return self._label_counter
+
+    def _place(self, label: int) -> None:
+        self._labels[label] = len(self.code)
+
+    def _emit_jump(self, op: str, label: int) -> None:
+        self._emit_op(op)
+        self._fixups.append((len(self.code), label))
+        self._emit_u32(0)
+
+    def _local(self, name: str) -> int:
+        if name not in self.locals_map:
+            self.locals_map[name] = len(self.locals_map)
+        return self.locals_map[name]
+
+    def _global_index(self, name: str) -> int:
+        if name not in self.globals_used:
+            self.globals_used.append(name)
+        return self.globals_used.index(name)
+
+    def _call_index(self, name: str, argc: int) -> int:
+        for index, site in enumerate(self.call_sites):
+            if site.name == name and site.arg_count == argc:
+                return index
+        self.call_sites.append(CallSite(name, argc))
+        return len(self.call_sites) - 1
+
+    # -- expressions ------------------------------------------------------------
+    def expr(self, node: Expr) -> None:
+        if isinstance(node, Const):
+            self._emit_op("push")
+            self._emit_u64(node.value)
+            return
+        if isinstance(node, Var):
+            if node.name in self.function.local_arrays:
+                self._emit_op("addr_array")
+                self._emit_u32(self._array_index(node.name))
+                return
+            if node.name in self.known_globals:
+                self._emit_op("addr_global")
+                self._emit_u32(self._global_index(node.name))
+                return
+            self._emit_op("load_local")
+            self._emit_u32(self._local(node.name))
+            return
+        if isinstance(node, BinOp):
+            self.expr(node.left)
+            self.expr(node.right)
+            self._emit_op(_BINOPS[node.op])
+            return
+        if isinstance(node, UnOp):
+            self.expr(node.operand)
+            self._emit_op(_UNOPS[node.op])
+            return
+        if isinstance(node, Load):
+            self.expr(node.address)
+            if node.size not in (1, 2, 4, 8):
+                raise VirtualizeError(f"unsupported load size {node.size}")
+            self._emit_op(f"load_mem{node.size}")
+            return
+        if isinstance(node, Call):
+            for argument in node.args:
+                self.expr(argument)
+            self._emit_op("call")
+            self._emit_u32(self._call_index(node.name, len(node.args)))
+            return
+        raise VirtualizeError(f"cannot virtualize expression {node!r}")
+
+    def _array_index(self, name: str) -> int:
+        return list(self.function.local_arrays).index(name)
+
+    # -- statements --------------------------------------------------------------
+    def statement(self, node: Stmt) -> None:
+        if isinstance(node, Assign):
+            self.expr(node.value)
+            self._emit_op("store_local")
+            self._emit_u32(self._local(node.name))
+            return
+        if isinstance(node, Store):
+            self.expr(node.address)
+            self.expr(node.value)
+            if node.size not in (1, 2, 4, 8):
+                raise VirtualizeError(f"unsupported store size {node.size}")
+            self._emit_op(f"store_mem{node.size}")
+            return
+        if isinstance(node, ExprStmt):
+            self.expr(node.expr)
+            self._emit_op("pop")
+            return
+        if isinstance(node, Probe):
+            self._emit_op("probe")
+            self._emit_u32(node.probe_id)
+            return
+        if isinstance(node, Return):
+            if node.value is None:
+                self._emit_op("push")
+                self._emit_u64(0)
+            else:
+                self.expr(node.value)
+            self._emit_op("ret")
+            return
+        if isinstance(node, If):
+            else_label = self._new_label()
+            end_label = self._new_label()
+            self.expr(node.condition)
+            self._emit_jump("jz", else_label)
+            for inner in node.then_body:
+                self.statement(inner)
+            self._emit_jump("jmp", end_label)
+            self._place(else_label)
+            for inner in node.else_body:
+                self.statement(inner)
+            self._place(end_label)
+            return
+        if isinstance(node, While):
+            head = self._new_label()
+            end = self._new_label()
+            self._place(head)
+            self.expr(node.condition)
+            self._emit_jump("jz", end)
+            self._loops.append((head, end))
+            for inner in node.body:
+                self.statement(inner)
+            self._loops.pop()
+            self._emit_jump("jmp", head)
+            self._place(end)
+            return
+        if isinstance(node, Break):
+            if not self._loops:
+                raise VirtualizeError("break outside of a loop")
+            self._emit_jump("jmp", self._loops[-1][1])
+            return
+        if isinstance(node, Continue):
+            if not self._loops:
+                raise VirtualizeError("continue outside of a loop")
+            self._emit_jump("jmp", self._loops[-1][0])
+            return
+        if isinstance(node, Switch):
+            selector = "__vm_switch_sel"
+            self.expr(node.selector)
+            self._emit_op("store_local")
+            self._emit_u32(self._local(selector))
+            end = self._new_label()
+            for value, body in node.cases.items():
+                skip = self._new_label()
+                self._emit_op("load_local")
+                self._emit_u32(self._local(selector))
+                self._emit_op("push")
+                self._emit_u64(value)
+                self._emit_op("eq")
+                self._emit_jump("jz", skip)
+                for inner in body:
+                    self.statement(inner)
+                self._emit_jump("jmp", end)
+                self._place(skip)
+            for inner in node.default:
+                self.statement(inner)
+            self._place(end)
+            return
+        raise VirtualizeError(f"cannot virtualize statement {node!r}")
+
+    # -- top level ------------------------------------------------------------------
+    def build(self) -> BytecodeProgram:
+        for statement in self.function.body:
+            self.statement(statement)
+        # implicit return 0
+        self._emit_op("push")
+        self._emit_u64(0)
+        self._emit_op("ret")
+        for position, label in self._fixups:
+            target = self._labels[label]
+            self.code[position:position + 4] = target.to_bytes(4, "little")
+        return BytecodeProgram(
+            code=bytes(self.code),
+            opcode_map=dict(self.opcode_map),
+            locals_map=dict(self.locals_map),
+            arrays=dict(self.function.local_arrays),
+            globals_used=list(self.globals_used),
+            call_sites=list(self.call_sites),
+        )
+
+
+def compile_to_bytecode(function: Function, known_globals: List[str],
+                        rng: Optional[random.Random] = None) -> BytecodeProgram:
+    """Compile ``function`` (normalized first) into randomized bytecode.
+
+    ``known_globals`` lists the global array names the function may reference
+    so the builder can distinguish them from scalar locals.
+    """
+    normalized = normalize_function(function)
+    # parameters become the first locals, in order
+    builder = _BytecodeBuilder(normalized, known_globals, rng or random.Random(0))
+    for param in normalized.params:
+        builder._local(param)
+    return builder.build()

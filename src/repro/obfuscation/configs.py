@@ -1,0 +1,89 @@
+"""Named obfuscation configurations (Table I).
+
+:func:`apply_configuration` maps a configuration name (``NATIVE``, ``ROPk``,
+``nVM``, ``nVM-IMPx``) to the corresponding transformation of a mini-C
+program, producing a ready-to-run binary image.  The evaluation harness and
+the benchmarks build every experiment on top of this registry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Tuple
+
+from repro.binary.image import BinaryImage
+from repro.compiler import compile_program
+from repro.core import RopConfig, rop_obfuscate
+from repro.lang.ast import Program
+from repro.obfuscation.vm import virtualize_program
+
+
+@dataclass(frozen=True)
+class ObfuscationConfig:
+    """A named point in the obfuscation configuration space of Table I.
+
+    Attributes:
+        name: display name (e.g. ``"ROP0.25"``, ``"2VM-IMPlast"``).
+        kind: ``"native"``, ``"rop"`` or ``"vm"``.
+        rop_k: P3 fraction for ROP configurations.
+        vm_layers: number of nested VM layers for VM configurations.
+        vm_implicit: implicit-VPC placement (``none``/``first``/``last``/``all``).
+    """
+
+    name: str
+    kind: str
+    rop_k: float = 0.0
+    vm_layers: int = 0
+    vm_implicit: str = "none"
+
+
+def ropk(k: float) -> ObfuscationConfig:
+    """The ``ROPk`` configuration of Table I."""
+    return ObfuscationConfig(name=f"ROP{k:.2f}", kind="rop", rop_k=k)
+
+
+def nvm(layers: int, implicit: str = "none") -> ObfuscationConfig:
+    """The ``nVM`` / ``nVM-IMPx`` configurations of Table I."""
+    suffix = "" if implicit == "none" else f"-IMP{implicit}"
+    return ObfuscationConfig(name=f"{layers}VM{suffix}", kind="vm",
+                             vm_layers=layers, vm_implicit=implicit)
+
+
+NATIVE = ObfuscationConfig(name="NATIVE", kind="native")
+
+#: The configurations evaluated in Table II, in presentation order.
+TABLE2_CONFIGURATIONS: Tuple[ObfuscationConfig, ...] = (
+    NATIVE,
+    ropk(0.05), ropk(0.25), ropk(0.50), ropk(0.75), ropk(1.00),
+    nvm(1, "all"),
+    nvm(2), nvm(2, "first"), nvm(2, "last"), nvm(2, "all"),
+    nvm(3), nvm(3, "first"), nvm(3, "last"), nvm(3, "all"),
+)
+
+#: The ROP configurations swept in Table III and Figure 5.
+ROPK_SWEEP: Tuple[float, ...] = (0.0, 0.05, 0.25, 0.50, 0.75, 1.00)
+
+
+def apply_configuration(program: Program, function_names: Iterable[str],
+                        configuration: ObfuscationConfig,
+                        seed: int = 1) -> BinaryImage:
+    """Compile ``program`` under ``configuration`` and return the binary image.
+
+    ROP configurations compile first and then run the binary rewriter; VM
+    configurations transform the AST first (as Tigress does on source code)
+    and then compile.
+    """
+    names = list(function_names)
+    if configuration.kind == "native":
+        return compile_program(program)
+    if configuration.kind == "vm":
+        transformed = virtualize_program(program, names, layers=configuration.vm_layers,
+                                         implicit=configuration.vm_implicit, seed=seed)
+        return compile_program(transformed)
+    if configuration.kind == "rop":
+        image = compile_program(program)
+        config = RopConfig.ropk(configuration.rop_k, seed=seed)
+        obfuscated, report = rop_obfuscate(image, names, config)
+        obfuscated.metadata["rop_report"] = report
+        return obfuscated
+    raise ValueError(f"unknown configuration kind {configuration.kind!r}")

@@ -1,0 +1,121 @@
+"""Control-flow flattening (§II-A).
+
+The function body is decomposed into numbered states driven by a single
+dispatcher loop: every structured statement becomes one or more states that
+set the next state explicitly, collapsing the original CFG into one layer
+below a dispatcher — the classic Wang/Chow construction the paper lists among
+heavy-duty transformations.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional
+
+from repro.lang.ast import (
+    Assign,
+    BinOp,
+    Break,
+    Const,
+    Continue,
+    Function,
+    If,
+    Probe,
+    Return,
+    Stmt,
+    Switch,
+    Var,
+    While,
+)
+
+#: State value meaning "leave the dispatcher loop".
+EXIT_STATE = 0xFFFF
+
+
+class _Flattener:
+    def __init__(self, rng: random.Random) -> None:
+        self.rng = rng
+        self.states: Dict[int, List[Stmt]] = {}
+        self._counter = 0
+        self._loops: List[tuple] = []
+
+    def new_state(self) -> int:
+        self._counter += 1
+        return self._counter
+
+    def _set_state(self, value: int) -> Stmt:
+        return Assign("__state", Const(value))
+
+    def flatten_body(self, body: List[Stmt], next_state: int) -> int:
+        """Flatten ``body``; returns its entry state."""
+        if not body:
+            return next_state
+        entry = None
+        follow = next_state
+        # process statements in reverse so each one knows its successor state
+        states_needed = [self.new_state() for _ in body]
+        for index in reversed(range(len(body))):
+            successor = states_needed[index + 1] if index + 1 < len(body) else next_state
+            self.flatten_statement(body[index], states_needed[index], successor)
+        entry = states_needed[0]
+        return entry
+
+    def flatten_statement(self, statement: Stmt, state: int, next_state: int) -> None:
+        if isinstance(statement, If):
+            then_entry = self.flatten_body(statement.then_body, next_state)
+            else_entry = self.flatten_body(statement.else_body, next_state) \
+                if statement.else_body else next_state
+            self.states[state] = [
+                If(statement.condition,
+                   [self._set_state(then_entry)],
+                   [self._set_state(else_entry)]),
+            ]
+            return
+        if isinstance(statement, While):
+            body_entry_state = self.new_state()
+            check_state = self.new_state()
+            self.states[state] = [self._set_state(check_state)]
+            self.states[check_state] = [
+                If(statement.condition,
+                   [self._set_state(body_entry_state)],
+                   [self._set_state(next_state)]),
+            ]
+            self._loops.append((check_state, next_state))
+            body_entry = self.flatten_body(statement.body, check_state)
+            self._loops.pop()
+            self.states[body_entry_state] = [self._set_state(body_entry)]
+            return
+        if isinstance(statement, Break):
+            if not self._loops:
+                raise ValueError("break outside of a loop")
+            self.states[state] = [self._set_state(self._loops[-1][1])]
+            return
+        if isinstance(statement, Continue):
+            if not self._loops:
+                raise ValueError("continue outside of a loop")
+            self.states[state] = [self._set_state(self._loops[-1][0])]
+            return
+        if isinstance(statement, Return):
+            self.states[state] = [statement]
+            return
+        # simple statements (Assign, Store, ExprStmt, Probe, Switch, For kept whole)
+        self.states[state] = [statement, self._set_state(next_state)]
+
+
+def flatten_function(function: Function, seed: int = 0) -> Function:
+    """Return a control-flow-flattened copy of ``function``."""
+    from repro.compiler.normalize import normalize_function
+
+    normalized = normalize_function(function)
+    flattener = _Flattener(random.Random(seed))
+    entry = flattener.flatten_body(normalized.body, EXIT_STATE)
+
+    dispatcher: List[Stmt] = [Assign("__state", Const(entry))]
+    cases = {value: statements for value, statements in flattener.states.items()}
+    loop_body: List[Stmt] = [
+        If(BinOp("==", Var("__state"), Const(EXIT_STATE)), [Return(Const(0))]),
+        Switch(Var("__state"), cases, default=[Return(Const(0))]),
+    ]
+    dispatcher.append(While(Const(1), loop_body))
+    return Function(name=normalized.name, params=list(normalized.params),
+                    body=dispatcher, local_arrays=dict(normalized.local_arrays))

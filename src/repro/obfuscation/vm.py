@@ -1,0 +1,259 @@
+"""Virtualization obfuscation: bytecode plus a generated interpreter (§II-A).
+
+``virtualize_function`` compiles a mini-C function to randomized bytecode
+(:mod:`repro.obfuscation.bytecode`) and replaces its body with a generated
+interpreter: a fetch/dispatch loop over a virtual program counter with one
+handler per opcode.  Layers can be nested by virtualizing the interpreter
+again (``nVM``); optionally the VPC updates of chosen layers use implicit
+flows (``nVM-IMPx``).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.lang.ast import (
+    Assign,
+    BinOp,
+    Call,
+    Const,
+    Expr,
+    Function,
+    GlobalArray,
+    If,
+    Load,
+    Probe,
+    Program,
+    Return,
+    Stmt,
+    Store,
+    UnOp,
+    Var,
+    While,
+)
+from repro.obfuscation.bytecode import BytecodeProgram, compile_to_bytecode
+from repro.obfuscation.implicit_flow import direct_assign, implicit_assign
+
+#: Depth (in 8-byte slots) of the interpreter's operand stack.
+VM_STACK_SLOTS = 64
+
+_MASK64 = (1 << 64) - 1
+
+
+def _slot(array: str, index_expr: Expr) -> Expr:
+    return BinOp("+", Var(array), BinOp("*", index_expr, Const(8)))
+
+
+class _InterpreterBuilder:
+    """Generates the interpreter function for one bytecode program."""
+
+    def __init__(self, function: Function, bytecode: BytecodeProgram,
+                 code_global: str, implicit_vpc: bool, suffix: str = "") -> None:
+        self.function = function
+        self.bytecode = bytecode
+        self.code_global = code_global
+        self.implicit_vpc = implicit_vpc
+        self._implicit_counter = 0
+        # interpreter-owned arrays get a per-layer suffix so nested
+        # virtualization does not collide with the inner layer's arrays
+        self.locals_array = f"__vm_locals{suffix}"
+        self.stack_array = f"__vm_stack{suffix}"
+
+    # -- helpers --------------------------------------------------------------
+    def _set_vpc(self, value: Expr) -> List[Stmt]:
+        if self.implicit_vpc:
+            self._implicit_counter += 1
+            return implicit_assign("__vpc", value, prefix=f"__imp{self._implicit_counter}")
+        return direct_assign("__vpc", value)
+
+    def _push(self, value: Expr) -> List[Stmt]:
+        return [
+            Store(_slot(self.stack_array, Var("__sp")), value, 8),
+            Assign("__sp", BinOp("+", Var("__sp"), Const(1))),
+        ]
+
+    def _pop(self, destination: str) -> List[Stmt]:
+        return [
+            Assign("__sp", BinOp("-", Var("__sp"), Const(1))),
+            Assign(destination, Load(_slot(self.stack_array, Var("__sp")), 8)),
+        ]
+
+    def _operand_u32(self) -> List[Stmt]:
+        return [
+            Assign("__arg", Load(BinOp("+", Var(self.code_global), Var("__vpc")), 4)),
+            Assign("__vpc", BinOp("+", Var("__vpc"), Const(4))),
+        ]
+
+    def _operand_u64(self) -> List[Stmt]:
+        return [
+            Assign("__arg", Load(BinOp("+", Var(self.code_global), Var("__vpc")), 8)),
+            Assign("__vpc", BinOp("+", Var("__vpc"), Const(8))),
+        ]
+
+    # -- opcode handlers --------------------------------------------------------
+    def _handler(self, operation: str) -> List[Stmt]:
+        binops = {
+            "add": "+", "sub": "-", "mul": "*", "div": "/", "mod": "%",
+            "and": "&", "or": "|", "xor": "^", "shl": "<<", "shr": ">>",
+            "eq": "==", "ne": "!=", "lt": "<", "le": "<=", "gt": ">", "ge": ">=",
+        }
+        unops = {"neg": "-", "not": "~", "lnot": "!"}
+        if operation == "push":
+            return self._operand_u64() + self._push(Var("__arg"))
+        if operation == "load_local":
+            return self._operand_u32() + self._push(Load(_slot(self.locals_array, Var("__arg")), 8))
+        if operation == "store_local":
+            return self._operand_u32() + self._pop("__val") + [
+                Store(_slot(self.locals_array, Var("__arg")), Var("__val"), 8)]
+        if operation.startswith("load_mem"):
+            size = int(operation[len("load_mem"):])
+            return self._pop("__addr") + self._push(Load(Var("__addr"), size))
+        if operation.startswith("store_mem"):
+            size = int(operation[len("store_mem"):])
+            return self._pop("__val") + self._pop("__addr") + [
+                Store(Var("__addr"), Var("__val"), size)]
+        if operation == "addr_array":
+            body = self._operand_u32()
+            chain: List[Stmt] = []
+            for index, name in enumerate(self.bytecode.arrays):
+                chain.append(If(BinOp("==", Var("__arg"), Const(index)),
+                                self._push(Var(name))))
+            return body + chain
+        if operation == "addr_global":
+            body = self._operand_u32()
+            chain = []
+            for index, name in enumerate(self.bytecode.globals_used):
+                chain.append(If(BinOp("==", Var("__arg"), Const(index)),
+                                self._push(Var(name))))
+            return body + chain
+        if operation in binops:
+            return (self._pop("__rhs") + self._pop("__lhs")
+                    + self._push(BinOp(binops[operation], Var("__lhs"), Var("__rhs"))))
+        if operation in unops:
+            return self._pop("__lhs") + self._push(UnOp(unops[operation], Var("__lhs")))
+        if operation == "jmp":
+            return self._operand_u32() + self._set_vpc(Var("__arg"))
+        if operation == "jz":
+            return (self._operand_u32() + self._pop("__val")
+                    + [If(BinOp("==", Var("__val"), Const(0)), self._set_vpc(Var("__arg")))])
+        if operation == "pop":
+            return self._pop("__val")
+        if operation == "probe":
+            return self._operand_u32() + [ExprProbe(Var("__arg"))]
+        if operation == "ret":
+            return self._pop("__val") + [Return(Var("__val"))]
+        if operation == "call":
+            body = self._operand_u32()
+            chain = []
+            for index, site in enumerate(self.bytecode.call_sites):
+                case: List[Stmt] = []
+                argument_names = []
+                for position in reversed(range(site.arg_count)):
+                    name = f"__a{position}"
+                    case += self._pop(name)
+                    argument_names.insert(0, name)
+                case.append(Assign("__val", Call(site.name,
+                                                 [Var(n) for n in argument_names])))
+                case += self._push(Var("__val"))
+                chain.append(If(BinOp("==", Var("__arg"), Const(index)), case))
+            return body + chain
+        raise ValueError(f"no handler for operation {operation!r}")
+
+    # -- whole interpreter --------------------------------------------------------
+    def build(self) -> Function:
+        bytecode = self.bytecode
+        body: List[Stmt] = []
+        for param in self.function.params:
+            body.append(Store(_slot(self.locals_array, Const(bytecode.locals_map[param])),
+                              Var(param), 8))
+        body.append(Assign("__vpc", Const(0)))
+        body.append(Assign("__sp", Const(0)))
+
+        dispatch: List[Stmt] = [
+            Assign("__op", Load(BinOp("+", Var(self.code_global), Var("__vpc")), 1)),
+            Assign("__vpc", BinOp("+", Var("__vpc"), Const(1))),
+        ]
+        # opcode handlers, dispatched through an if-chain over the randomized
+        # opcode bytes (one randomly generated "architecture" per function)
+        chain: Optional[If] = None
+        for operation, opcode in sorted(bytecode.opcode_map.items(), key=lambda kv: kv[1]):
+            handler = self._handler(operation)
+            node = If(BinOp("==", Var("__op"), Const(opcode)), handler)
+            if chain is None:
+                dispatch.append(node)
+                chain = node
+            else:
+                chain.else_body = [node]
+                chain = node
+        body.append(While(Const(1), dispatch))
+
+        locals_size = 8 * max(1, len(bytecode.locals_map))
+        arrays = dict(bytecode.arrays)
+        arrays[self.locals_array] = locals_size
+        arrays[self.stack_array] = 8 * VM_STACK_SLOTS
+        return Function(name=self.function.name, params=list(self.function.params),
+                        body=body, local_arrays=arrays)
+
+
+def ExprProbe(value: Expr) -> Stmt:
+    """Forward a probe identifier read from bytecode to the probe host call."""
+    from repro.lang.ast import ExprStmt
+
+    return ExprStmt(Call("__probe", [value]))
+
+
+def virtualize_function(function: Function, known_globals: Sequence[str],
+                        implicit_vpc: bool = False,
+                        seed: int = 0) -> Tuple[Function, List[GlobalArray]]:
+    """Virtualize one function.
+
+    Returns the interpreter function (same name and parameters) plus the new
+    global arrays (the bytecode) that must be added to the program.
+    """
+    rng = random.Random(seed)
+    bytecode = compile_to_bytecode(function, list(known_globals), rng)
+    suffix = f"_{rng.randrange(1 << 16)}"
+    code_global = f"__vm_code_{function.name}{suffix}"
+    builder = _InterpreterBuilder(function, bytecode, code_global, implicit_vpc, suffix)
+    interpreter = builder.build()
+    globals_ = [GlobalArray(code_global, len(bytecode.code), initial=bytecode.code)]
+    return interpreter, globals_
+
+
+def virtualize_program(program: Program, function_names: Iterable[str],
+                       layers: int = 1, implicit: str = "none",
+                       seed: int = 0) -> Program:
+    """Apply ``layers`` of VM obfuscation to the named functions of a program.
+
+    Args:
+        program: the program to obfuscate (not modified).
+        function_names: functions to virtualize.
+        layers: number of nested virtualization layers (``nVM``).
+        implicit: which layers use implicit VPC updates: ``"none"``,
+            ``"first"`` (innermost), ``"last"`` (outermost) or ``"all"``.
+        seed: randomness seed (a fresh bytecode ISA per function and layer).
+    """
+    if implicit not in ("none", "first", "last", "all"):
+        raise ValueError(f"invalid implicit setting {implicit!r}")
+    functions = {f.name: f for f in program.functions}
+    new_globals = list(program.globals)
+    known = [g.name for g in program.globals]
+    rng = random.Random(seed)
+    for name in function_names:
+        function = functions[name]
+        for layer in range(1, layers + 1):
+            layer_implicit = (
+                implicit == "all"
+                or (implicit == "first" and layer == 1)
+                or (implicit == "last" and layer == layers)
+            )
+            function, globals_ = virtualize_function(
+                function, known, implicit_vpc=layer_implicit,
+                seed=rng.getrandbits(32))
+            for array in globals_:
+                new_globals.append(array)
+                known.append(array.name)
+        functions[name] = function
+    return Program(functions=[functions[f.name] for f in program.functions],
+                   globals=new_globals)

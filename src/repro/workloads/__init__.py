@@ -1,0 +1,23 @@
+"""Workloads of the evaluation: RandomFuns, CLBG, coreutils-like corpus, base64."""
+
+from repro.workloads.randomfuns import (
+    CONTROL_STRUCTURES,
+    RandomFunSpec,
+    generate_random_function,
+    generate_table2_suite,
+)
+from repro.workloads.base64_ref import base64_program, base64_check_program
+from repro.workloads.clbg import CLBG_BENCHMARKS, build_clbg_program
+from repro.workloads.coreutils import build_coreutils_corpus
+
+__all__ = [
+    "CONTROL_STRUCTURES",
+    "RandomFunSpec",
+    "generate_random_function",
+    "generate_table2_suite",
+    "base64_program",
+    "base64_check_program",
+    "CLBG_BENCHMARKS",
+    "build_clbg_program",
+    "build_coreutils_corpus",
+]

@@ -1,0 +1,114 @@
+"""base64 reference implementation for the §VII-C3 case study.
+
+The encoder mirrors the structure of the b64.c reference the paper uses:
+a 64-entry alphabet table indexed by 6-bit groups of the input.  Two entry
+points are provided: ``base64_encode`` (buffer in, buffer out) and
+``base64_check``, the secret-finding target that accepts exactly one 6-byte
+input (the one whose encoding matches an embedded reference), reproducing the
+"recover a 6-byte input" experiment.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.lang.ast import (
+    Assign,
+    BinOp,
+    Call,
+    Const,
+    For,
+    Function,
+    GlobalArray,
+    If,
+    Load,
+    Program,
+    Return,
+    Store,
+    Var,
+)
+
+#: The standard base64 alphabet.
+ALPHABET = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/"
+
+
+def reference_encode(data: bytes) -> bytes:
+    """Plain-Python reference encoder (used by tests and to embed the target)."""
+    out = bytearray()
+    for index in range(0, len(data), 3):
+        chunk = data[index:index + 3]
+        block = int.from_bytes(chunk.ljust(3, b"\0"), "big")
+        for position in range(4):
+            if position <= len(chunk):
+                out.append(ALPHABET[(block >> (18 - 6 * position)) & 0x3F])
+            else:
+                out.append(ord("="))
+    return bytes(out)
+
+
+def _encode_function() -> Function:
+    """``base64_encode(src, n, dst)``: encode ``n`` bytes, return output length."""
+    return Function("base64_encode", ["src", "n", "dst"], [
+        Assign("i", Const(0)),
+        Assign("o", Const(0)),
+        For(Assign("i", Const(0)), BinOp("<", Var("i"), Var("n")),
+            Assign("i", BinOp("+", Var("i"), Const(3))), [
+                Assign("b0", Load(BinOp("+", Var("src"), Var("i")), 1)),
+                Assign("b1", Const(0)),
+                Assign("b2", Const(0)),
+                If(BinOp("<", BinOp("+", Var("i"), Const(1)), Var("n")),
+                   [Assign("b1", Load(BinOp("+", Var("src"), BinOp("+", Var("i"), Const(1))), 1))]),
+                If(BinOp("<", BinOp("+", Var("i"), Const(2)), Var("n")),
+                   [Assign("b2", Load(BinOp("+", Var("src"), BinOp("+", Var("i"), Const(2))), 1))]),
+                Assign("block", BinOp("|", BinOp("<<", Var("b0"), Const(16)),
+                                      BinOp("|", BinOp("<<", Var("b1"), Const(8)), Var("b2")))),
+                Store(BinOp("+", Var("dst"), Var("o")),
+                      Load(BinOp("+", Var("b64_alphabet"),
+                                 BinOp("&", BinOp(">>", Var("block"), Const(18)), Const(63))), 1), 1),
+                Store(BinOp("+", Var("dst"), BinOp("+", Var("o"), Const(1))),
+                      Load(BinOp("+", Var("b64_alphabet"),
+                                 BinOp("&", BinOp(">>", Var("block"), Const(12)), Const(63))), 1), 1),
+                Store(BinOp("+", Var("dst"), BinOp("+", Var("o"), Const(2))),
+                      Load(BinOp("+", Var("b64_alphabet"),
+                                 BinOp("&", BinOp(">>", Var("block"), Const(6)), Const(63))), 1), 1),
+                Store(BinOp("+", Var("dst"), BinOp("+", Var("o"), Const(3))),
+                      Load(BinOp("+", Var("b64_alphabet"),
+                                 BinOp("&", Var("block"), Const(63))), 1), 1),
+                Assign("o", BinOp("+", Var("o"), Const(4))),
+            ]),
+        Return(Var("o")),
+    ])
+
+
+def base64_program() -> Program:
+    """A program exposing ``base64_encode`` plus the alphabet table."""
+    return Program([_encode_function()],
+                   globals=[GlobalArray("b64_alphabet", 64, initial=ALPHABET)])
+
+
+def base64_check_program(secret: bytes = b"raindr") -> Tuple[Program, bytes]:
+    """The case-study target: accept only the input that encodes to the reference.
+
+    Returns ``(program, secret)``; the secret is the 6-byte input the attacker
+    must recover (G1).
+    """
+    if len(secret) != 6:
+        raise ValueError("the case study uses a 6-byte secret input")
+    expected = reference_encode(secret)
+    checker = Function("base64_check", ["src"], [
+        Assign("len", Call("base64_encode", [Var("src"), Const(6), Var("out")])),
+        Assign("ok", Const(1)),
+        For(Assign("i", Const(0)), BinOp("<", Var("i"), Const(8)),
+            Assign("i", BinOp("+", Var("i"), Const(1))), [
+                If(BinOp("!=", Load(BinOp("+", Var("out"), Var("i")), 1),
+                         Load(BinOp("+", Var("b64_expected"), Var("i")), 1)),
+                   [Assign("ok", Const(0))]),
+            ]),
+        Return(Var("ok")),
+    ], local_arrays={"out": 16})
+    program = Program(
+        [checker, _encode_function()],
+        globals=[GlobalArray("b64_alphabet", 64, initial=ALPHABET),
+                 GlobalArray("b64_expected", 8, initial=expected[:8])],
+    )
+    return program, secret

@@ -1,0 +1,308 @@
+"""The Computer Language Benchmarks Game ("shootout") workloads of §VII-C.
+
+Ten benchmarks with the same roles as the paper's clbg selection — allocation
+heavy (b-trees), permutation heavy (fannkuch), table driven (fasta and
+fasta-redux), arithmetic kernels (mandelbrot, n-body, pidigits, sp-norm),
+byte-stream processing (regex-redux, rev-comp) — expressed in mini-C at
+laptop scale.  Floating-point kernels use fixed-point arithmetic (the ISA is
+integer only); each benchmark returns a checksum so functional equivalence of
+obfuscated variants can be asserted.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.lang.ast import (
+    Assign,
+    BinOp,
+    Call,
+    Const,
+    For,
+    Function,
+    GlobalArray,
+    If,
+    Load,
+    Program,
+    Return,
+    Store,
+    UnOp,
+    Var,
+    While,
+)
+
+
+def _loop(counter: str, limit, body):
+    return For(Assign(counter, Const(0)), BinOp("<", Var(counter), limit),
+               Assign(counter, BinOp("+", Var(counter), Const(1))), body)
+
+
+def _btrees() -> Program:
+    """Binary tree allocation/checksum benchmark (malloc/free heavy)."""
+    build = Function("bt_build", ["depth"], [
+        Assign("node", Call("malloc", [Const(24)])),
+        If(BinOp("<=", Var("depth"), Const(0)), [
+            Store(Var("node"), Const(0), 8),
+            Store(BinOp("+", Var("node"), Const(8)), Const(0), 8),
+        ], [
+            Assign("left", Call("bt_build", [BinOp("-", Var("depth"), Const(1))])),
+            Assign("right", Call("bt_build", [BinOp("-", Var("depth"), Const(1))])),
+            Store(Var("node"), Var("left"), 8),
+            Store(BinOp("+", Var("node"), Const(8)), Var("right"), 8),
+        ]),
+        Store(BinOp("+", Var("node"), Const(16)), Var("depth"), 8),
+        Return(Var("node")),
+    ])
+    check = Function("bt_check", ["node"], [
+        If(BinOp("==", Load(Var("node"), 8), Const(0)),
+           [Return(Const(1))]),
+        Assign("a", Call("bt_check", [Load(Var("node"), 8)])),
+        Assign("b", Call("bt_check", [Load(BinOp("+", Var("node"), Const(8)), 8)])),
+        Return(BinOp("+", Const(1), BinOp("+", Var("a"), Var("b")))),
+    ])
+    main = Function("b_trees", ["depth"], [
+        Assign("total", Const(0)),
+        _loop("i", Const(3), [
+            Assign("tree", Call("bt_build", [Var("depth")])),
+            Assign("total", BinOp("+", Var("total"), Call("bt_check", [Var("tree")]))),
+            Assign("unused", Call("free", [Var("tree")])),
+        ]),
+        Return(Var("total")),
+    ])
+    return Program([main, build, check])
+
+
+def _fannkuch() -> Program:
+    """Pancake-flipping permutation benchmark."""
+    main = Function("fannkuch", ["n"], [
+        _loop("i", Var("n"), [Store(BinOp("+", Var("perm"), BinOp("*", Var("i"), Const(8))),
+                                    Var("i"), 8)]),
+        Assign("maxflips", Const(0)),
+        Assign("rounds", Const(0)),
+        While(BinOp("<", Var("rounds"), Const(24)), [
+            # rotate the permutation
+            Assign("first", Load(Var("perm"), 8)),
+            _loop("i", BinOp("-", Var("n"), Const(1)), [
+                Store(BinOp("+", Var("perm"), BinOp("*", Var("i"), Const(8))),
+                      Load(BinOp("+", Var("perm"), BinOp("*", BinOp("+", Var("i"), Const(1)), Const(8))), 8), 8),
+            ]),
+            Store(BinOp("+", Var("perm"), BinOp("*", BinOp("-", Var("n"), Const(1)), Const(8))),
+                  Var("first"), 8),
+            # count flips on a working copy
+            _loop("i", Var("n"), [Store(BinOp("+", Var("work"), BinOp("*", Var("i"), Const(8))),
+                                        Load(BinOp("+", Var("perm"), BinOp("*", Var("i"), Const(8))), 8), 8)]),
+            Assign("flips", Const(0)),
+            Assign("k", Load(Var("work"), 8)),
+            While(BinOp("!=", Var("k"), Const(0)), [
+                # reverse work[0..k]
+                Assign("lo", Const(0)),
+                Assign("hi", Var("k")),
+                While(BinOp("<", Var("lo"), Var("hi")), [
+                    Assign("t", Load(BinOp("+", Var("work"), BinOp("*", Var("lo"), Const(8))), 8)),
+                    Store(BinOp("+", Var("work"), BinOp("*", Var("lo"), Const(8))),
+                          Load(BinOp("+", Var("work"), BinOp("*", Var("hi"), Const(8))), 8), 8),
+                    Store(BinOp("+", Var("work"), BinOp("*", Var("hi"), Const(8))), Var("t"), 8),
+                    Assign("lo", BinOp("+", Var("lo"), Const(1))),
+                    Assign("hi", BinOp("-", Var("hi"), Const(1))),
+                ]),
+                Assign("flips", BinOp("+", Var("flips"), Const(1))),
+                Assign("k", Load(Var("work"), 8)),
+            ]),
+            If(BinOp(">", Var("flips"), Var("maxflips")), [Assign("maxflips", Var("flips"))]),
+            Assign("rounds", BinOp("+", Var("rounds"), Const(1))),
+        ]),
+        Return(Var("maxflips")),
+    ], local_arrays={"perm": 128, "work": 128})
+    return Program([main])
+
+
+_FASTA_TABLE = bytes((i * 37 + 11) % 251 for i in range(64))
+
+
+def _fasta(redux: bool) -> Program:
+    """Pseudo-random sequence generation with a lookup table."""
+    name = "fasta_redux" if redux else "fasta"
+    table = GlobalArray(f"{name}_table", 64, initial=_FASTA_TABLE)
+    body = [
+        Assign("seed", Const(42)),
+        Assign("checksum", Const(0)),
+        _loop("i", Var("n"), [
+            Assign("seed", BinOp("%", BinOp("+", BinOp("*", Var("seed"), Const(3877)), Const(29573)),
+                                 Const(139968))),
+            Assign("index", BinOp("&", Var("seed"), Const(63))),
+            Assign("value", Load(BinOp("+", Var(f"{name}_table"), Var("index")), 1)),
+            Assign("checksum", BinOp("+", Var("checksum"),
+                                     BinOp("*", Var("value"), Const(2)) if redux else Var("value"))),
+        ]),
+        Return(Var("checksum")),
+    ]
+    return Program([Function(name, ["n"], body)], globals=[table])
+
+
+def _mandelbrot() -> Program:
+    """Fixed-point escape-time kernel (scale 1/256)."""
+    main = Function("mandelbrot", ["size"], [
+        Assign("count", Const(0)),
+        _loop("y", Var("size"), [
+            _loop("x", Var("size"), [
+                Assign("cr", BinOp("-", BinOp("/", BinOp("*", Var("x"), Const(512)), Var("size")), Const(384))),
+                Assign("ci", BinOp("-", BinOp("/", BinOp("*", Var("y"), Const(512)), Var("size")), Const(256))),
+                Assign("zr", Const(0)),
+                Assign("zi", Const(0)),
+                Assign("iter", Const(0)),
+                Assign("inside", Const(1)),
+                While(BinOp("<", Var("iter"), Const(12)), [
+                    Assign("zr2", BinOp("/", BinOp("*", Var("zr"), Var("zr")), Const(256))),
+                    Assign("zi2", BinOp("/", BinOp("*", Var("zi"), Var("zi")), Const(256))),
+                    If(BinOp(">", BinOp("+", Var("zr2"), Var("zi2")), Const(1024)), [
+                        Assign("inside", Const(0)),
+                        Assign("iter", Const(99)),
+                    ], [
+                        Assign("zi", BinOp("+", BinOp("/", BinOp("*", BinOp("*", Var("zr"), Var("zi")), Const(2)), Const(256)), Var("ci"))),
+                        Assign("zr", BinOp("+", BinOp("-", Var("zr2"), Var("zi2")), Var("cr"))),
+                        Assign("iter", BinOp("+", Var("iter"), Const(1))),
+                    ]),
+                ]),
+                Assign("count", BinOp("+", Var("count"), Var("inside"))),
+            ]),
+        ]),
+        Return(Var("count")),
+    ])
+    return Program([main])
+
+
+def _nbody() -> Program:
+    """Fixed-point two-body energy integration."""
+    main = Function("n_body", ["steps"], [
+        Assign("x", Const(1000)), Assign("v", Const(0)),
+        Assign("y", Const(-500 & ((1 << 64) - 1))), Assign("w", Const(30)),
+        Assign("energy", Const(0)),
+        _loop("i", Var("steps"), [
+            Assign("dx", BinOp("-", Var("x"), Var("y"))),
+            Assign("force", BinOp("/", Const(1 << 20), BinOp("+", BinOp("*", Var("dx"), Var("dx")), Const(1)))),
+            Assign("v", BinOp("-", Var("v"), Var("force"))),
+            Assign("w", BinOp("+", Var("w"), Var("force"))),
+            Assign("x", BinOp("+", Var("x"), BinOp("/", Var("v"), Const(16)))),
+            Assign("y", BinOp("+", Var("y"), BinOp("/", Var("w"), Const(16)))),
+            Assign("energy", BinOp("+", Var("energy"), BinOp("&", BinOp("+", Var("v"), Var("w")), Const(0xFFFF)))),
+        ]),
+        Return(BinOp("&", Var("energy"), Const(0xFFFFFFFF))),
+    ])
+    return Program([main])
+
+
+def _pidigits() -> Program:
+    """Digit-by-digit pi spigot (integer arithmetic)."""
+    main = Function("pidigits", ["n"], [
+        Assign("q", Const(1)), Assign("r", Const(0)), Assign("t", Const(1)),
+        Assign("k", Const(1)), Assign("digit", Const(3)), Assign("m", Const(3)),
+        Assign("produced", Const(0)), Assign("checksum", Const(0)),
+        While(BinOp("<", Var("produced"), Var("n")), [
+            If(BinOp("<", BinOp("-", BinOp("+", BinOp("*", Var("q"), Const(4)), Var("r")), Var("t")),
+                     BinOp("*", Var("m"), Var("t"))), [
+                Assign("checksum", BinOp("+", BinOp("*", Var("checksum"), Const(10)), Var("m"))),
+                Assign("checksum", BinOp("%", Var("checksum"), Const(1000000007))),
+                Assign("produced", BinOp("+", Var("produced"), Const(1))),
+                Assign("tmp", BinOp("*", Const(10), BinOp("-", Var("r"), BinOp("*", Var("m"), Var("t"))))),
+                Assign("m", BinOp("-", BinOp("/", BinOp("*", Const(10), BinOp("+", BinOp("*", Const(3), Var("q")), Var("r"))), Var("t")), BinOp("*", Const(10), Var("m")))),
+                Assign("q", BinOp("*", Var("q"), Const(10))),
+                Assign("r", Var("tmp")),
+            ], [
+                Assign("tmp", BinOp("*", BinOp("+", BinOp("*", Const(2), Var("q")), Var("r")), BinOp("+", BinOp("*", Const(2), Var("k")), Const(1)))),
+                Assign("m", BinOp("/", BinOp("+", BinOp("*", Var("q"), BinOp("+", BinOp("*", Const(7), Var("k")), Const(2))), BinOp("*", Var("r"), BinOp("+", BinOp("*", Const(2), Var("k")), Const(1)))),
+                                  BinOp("*", Var("t"), BinOp("+", BinOp("*", Const(2), Var("k")), Const(1))))),
+                Assign("q", BinOp("*", Var("q"), Var("k"))),
+                Assign("t", BinOp("*", Var("t"), BinOp("+", BinOp("*", Const(2), Var("k")), Const(1)))),
+                Assign("r", Var("tmp")),
+                Assign("k", BinOp("+", Var("k"), Const(1))),
+            ]),
+        ]),
+        Return(Var("checksum")),
+    ])
+    return Program([main])
+
+
+_REGEX_INPUT = bytes((i * 17 + 3) % 256 for i in range(96))
+
+
+def _regex_redux() -> Program:
+    """Pattern-count benchmark over a byte buffer."""
+    data = GlobalArray("regex_input", len(_REGEX_INPUT), initial=_REGEX_INPUT)
+    main = Function("regex_redux", ["n"], [
+        Assign("count", Const(0)),
+        _loop("i", Var("n"), [
+            Assign("a", Load(BinOp("+", Var("regex_input"), BinOp("%", Var("i"), Const(95))), 1)),
+            Assign("b", Load(BinOp("+", Var("regex_input"), BinOp("%", BinOp("+", Var("i"), Const(1)), Const(95))), 1)),
+            If(BinOp("==", BinOp("&", Var("a"), Const(0x0F)), BinOp("&", Var("b"), Const(0x0F))),
+               [Assign("count", BinOp("+", Var("count"), Const(1)))]),
+            If(BinOp(">", Var("a"), Const(200)),
+               [Assign("count", BinOp("+", Var("count"), Const(2)))]),
+        ]),
+        Return(Var("count")),
+    ])
+    return Program([main], globals=[data])
+
+
+def _rev_comp() -> Program:
+    """Reverse-complement over a byte buffer."""
+    data = GlobalArray("revcomp_input", len(_REGEX_INPUT), initial=_REGEX_INPUT)
+    main = Function("rev_comp", ["n"], [
+        Assign("lo", Const(0)),
+        Assign("hi", BinOp("-", Var("n"), Const(1))),
+        While(BinOp("<", Var("lo"), Var("hi")), [
+            Assign("a", Load(BinOp("+", Var("revcomp_input"), Var("lo")), 1)),
+            Assign("b", Load(BinOp("+", Var("revcomp_input"), Var("hi")), 1)),
+            Store(BinOp("+", Var("revcomp_input"), Var("lo")), BinOp("^", Var("b"), Const(0xFF)), 1),
+            Store(BinOp("+", Var("revcomp_input"), Var("hi")), BinOp("^", Var("a"), Const(0xFF)), 1),
+            Assign("lo", BinOp("+", Var("lo"), Const(1))),
+            Assign("hi", BinOp("-", Var("hi"), Const(1))),
+        ]),
+        Assign("checksum", Const(0)),
+        _loop("i", Var("n"), [
+            Assign("checksum", BinOp("+", Var("checksum"),
+                                     Load(BinOp("+", Var("revcomp_input"), Var("i")), 1))),
+        ]),
+        Return(Var("checksum")),
+    ])
+    return Program([main], globals=[data])
+
+
+def _sp_norm() -> Program:
+    """Spectral-norm style kernel with a helper function called in a tight loop."""
+    helper = Function("sp_a", ["i", "j"], [
+        Return(BinOp("/", Const(1 << 16),
+                     BinOp("+", BinOp("*", BinOp("+", Var("i"), Var("j")),
+                                      BinOp("+", BinOp("+", Var("i"), Var("j")), Const(1))),
+                           BinOp("+", BinOp("*", Const(2), Var("i")), Const(2))))),
+    ])
+    main = Function("sp_norm", ["n"], [
+        Assign("total", Const(0)),
+        _loop("i", Var("n"), [
+            _loop("j", Var("n"), [
+                Assign("total", BinOp("+", Var("total"), Call("sp_a", [Var("i"), Var("j")]))),
+            ]),
+        ]),
+        Return(Var("total")),
+    ])
+    return Program([main, helper])
+
+
+#: benchmark name -> (program builder, entry function, argument, obfuscation targets)
+CLBG_BENCHMARKS: Dict[str, Tuple] = {
+    "b-trees": (_btrees, "b_trees", 3, ("b_trees", "bt_build", "bt_check")),
+    "fannkuch": (_fannkuch, "fannkuch", 6, ("fannkuch",)),
+    "fasta": (lambda: _fasta(False), "fasta", 48, ("fasta",)),
+    "fasta-redux": (lambda: _fasta(True), "fasta_redux", 48, ("fasta_redux",)),
+    "mandelbrot": (_mandelbrot, "mandelbrot", 8, ("mandelbrot",)),
+    "n-body": (_nbody, "n_body", 32, ("n_body",)),
+    "pidigits": (_pidigits, "pidigits", 12, ("pidigits",)),
+    "regex-redux": (lambda: _regex_redux(), "regex_redux", 64, ("regex_redux",)),
+    "rev-comp": (_rev_comp, "rev_comp", 64, ("rev_comp",)),
+    "sp-norm": (_sp_norm, "sp_norm", 6, ("sp_norm", "sp_a")),
+}
+
+
+def build_clbg_program(name: str) -> Tuple[Program, str, int, Tuple[str, ...]]:
+    """Return ``(program, entry_function, argument, obfuscation_targets)``."""
+    builder, entry, argument, targets = CLBG_BENCHMARKS[name]
+    return builder(), entry, argument, targets

@@ -1,0 +1,232 @@
+"""Tigress RandomFuns analog: the 72 synthetic hash functions of §VII-B.
+
+Table IV lists the six control structures; combined with four input sizes
+(1, 2, 4, 8 bytes) and three seeds they give the 72 functions of Table II.
+Each function mixes its input into a local state through randomly generated
+arithmetic blocks (``bb(4)``), and either checks the resulting hash against a
+secret (the G1 variant, ``RandomFunsPointTest``) or carries coverage probes
+at every CFG split and join point (the G2 variant, ``RandomFunsTrace=2``).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.lang.ast import (
+    Assign,
+    BinOp,
+    Const,
+    For,
+    Function,
+    If,
+    Probe,
+    Program,
+    Return,
+    Stmt,
+    Var,
+    While,
+)
+
+_MASK64 = (1 << 64) - 1
+
+#: The six control structures of Table IV, as (name, depth, ifs, loops).
+CONTROL_STRUCTURES: Tuple[Tuple[str, int, int, int], ...] = (
+    ("if(bb4,bb4)", 1, 1, 0),
+    ("for(if(bb4,bb4))", 2, 1, 1),
+    ("for(for(bb4))", 2, 0, 2),
+    ("for(for(if(bb4,bb4)))", 3, 1, 2),
+    ("for(if(if,if))", 3, 3, 1),
+    ("if(if(if,if),if)", 3, 5, 0),
+)
+
+#: Input sizes in bytes, matching ``RandomFunsInputSize`` times the type width.
+INPUT_SIZES: Tuple[int, ...] = (1, 2, 4, 8)
+
+#: Number of loop iterations (the paper's ``RandomFunsLoopSize`` is 25; the
+#: reproduction default is smaller so the full grid stays laptop-scale).
+DEFAULT_LOOP_ITERATIONS = 6
+
+
+@dataclass(frozen=True)
+class RandomFunSpec:
+    """Parameters identifying one generated function."""
+
+    structure: str
+    input_size: int
+    seed: int
+    point_test: bool = True
+    loop_iterations: int = DEFAULT_LOOP_ITERATIONS
+
+    @property
+    def name(self) -> str:
+        goal = "secret" if self.point_test else "cov"
+        index = [s[0] for s in CONTROL_STRUCTURES].index(self.structure)
+        return f"rf_s{index}_w{self.input_size}_r{self.seed}_{goal}"
+
+
+class _Generator:
+    def __init__(self, spec: RandomFunSpec) -> None:
+        self.spec = spec
+        import zlib
+
+        key = f"{spec.seed}|{spec.structure}|{spec.input_size}".encode()
+        self.rng = random.Random(zlib.crc32(key))
+        self.probe_counter = 0
+        self.state_vars = ["h0", "h1"]
+
+    def _probe(self) -> List[Stmt]:
+        if self.spec.point_test:
+            return []
+        self.probe_counter += 1
+        return [Probe(self.probe_counter)]
+
+    def _bb(self, count: int = 4) -> List[Stmt]:
+        """A straight-line block of ``count`` random arithmetic statements."""
+        statements: List[Stmt] = []
+        for _ in range(count):
+            destination = self.rng.choice(self.state_vars)
+            source = self.rng.choice(self.state_vars + ["x"])
+            op = self.rng.choice(["+", "-", "^", "*", "|"])
+            constant = Const(self.rng.randrange(1, 1 << 16) | 1)
+            inner = BinOp(self.rng.choice(["+", "^", "*"]), Var(source), constant)
+            statements.append(Assign(destination, BinOp(op, Var(destination), inner)))
+        return statements
+
+    def _if(self, then_body: List[Stmt], else_body: List[Stmt]) -> List[Stmt]:
+        comparison = self.rng.choice(["==", "<", ">", "!="])
+        mask = (1 << (8 * min(self.spec.input_size, 2))) - 1
+        condition = BinOp(comparison,
+                          BinOp("&", Var(self.rng.choice(self.state_vars)), Const(mask)),
+                          Const(self.rng.randrange(mask + 1)))
+        return (self._probe()
+                + [If(condition, then_body + self._probe(), else_body + self._probe())]
+                + self._probe())
+
+    def _for(self, body: List[Stmt]) -> List[Stmt]:
+        counter = f"i{self.rng.randrange(1 << 16)}"
+        return self._probe() + [For(
+            Assign(counter, Const(0)),
+            BinOp("<", Var(counter), Const(self.spec.loop_iterations)),
+            Assign(counter, BinOp("+", Var(counter), Const(1))),
+            body + [Assign("h0", BinOp("+", Var("h0"), Var(counter)))],
+        )] + self._probe()
+
+    def _structure(self) -> List[Stmt]:
+        name = self.spec.structure
+        if name == "if(bb4,bb4)":
+            return self._if(self._bb(), self._bb())
+        if name == "for(if(bb4,bb4))":
+            return self._for(self._if(self._bb(), self._bb()))
+        if name == "for(for(bb4))":
+            return self._for(self._for(self._bb()))
+        if name == "for(for(if(bb4,bb4)))":
+            return self._for(self._for(self._if(self._bb(), self._bb())))
+        if name == "for(if(if,if))":
+            return self._for(self._if(self._if(self._bb(), self._bb()),
+                                      self._if(self._bb(), self._bb())))
+        if name == "if(if(if,if),if)":
+            return self._if(self._if(self._if(self._bb(), self._bb()),
+                                     self._if(self._bb(), self._bb())),
+                            self._if(self._bb(), self._bb()))
+        raise ValueError(f"unknown control structure {name!r}")
+
+    def build(self) -> Tuple[Function, Optional[int], int]:
+        """Return ``(function, secret_input, probe_count)``."""
+        mask = (1 << (8 * self.spec.input_size)) - 1
+        body: List[Stmt] = [
+            Assign("x", BinOp("&", Var("input"), Const(mask))),
+            Assign("h0", Const(self.rng.randrange(1, 1 << 16))),
+            Assign("h1", Const(self.rng.randrange(1, 1 << 16))),
+        ]
+        body += self._probe()
+        body += self._structure()
+        hash_expression = BinOp("&", BinOp("^", Var("h0"), Var("h1")), Const(0xFFFF))
+        body.append(Assign("hash", hash_expression))
+
+        secret_input: Optional[int] = None
+        if self.spec.point_test:
+            # pick a reachable secret: evaluate the hash for a random input
+            secret_input = self.rng.randrange(mask + 1)
+            expected = _evaluate_hash(body, secret_input)
+            body.append(If(BinOp("==", Var("hash"), Const(expected)),
+                           [Return(Const(1))], [Return(Const(0))]))
+        else:
+            body += self._probe()
+            body.append(Return(Var("hash")))
+        function = Function(self.spec.name, ["input"], body)
+        return function, secret_input, self.probe_counter
+
+
+def _evaluate_hash(body: List[Stmt], input_value: int) -> int:
+    """Reference interpreter used to pick a satisfiable secret."""
+    variables: Dict[str, int] = {"input": input_value}
+
+    def expr(node) -> int:
+        if isinstance(node, Const):
+            return node.value & _MASK64
+        if isinstance(node, Var):
+            return variables.get(node.name, 0) & _MASK64
+        if isinstance(node, BinOp):
+            a, b = expr(node.left), expr(node.right)
+            sa = a - (1 << 64) if a >> 63 else a
+            sb = b - (1 << 64) if b >> 63 else b
+            table = {
+                "+": a + b, "-": a - b, "*": a * b, "&": a & b, "|": a | b,
+                "^": a ^ b, "<<": a << (b & 63), ">>": sa >> (b & 63),
+                "==": int(a == b), "!=": int(a != b), "<": int(sa < sb),
+                "<=": int(sa <= sb), ">": int(sa > sb), ">=": int(sa >= sb),
+                "/": 0 if b == 0 else int(sa / sb),
+                "%": 0 if b == 0 else sa - int(sa / sb) * sb,
+            }
+            return table[node.op] & _MASK64
+        raise TypeError(node)
+
+    def run(statements: List[Stmt]) -> None:
+        for statement in statements:
+            if isinstance(statement, Assign):
+                variables[statement.name] = expr(statement.value)
+            elif isinstance(statement, If):
+                if expr(statement.condition):
+                    run(statement.then_body)
+                else:
+                    run(statement.else_body)
+            elif isinstance(statement, For):
+                run([statement.init])
+                while expr(statement.condition):
+                    run(statement.body)
+                    run([statement.step])
+            elif isinstance(statement, While):
+                while expr(statement.condition):
+                    run(statement.body)
+            elif isinstance(statement, (Probe, Return)):
+                continue
+
+    run(body)
+    return variables.get("hash", 0)
+
+
+def generate_random_function(spec: RandomFunSpec) -> Tuple[Program, Optional[int], int]:
+    """Generate one RandomFuns program.
+
+    Returns ``(program, secret_input, probe_count)``; ``secret_input`` is an
+    input known to reach the accepting path (None for coverage variants).
+    """
+    function, secret_input, probes = _Generator(spec).build()
+    return Program([function]), secret_input, probes
+
+
+def generate_table2_suite(point_test: bool = True, seeds: Tuple[int, ...] = (1, 2, 3),
+                          input_sizes: Tuple[int, ...] = INPUT_SIZES,
+                          structures: Optional[Tuple[str, ...]] = None,
+                          ) -> List[RandomFunSpec]:
+    """The specs of the Table II function grid (72 functions at full size)."""
+    structures = structures or tuple(s[0] for s in CONTROL_STRUCTURES)
+    return [
+        RandomFunSpec(structure=structure, input_size=size, seed=seed,
+                      point_test=point_test)
+        for structure in structures
+        for size in input_sizes
+        for seed in seeds
+    ]

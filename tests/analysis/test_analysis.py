@@ -1,0 +1,99 @@
+"""Tests for CFG recovery, liveness and input-taint analyses."""
+
+import pytest
+
+from repro.analysis import compute_liveness, compute_symbolic_registers, recover_cfg
+from repro.analysis.cfg_recovery import CFGError
+from repro.compiler import compile_function
+from repro.isa.registers import Register
+from repro.lang import Assign, BinOp, Call, Const, Function, If, Return, Var, While
+
+
+BRANCHY = Function("f", ["x"], [
+    If(BinOp("==", Var("x"), Const(0)), [Return(Const(1))], [Return(Const(2))]),
+])
+
+LOOPY = Function("g", ["n"], [
+    Assign("i", Const(0)),
+    While(BinOp("<", Var("i"), Var("n")), [Assign("i", BinOp("+", Var("i"), Const(1)))]),
+    Return(Var("i")),
+])
+
+
+def test_cfg_recovery_finds_branch_blocks():
+    image = compile_function(BRANCHY)
+    cfg = recover_cfg(image, "f")
+    assert cfg.entry == image.function("f").address
+    assert len(cfg.blocks) >= 3
+    exits = [b for b in cfg.blocks.values() if b.is_exit]
+    assert len(exits) >= 2  # both return paths end in ret
+
+
+def test_cfg_recovery_loop_has_back_edge():
+    image = compile_function(LOOPY)
+    cfg = recover_cfg(image, "g")
+    has_back_edge = any(successor <= block.start
+                        for block in cfg.blocks.values() for successor in block.successors)
+    assert has_back_edge
+    predecessors = cfg.predecessors()
+    assert any(len(p) > 1 for p in predecessors.values())  # loop head joined twice
+
+
+def test_cfg_block_instructions_cover_function():
+    image = compile_function(BRANCHY)
+    cfg = recover_cfg(image, "f")
+    assert cfg.instruction_count() == sum(len(b.instructions) for b in cfg.blocks.values())
+    assert cfg.instruction_count() > 5
+
+
+def test_cfg_recovery_rejects_unknown_function():
+    image = compile_function(BRANCHY)
+    with pytest.raises(KeyError):
+        recover_cfg(image, "missing")
+
+
+def test_liveness_argument_register_live_at_entry():
+    image = compile_function(BRANCHY)
+    cfg = recover_cfg(image, "f")
+    liveness = compute_liveness(cfg)
+    entry_block = cfg.blocks[cfg.entry]
+    first_address = entry_block.instructions[0][0]
+    # rdi carries the argument and is spilled by the prologue, so it is live
+    assert Register.RDI in liveness.live_before[first_address]
+
+
+def test_liveness_dead_registers_are_available_as_scratch():
+    image = compile_function(BRANCHY)
+    cfg = recover_cfg(image, "f")
+    liveness = compute_liveness(cfg)
+    some_address = cfg.blocks[cfg.entry].instructions[0][0]
+    dead = liveness.dead_registers(some_address)
+    assert Register.R12 in dead and Register.RSP not in dead
+
+
+def test_flag_liveness_marks_compare_before_branch():
+    image = compile_function(BRANCHY)
+    cfg = recover_cfg(image, "f")
+    liveness = compute_liveness(cfg)
+    # at least one instruction (the cmp feeding the jcc) has live flags after it
+    assert liveness.flags_live_after
+
+
+def test_symbolic_registers_track_input_through_frame_slots():
+    image = compile_function(BRANCHY)
+    cfg = recover_cfg(image, "f")
+    symbolic = compute_symbolic_registers(cfg)
+    # somewhere in the function a register reloaded from the frame carries the input
+    assert any(regs for regs in symbolic.values())
+
+
+def test_symbolic_registers_empty_for_constant_function():
+    constant = Function("c", [], [Return(Const(7))])
+    image = compile_function(constant)
+    cfg = recover_cfg(image, "c")
+    symbolic = compute_symbolic_registers(cfg)
+    flat = set()
+    for regs in symbolic.values():
+        flat |= {r for r in regs if r not in (Register.RDI, Register.RSI, Register.RDX,
+                                              Register.RCX, Register.R8, Register.R9)}
+    assert not flat

@@ -1,0 +1,272 @@
+"""End-to-end tests of the mini-C compiler: compile, load, run, check results."""
+
+import pytest
+
+from repro.binary import load_image
+from repro.compiler import CompileError, compile_function, compile_program
+from repro.cpu import call_function
+from repro.lang import (
+    Assign,
+    BinOp,
+    Break,
+    Call,
+    Const,
+    Continue,
+    ExprStmt,
+    For,
+    Function,
+    GlobalArray,
+    If,
+    Load,
+    Probe,
+    Program,
+    Return,
+    Store,
+    Switch,
+    UnOp,
+    Var,
+    While,
+)
+
+
+def run(function, args=(), globals_=None, max_steps=2_000_000):
+    image = compile_function(function, globals_)
+    program = load_image(image)
+    return call_function(program, function.name, args, max_steps=max_steps)
+
+
+def signed(value):
+    return value & ((1 << 64) - 1)
+
+
+def test_constant_return():
+    fn = Function("f", [], [Return(Const(42))])
+    assert run(fn)[0] == 42
+
+
+def test_parameter_passthrough():
+    fn = Function("f", ["x"], [Return(Var("x"))])
+    assert run(fn, [123])[0] == 123
+
+
+def test_arithmetic_expression():
+    fn = Function("f", ["a", "b"], [
+        Return(BinOp("+", BinOp("*", Var("a"), Const(3)), BinOp("-", Var("b"), Const(1)))),
+    ])
+    assert run(fn, [7, 5])[0] == 25
+
+
+def test_division_and_modulo():
+    fn = Function("f", ["a", "b"], [
+        Return(BinOp("+", BinOp("/", Var("a"), Var("b")), BinOp("%", Var("a"), Var("b")))),
+    ])
+    assert run(fn, [17, 5])[0] == 3 + 2
+
+
+def test_unary_operators():
+    fn = Function("f", ["x"], [
+        Return(BinOp("+", UnOp("!", Var("x")), UnOp("~", Const(0)))),
+    ])
+    # !5 == 0, ~0 == -1 (as unsigned 64-bit)
+    assert run(fn, [5])[0] == signed(-1)
+    assert run(fn, [0])[0] == 0
+
+
+def test_comparison_results_are_boolean():
+    fn = Function("f", ["a", "b"], [Return(BinOp("<", Var("a"), Var("b")))])
+    assert run(fn, [3, 9])[0] == 1
+    assert run(fn, [9, 3])[0] == 0
+    assert run(fn, [signed(-2), 3])[0] == 1  # signed comparison
+
+
+def test_if_else():
+    fn = Function("f", ["x"], [
+        If(BinOp("==", Var("x"), Const(0)),
+           [Return(Const(1))],
+           [Return(Const(2))]),
+    ])
+    assert run(fn, [0])[0] == 1
+    assert run(fn, [7])[0] == 2
+
+
+def test_nested_if_without_else():
+    fn = Function("f", ["x"], [
+        Assign("r", Const(0)),
+        If(BinOp(">", Var("x"), Const(10)), [Assign("r", Const(1))]),
+        Return(Var("r")),
+    ])
+    assert run(fn, [11])[0] == 1
+    assert run(fn, [10])[0] == 0
+
+
+def test_while_loop_sum():
+    fn = Function("f", ["n"], [
+        Assign("i", Const(0)),
+        Assign("acc", Const(0)),
+        While(BinOp("<", Var("i"), Var("n")), [
+            Assign("acc", BinOp("+", Var("acc"), Var("i"))),
+            Assign("i", BinOp("+", Var("i"), Const(1))),
+        ]),
+        Return(Var("acc")),
+    ])
+    assert run(fn, [10])[0] == 45
+
+
+def test_for_loop_desugaring():
+    fn = Function("f", ["n"], [
+        Assign("acc", Const(0)),
+        For(Assign("i", Const(0)), BinOp("<", Var("i"), Var("n")),
+            Assign("i", BinOp("+", Var("i"), Const(1))),
+            [Assign("acc", BinOp("+", Var("acc"), Const(2)))]),
+        Return(Var("acc")),
+    ])
+    assert run(fn, [6])[0] == 12
+
+
+def test_break_and_continue():
+    fn = Function("f", ["n"], [
+        Assign("i", Const(0)),
+        Assign("acc", Const(0)),
+        While(Const(1), [
+            Assign("i", BinOp("+", Var("i"), Const(1))),
+            If(BinOp(">", Var("i"), Var("n")), [Break()]),
+            If(BinOp("==", BinOp("%", Var("i"), Const(2)), Const(0)), [Continue()]),
+            Assign("acc", BinOp("+", Var("acc"), Var("i"))),
+        ]),
+        Return(Var("acc")),
+    ])
+    # sum of odd numbers <= 9
+    assert run(fn, [9])[0] == 25
+
+
+def test_switch_statement():
+    fn = Function("f", ["x"], [
+        Assign("r", Const(0)),
+        Switch(Var("x"),
+               {1: [Assign("r", Const(10))],
+                2: [Assign("r", Const(20))],
+                5: [Assign("r", Const(50))]},
+               default=[Assign("r", Const(99))]),
+        Return(Var("r")),
+    ])
+    assert run(fn, [1])[0] == 10
+    assert run(fn, [2])[0] == 20
+    assert run(fn, [5])[0] == 50
+    assert run(fn, [3])[0] == 99
+
+
+def test_local_array_store_load():
+    fn = Function("f", ["x"], [
+        Store(Var("buf"), Var("x"), 8),
+        Store(BinOp("+", Var("buf"), Const(8)), Const(100), 8),
+        Return(BinOp("+", Load(Var("buf"), 8), Load(BinOp("+", Var("buf"), Const(8)), 8))),
+    ], local_arrays={"buf": 16})
+    assert run(fn, [42])[0] == 142
+
+
+def test_byte_array_access():
+    fn = Function("f", ["x"], [
+        Store(Var("buf"), Var("x"), 1),
+        Return(Load(Var("buf"), 1)),
+    ], local_arrays={"buf": 8})
+    assert run(fn, [0x1FF])[0] == 0xFF  # truncated to one byte
+
+
+def test_global_array_access():
+    table = GlobalArray("table", 32, initial=bytes([5, 6, 7, 8]))
+    fn = Function("f", ["i"], [
+        Return(Load(BinOp("+", Var("table"), Var("i")), 1)),
+    ])
+    assert run(fn, [2], [table])[0] == 7
+
+
+def test_function_call_between_minic_functions():
+    callee = Function("square", ["x"], [Return(BinOp("*", Var("x"), Var("x")))])
+    caller = Function("f", ["x"], [
+        Assign("s", Call("square", [Var("x")])),
+        Return(BinOp("+", Var("s"), Const(1))),
+    ])
+    image = compile_program(Program([caller, callee]))
+    program = load_image(image)
+    assert call_function(program, "f", [6])[0] == 37
+
+
+def test_nested_calls_are_hoisted():
+    callee = Function("inc", ["x"], [Return(BinOp("+", Var("x"), Const(1)))])
+    caller = Function("f", ["x"], [
+        Return(BinOp("+", Call("inc", [Var("x")]), Call("inc", [Const(10)]))),
+    ])
+    image = compile_program(Program([caller, callee]))
+    program = load_image(image)
+    assert call_function(program, "f", [1])[0] == 13
+
+
+def test_recursive_function():
+    fact = Function("fact", ["n"], [
+        If(BinOp("<=", Var("n"), Const(1)), [Return(Const(1))]),
+        Return(BinOp("*", Var("n"), Call("fact", [BinOp("-", Var("n"), Const(1))]))),
+    ])
+    image = compile_program(Program([fact]))
+    program = load_image(image)
+    assert call_function(program, "fact", [10])[0] == 3628800
+
+
+def test_host_call_malloc_store_load():
+    fn = Function("f", ["x"], [
+        Assign("p", Call("malloc", [Const(32)])),
+        Store(Var("p"), Var("x"), 8),
+        Return(Load(Var("p"), 8)),
+    ])
+    assert run(fn, [77])[0] == 77
+
+
+def test_probe_statement_records_coverage():
+    fn = Function("f", ["x"], [
+        Probe(1),
+        If(BinOp(">", Var("x"), Const(0)), [Probe(2)], [Probe(3)]),
+        Probe(4),
+        Return(Const(0)),
+    ])
+    _, emulator = run(fn, [5])
+    assert emulator.host.probes == [1, 2, 4]
+    _, emulator = run(fn, [0])
+    assert emulator.host.probes == [1, 3, 4]
+
+
+def test_shift_operators():
+    fn = Function("f", ["x"], [Return(BinOp(">>", BinOp("<<", Var("x"), Const(4)), Const(2)))])
+    assert run(fn, [3])[0] == 12
+
+
+def test_unknown_call_raises_compile_error():
+    fn = Function("f", [], [Return(Call("nonexistent", []))])
+    with pytest.raises((CompileError, KeyError)):
+        run(fn)
+
+
+def test_duplicate_function_names_rejected():
+    fn = Function("f", [], [Return(Const(0))])
+    with pytest.raises(CompileError):
+        compile_program(Program([fn, fn]))
+
+
+def test_too_many_parameters_rejected():
+    fn = Function("f", [f"p{i}" for i in range(8)], [Return(Const(0))])
+    with pytest.raises(CompileError):
+        compile_function(fn)
+
+
+def test_function_symbol_sizes_are_consistent():
+    fn = Function("f", ["x"], [Return(BinOp("+", Var("x"), Const(1)))])
+    image = compile_function(fn)
+    symbol = image.function("f")
+    assert symbol.size > 0
+    assert image.function_bytes("f")  # readable without error
+
+
+def test_deep_expression_is_flattened_by_normalizer():
+    expr = Var("x")
+    for i in range(12):
+        expr = BinOp("+", Const(i), expr)
+    fn = Function("f", ["x"], [Return(expr)])
+    assert run(fn, [10])[0] == 10 + sum(range(12))

@@ -1,0 +1,156 @@
+"""Unit and property tests for the chain model, memory and predicates' data."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.chain import (
+    Chain,
+    ChainError,
+    ChainLabel,
+    DeltaSlot,
+    DisguiseBaseSlot,
+    DisguisedSlot,
+    GadgetSlot,
+    JunkSlot,
+    RawPadding,
+    ValueSlot,
+)
+from repro.core.config import RopConfig
+from repro.core.predicates.p1_array import OpaqueArray
+from repro.gadgets.gadget import Gadget
+from repro.isa.instructions import make
+from repro.memory import Memory, MemoryError_
+
+
+def _gadget(address):
+    return Gadget(address=address, instructions=[make("ret")], kind="ret")
+
+
+# -- chain materialization ---------------------------------------------------------
+def test_chain_layout_and_delta_resolution():
+    chain = Chain("t")
+    chain.append(GadgetSlot(_gadget(0x400100)))
+    chain.append(ValueSlot(7))
+    chain.label("anchor")
+    chain.append(JunkSlot())
+    chain.label("target")
+    chain.append(GadgetSlot(_gadget(0x400200)))
+    chain.elements.insert(1, ChainLabel("unused"))
+    materialized = chain.materialize(0x680000)
+    # the delta from anchor (after slot 1) to target (after slot 2) is 8 bytes
+    delta = DeltaSlot(target="target", anchor="anchor")
+    chain2 = Chain("t2")
+    chain2.extend([GadgetSlot(_gadget(0x400100)), delta])
+    chain2.label("anchor")
+    chain2.append(JunkSlot())
+    chain2.label("target")
+    m2 = chain2.materialize(0x680000)
+    resolved = int.from_bytes(m2.data[8:16], "little")
+    assert resolved == 8
+    assert materialized.slot_count == 4
+
+
+def test_chain_negative_delta_wraps_two_complement():
+    chain = Chain("t")
+    chain.label("target")
+    chain.append(GadgetSlot(_gadget(0x400100)))
+    chain.append(DeltaSlot(target="target", anchor="anchor", subtract=0))
+    chain.label("anchor")
+    materialized = chain.materialize(0x680000)
+    resolved = int.from_bytes(materialized.data[8:16], "little")
+    assert resolved == (-16) & ((1 << 64) - 1)
+
+
+def test_chain_duplicate_label_rejected():
+    chain = Chain("t")
+    chain.label("x")
+    chain.label("x")
+    with pytest.raises(ChainError):
+        chain.materialize(0x680000)
+
+
+def test_chain_unresolved_delta_rejected():
+    chain = Chain("t")
+    chain.append(DeltaSlot(target="nowhere", anchor="alsonowhere"))
+    with pytest.raises(ChainError):
+        chain.materialize(0x680000)
+
+
+def test_disguised_slots_sum_back_to_value():
+    chain = Chain("t")
+    chain.append(DisguisedSlot(ValueSlot(0x1234), pair=1))
+    chain.append(DisguiseBaseSlot(pair=1))
+    materialized = chain.materialize(0x680000, rng=random.Random(1),
+                                     gadget_addresses=[0x400500, 0x400600])
+    disguised = int.from_bytes(materialized.data[0:8], "little")
+    base = int.from_bytes(materialized.data[8:16], "little")
+    assert (disguised - base) & ((1 << 64) - 1) == 0x1234
+    assert base in (0x400500, 0x400600)
+
+
+def test_raw_padding_misaligns_following_slots():
+    chain = Chain("t")
+    chain.append(GadgetSlot(_gadget(0x400100)))
+    chain.append(RawPadding(3))
+    chain.label("after")
+    chain.append(ValueSlot(1))
+    materialized = chain.materialize(0x680000)
+    assert materialized.label_addresses["after"] % 8 == 3
+    assert len(materialized.data) == 8 + 3 + 8
+
+
+@settings(max_examples=40, deadline=None)
+@given(values=st.lists(st.integers(min_value=0, max_value=(1 << 64) - 1),
+                       min_size=1, max_size=20))
+def test_value_slots_roundtrip_property(values):
+    chain = Chain("p")
+    for value in values:
+        chain.append(ValueSlot(value))
+    materialized = chain.materialize(0x680000)
+    for index, value in enumerate(values):
+        assert int.from_bytes(materialized.data[8 * index:8 * index + 8], "little") == value
+
+
+# -- P1 opaque array ----------------------------------------------------------------
+def test_opaque_array_periodic_invariant_holds():
+    config = RopConfig()
+    array = OpaqueArray(config, random.Random(3))
+    for repetition in range(config.p1_repetitions):
+        for branch in range(config.p1_branches):
+            cell = array.cells[repetition * config.p1_period + branch]
+            assert cell % config.p1_modulus == array.fixed_part(branch)
+
+
+def test_opaque_array_cells_look_random():
+    array = OpaqueArray(RopConfig(), random.Random(4))
+    assert len(set(array.cells)) > len(array.cells) // 2
+    assert len(array.data()) == array.size
+
+
+# -- memory ---------------------------------------------------------------------------
+def test_memory_rejects_overlapping_regions():
+    memory = Memory()
+    memory.map("a", 0x1000, 0x100)
+    with pytest.raises(MemoryError_):
+        memory.map("b", 0x1080, 0x100)
+
+
+def test_memory_rejects_unmapped_and_readonly_access():
+    memory = Memory()
+    memory.map("ro", 0x1000, 0x10, writable=False)
+    with pytest.raises(MemoryError_):
+        memory.read(0x2000, 4)
+    with pytest.raises(MemoryError_):
+        memory.write(0x1000, b"x")
+
+
+@settings(max_examples=50, deadline=None)
+@given(value=st.integers(min_value=0, max_value=(1 << 64) - 1),
+       size=st.sampled_from([1, 2, 4, 8]))
+def test_memory_int_roundtrip_property(value, size):
+    memory = Memory()
+    memory.map("data", 0x1000, 0x40)
+    memory.write_int(0x1010, value, size)
+    assert memory.read_int(0x1010, size) == value & ((1 << (8 * size)) - 1)

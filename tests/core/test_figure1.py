@@ -1,0 +1,80 @@
+"""Figure 1: the canonical branching ROP chain, built by hand and executed.
+
+Also covers the Figure 3/4 mechanics at unit level: the pivot stub size used
+as the rewriting threshold and the stack-switching array bookkeeping.
+"""
+
+from repro.binary import BinaryImage, load_image
+from repro.compiler import compile_program
+from repro.core import RopConfig, rop_obfuscate
+from repro.core.materialization import allocate_runtime_area, pivot_stub_size
+from repro.cpu import Emulator, call_function
+from repro.cpu.host import EXIT_ADDRESS
+from repro.isa import Reg, assemble
+from repro.isa.instructions import make
+from repro.isa.registers import Register
+from repro.lang import Assign, BinOp, Call, Const, Function, Load, Program, Return, Store, Var
+
+
+def _gadget(image, instructions):
+    code, _ = assemble(list(instructions) + [make("ret")],
+                       base_address=image.text.end if image.text.size else image.text.address)
+    return image.text.append(code)
+
+
+def _figure1_result(rax_value):
+    image = BinaryImage()
+    pop_rcx = _gadget(image, [make("pop", Reg(Register.RCX))])
+    neg_rax = _gadget(image, [make("neg", Reg(Register.RAX))])
+    adc = _gadget(image, [make("adc", Reg(Register.RCX), Reg(Register.RCX))])
+    neg_rcx = _gadget(image, [make("neg", Reg(Register.RCX))])
+    pop_rsi = _gadget(image, [make("pop", Reg(Register.RSI))])
+    and_rsi = _gadget(image, [make("and", Reg(Register.RSI), Reg(Register.RCX))])
+    add_rsp = _gadget(image, [make("add", Reg(Register.RSP), Reg(Register.RSI))])
+    pop_rdi = _gadget(image, [make("pop", Reg(Register.RDI))])
+    pop_rsi_rbp = _gadget(image, [make("pop", Reg(Register.RSI)), make("pop", Reg(Register.RBP))])
+
+    program = load_image(image)
+    emulator = Emulator(program.memory)
+    chain = [pop_rcx, 0, neg_rax, adc, neg_rcx, pop_rsi, 0x18, and_rsi, add_rsp,
+             pop_rdi, 1, pop_rsi_rbp, pop_rdi, 2, EXIT_ADDRESS]
+    base = program.stack_top - 0x400
+    for index, value in enumerate(chain):
+        program.memory.write_int(base + 8 * index, value, 8)
+    emulator.state.write_reg(Register.RAX, rax_value)
+    emulator.state.write_reg(Register.RSP, base)
+    emulator.state.rip = emulator.pop()
+    emulator.run()
+    return emulator.state.read_reg(Register.RDI)
+
+
+def test_figure1_chain_assigns_rdi_conditionally():
+    assert _figure1_result(0) == 1
+    assert _figure1_result(7) == 2
+
+
+def test_pivot_stub_size_is_the_rewriting_threshold():
+    size = pivot_stub_size()
+    assert 0 < size < 128
+    tiny = compile_program(Program([Function("t", [], [Return(Const(0))])]))
+    assert tiny.function("t").size < size  # the kind of stub §VII-C1 skips
+
+
+def test_stack_switching_array_is_balanced_after_nested_calls():
+    """Figure 3/4: after ROP->native->ROP calls return, ss[0] is back to zero."""
+    program = Program([
+        Function("leaf", ["x"], [
+            Assign("p", Call("malloc", [Const(16)])),
+            Store(Var("p"), BinOp("+", Var("x"), Const(1)), 8),
+            Return(Load(Var("p"), 8)),
+        ]),
+        Function("top", ["x"], [Return(Call("leaf", [Call("leaf", [Var("x")])]))]),
+    ])
+    image = compile_program(program)
+    obfuscated, report = rop_obfuscate(image, ["top", "leaf"], RopConfig.ropk(0.2))
+    assert report.coverage == 1.0
+    loaded = load_image(obfuscated)
+    result, emulator = call_function(loaded, "top", [5], max_steps=10_000_000)
+    assert result == 7
+    ss_address = obfuscated.metadata["rop_ss_address"]
+    assert emulator.memory.read_int(ss_address, 8) == 0

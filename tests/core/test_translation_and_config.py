@@ -1,0 +1,89 @@
+"""Unit tests for the translation stage, RopConfig validation and reports."""
+
+import pytest
+
+from repro.compiler import compile_function
+from repro.core import RopConfig
+from repro.core.rewriter import FunctionResult, RewriteReport
+from repro.core.roplets import RopletKind
+from repro.core.translation import TranslationError, classify_instruction, translate_function
+from repro.isa.instructions import make
+from repro.isa.operands import Imm, Mem, Reg
+from repro.isa.registers import Register
+from repro.lang import Assign, BinOp, Call, Const, Function, If, Return, Var, While
+
+
+def test_classify_instruction_covers_the_taxonomy():
+    assert classify_instruction(make("jne", Imm(0x401000))) is RopletKind.INTRA_TRANSFER
+    assert classify_instruction(make("call", Imm(0x401000))) is RopletKind.INTER_TRANSFER
+    assert classify_instruction(make("ret")) is RopletKind.EPILOGUE
+    assert classify_instruction(make("leave")) is RopletKind.EPILOGUE
+    assert classify_instruction(make("push", Reg(Register.RBP))) is RopletKind.DIRECT_STACK
+    assert classify_instruction(make("mov", Reg(Register.RBP), Reg(Register.RSP))) \
+        is RopletKind.STACK_POINTER_REF
+    assert classify_instruction(make("mov", Reg(Register.RAX), Mem(base=Register.RBP, disp=-8))) \
+        is RopletKind.DATA_MOVEMENT
+    assert classify_instruction(make("add", Reg(Register.RAX), Reg(Register.RCX))) \
+        is RopletKind.ALU
+
+
+def test_translation_annotates_branches_with_compare_operands():
+    fn = Function("f", ["x"], [
+        If(BinOp("==", Var("x"), Const(5)), [Return(Const(1))], [Return(Const(0))]),
+    ])
+    translated = translate_function(compile_function(fn), "f")
+    branch_roplets = [r for block in translated.blocks.values() for r in block.roplets
+                      if r.kind is RopletKind.INTRA_TRANSFER]
+    assert branch_roplets
+    conditional = [r for r in branch_roplets if r.condition]
+    assert conditional and conditional[0].compare_operands is not None
+    assert conditional[0].branch_target in translated.blocks
+
+
+def test_translation_counts_program_points():
+    fn = Function("f", ["a", "b"], [Return(BinOp("+", Var("a"), Var("b")))])
+    translated = translate_function(compile_function(fn), "f")
+    assert translated.roplet_count() == translated.cfg.instruction_count()
+
+
+def test_translation_symbolic_registers_flow_into_roplets():
+    fn = Function("f", ["x"], [
+        Assign("y", BinOp("*", Var("x"), Const(3))),
+        If(BinOp(">", Var("y"), Const(10)), [Return(Const(1))]),
+        Return(Const(0)),
+    ])
+    translated = translate_function(compile_function(fn), "f")
+    assert any(r.symbolic_registers for block in translated.blocks.values()
+               for r in block.roplets)
+
+
+def test_rop_config_validation():
+    with pytest.raises(ValueError):
+        RopConfig(p3_fraction=1.5)
+    with pytest.raises(ValueError):
+        RopConfig(p1_modulus=6)
+    with pytest.raises(ValueError):
+        RopConfig(p1_repetitions=3)
+    with pytest.raises(ValueError):
+        RopConfig(p1_period=2, p1_branches=4)
+    with pytest.raises(ValueError):
+        RopConfig(p3_variant="bogus")
+    assert RopConfig.ropk(0.25).p3_fraction == 0.25
+    plain = RopConfig.plain()
+    assert not (plain.p1_enabled or plain.p2_enabled or plain.p3_enabled)
+
+
+def test_rewrite_report_aggregation():
+    report = RewriteReport(results=[
+        FunctionResult(name="a", success=True, program_points=10, total_gadgets=40,
+                       unique_gadgets=20, chain_bytes=800),
+        FunctionResult(name="b", success=False, reason="register pressure: need 5"),
+        FunctionResult(name="c", success=True, program_points=5, total_gadgets=30,
+                       unique_gadgets=15, chain_bytes=500),
+    ])
+    assert report.coverage == pytest.approx(2 / 3)
+    assert report.failure_categories() == {"register pressure: need 5": 1}
+    totals = report.totals()
+    assert totals["program_points"] == 15
+    assert totals["gadgets_per_point"] == pytest.approx(70 / 15)
+    assert report.results[0].gadgets_per_point == pytest.approx(4.0)

@@ -1,0 +1,226 @@
+"""Behavioural tests of the concrete emulator, including ROP-style execution."""
+
+import pytest
+
+from repro.binary import BinaryImage, load_image
+from repro.cpu import Emulator, call_function
+from repro.cpu.host import EXIT_ADDRESS, host_function_address
+from repro.cpu.state import EmulationError
+from repro.isa import Imm, Mem, Reg, assemble
+from repro.isa.flags import Flag
+from repro.isa.instructions import make
+from repro.isa.registers import Register
+
+
+def build_program(instructions, name="f", data=b""):
+    """Assemble ``instructions`` into a one-function image and load it."""
+    image = BinaryImage()
+    code, _ = assemble(instructions, base_address=image.text.address)
+    address = image.text.append(code)
+    image.add_function(name, address, len(code))
+    if data:
+        addr = image.data.append(data)
+        image.add_object("blob", addr, len(data))
+    return load_image(image)
+
+
+def test_mov_add_ret():
+    program = build_program([
+        make("mov", Reg(Register.RAX), Reg(Register.RDI)),
+        make("add", Reg(Register.RAX), Reg(Register.RSI)),
+        make("ret"),
+    ])
+    result, _ = call_function(program, "f", [20, 22])
+    assert result == 42
+
+
+def test_sub_and_flags_conditional():
+    # return 1 if rdi == rsi else 2
+    program = build_program([
+        make("cmp", Reg(Register.RDI), Reg(Register.RSI)),
+        make("mov", Reg(Register.RAX), Imm(2)),
+        make("mov", Reg(Register.RCX), Imm(1)),
+        make("cmove", Reg(Register.RAX), Reg(Register.RCX)),
+        make("ret"),
+    ])
+    assert call_function(program, "f", [5, 5])[0] == 1
+    assert call_function(program, "f", [5, 6])[0] == 2
+
+
+def test_signed_comparison_branches():
+    # return 1 if (signed) rdi < rsi else 0, via a branch
+    from repro.isa.operands import Label
+
+    program = build_program([
+        make("cmp", Reg(Register.RDI), Reg(Register.RSI)),
+        make("jl", Label("less")),
+        make("mov", Reg(Register.RAX), Imm(0)),
+        make("ret"),
+        "less",
+        make("mov", Reg(Register.RAX), Imm(1)),
+        make("ret"),
+    ])
+    assert call_function(program, "f", [(-5) & ((1 << 64) - 1), 3])[0] == 1
+    assert call_function(program, "f", [7, 3])[0] == 0
+
+
+def test_loop_with_counter():
+    from repro.isa.operands import Label
+
+    # sum 0..rdi-1
+    program = build_program([
+        make("xor", Reg(Register.RAX), Reg(Register.RAX)),
+        make("xor", Reg(Register.RCX), Reg(Register.RCX)),
+        "loop",
+        make("cmp", Reg(Register.RCX), Reg(Register.RDI)),
+        make("jge", Label("done")),
+        make("add", Reg(Register.RAX), Reg(Register.RCX)),
+        make("inc", Reg(Register.RCX)),
+        make("jmp", Label("loop")),
+        "done",
+        make("ret"),
+    ])
+    assert call_function(program, "f", [10])[0] == 45
+
+
+def test_memory_load_store_via_stack():
+    program = build_program([
+        make("push", Reg(Register.RDI)),
+        make("mov", Reg(Register.RAX), Mem(base=Register.RSP)),
+        make("add", Reg(Register.RSP), Imm(8)),
+        make("add", Reg(Register.RAX), Imm(1)),
+        make("ret"),
+    ])
+    assert call_function(program, "f", [41])[0] == 42
+
+
+def test_data_section_access():
+    program = build_program(
+        [
+            make("mov", Reg(Register.RAX), Mem(disp=0x600000, size=8)),
+            make("ret"),
+        ],
+        data=(1234).to_bytes(8, "little"),
+    )
+    assert call_function(program, "f")[0] == 1234
+
+
+def test_call_and_return_between_functions():
+    from repro.isa.operands import Label
+
+    image = BinaryImage()
+    callee, _ = assemble([
+        make("mov", Reg(Register.RAX), Reg(Register.RDI)),
+        make("imul", Reg(Register.RAX), Reg(Register.RAX)),
+        make("ret"),
+    ], base_address=image.text.address)
+    callee_addr = image.text.append(callee)
+    image.add_function("square", callee_addr, len(callee))
+    caller, _ = assemble([
+        make("call", Imm(callee_addr)),
+        make("add", Reg(Register.RAX), Imm(1)),
+        make("ret"),
+    ], base_address=image.text.end)
+    caller_addr = image.text.append(caller)
+    image.add_function("f", caller_addr, len(caller))
+    program = load_image(image)
+    assert call_function(program, "f", [6])[0] == 37
+
+
+def test_host_malloc_and_memory_roundtrip():
+    program = build_program([
+        make("mov", Reg(Register.RDI), Imm(64)),
+        make("call", Imm(host_function_address("malloc"))),
+        make("mov", Mem(base=Register.RAX), Imm(99)),
+        make("mov", Reg(Register.RAX), Mem(base=Register.RAX)),
+        make("ret"),
+    ])
+    assert call_function(program, "f")[0] == 99
+
+
+def test_host_probe_records_coverage():
+    program = build_program([
+        make("mov", Reg(Register.RDI), Imm(7)),
+        make("call", Imm(host_function_address("__probe"))),
+        make("mov", Reg(Register.RAX), Imm(0)),
+        make("ret"),
+    ])
+    _, emulator = call_function(program, "f")
+    assert emulator.host.probes == [7]
+
+
+def test_neg_sets_carry_flag_like_x86():
+    program = build_program([
+        make("neg", Reg(Register.RDI)),
+        make("mov", Reg(Register.RAX), Imm(0)),
+        make("adc", Reg(Register.RAX), Reg(Register.RAX)),
+        make("ret"),
+    ])
+    # CF = 1 when the operand was nonzero, 0 otherwise (Figure 1 idiom)
+    assert call_function(program, "f", [5])[0] == 1
+    assert call_function(program, "f", [0])[0] == 0
+
+
+def test_rop_style_chain_executes_from_stack():
+    """A hand-built mini chain: two pop/ret gadgets then a ret to EXIT."""
+    image = BinaryImage()
+    gadget1, _ = assemble([make("pop", Reg(Register.RDI)), make("ret")],
+                          base_address=image.text.address)
+    g1 = image.text.append(gadget1)
+    gadget2, _ = assemble([make("add", Reg(Register.RDI), Imm(1)),
+                           make("mov", Reg(Register.RAX), Reg(Register.RDI)),
+                           make("ret")], base_address=image.text.end)
+    g2 = image.text.append(gadget2)
+    program = load_image(image)
+    emulator = Emulator(program.memory)
+    # build the chain on the stack: [g1][imm 41][g2][EXIT]
+    rsp = program.stack_top - 0x100
+    for offset, value in enumerate([g1, 41, g2, EXIT_ADDRESS]):
+        program.memory.write_int(rsp + 8 * offset, value, 8)
+    emulator.state.write_reg(Register.RSP, rsp)
+    emulator.state.rip = emulator.pop()
+    emulator.run()
+    assert emulator.state.read_reg(Register.RAX) == 42
+
+
+def test_unmapped_fetch_raises():
+    program = build_program([make("jmp", Imm(0x123456789)), make("ret")])
+    with pytest.raises(EmulationError):
+        call_function(program, "f")
+
+
+def test_division_and_remainder():
+    program = build_program([
+        make("mov", Reg(Register.RAX), Reg(Register.RDI)),
+        make("cqo"),
+        make("idiv", Reg(Register.RSI)),
+        make("ret"),
+    ])
+    assert call_function(program, "f", [42, 5])[0] == 8
+
+
+def test_step_budget_enforced():
+    from repro.isa.operands import Label
+
+    program = build_program(["spin", make("jmp", Label("spin"))])
+    with pytest.raises(EmulationError):
+        call_function(program, "f", max_steps=100)
+
+
+def test_shift_instructions():
+    program = build_program([
+        make("mov", Reg(Register.RAX), Reg(Register.RDI)),
+        make("shl", Reg(Register.RAX), Imm(3)),
+        make("shr", Reg(Register.RAX), Imm(1)),
+        make("ret"),
+    ])
+    assert call_function(program, "f", [5])[0] == 20
+
+
+def test_lea_computes_effective_address():
+    program = build_program([
+        make("lea", Reg(Register.RAX),
+             Mem(base=Register.RDI, index=Register.RSI, scale=8, disp=4)),
+        make("ret"),
+    ])
+    assert call_function(program, "f", [100, 3])[0] == 100 + 24 + 4

@@ -1,0 +1,126 @@
+"""Round-trip and robustness tests for the instruction encoding."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.isa import (
+    DecodeError,
+    Imm,
+    Instruction,
+    Mem,
+    Mnemonic,
+    Reg,
+    decode_instruction,
+    encode_instruction,
+)
+from repro.isa.encoding import RET_OPCODE, encoded_length
+from repro.isa.instructions import CONDITION_CODES, make
+from repro.isa.registers import Register
+
+
+def roundtrip(instruction):
+    blob = encode_instruction(instruction)
+    decoded, length = decode_instruction(blob)
+    assert length == len(blob)
+    return decoded
+
+
+def test_ret_is_compact_and_uses_c3():
+    instruction = make("ret")
+    blob = encode_instruction(instruction)
+    assert blob[0] == RET_OPCODE == 0xC3
+    assert roundtrip(instruction) == instruction
+
+
+def test_mov_reg_reg_roundtrip():
+    instruction = make("mov", Reg(Register.RAX), Reg(Register.RDI))
+    assert roundtrip(instruction) == instruction
+
+
+def test_mov_reg_imm_roundtrip():
+    instruction = make("mov", Reg(Register.RCX), Imm(0x1122334455667788))
+    assert roundtrip(instruction) == instruction
+
+
+def test_mem_operand_roundtrip():
+    mem = Mem(base=Register.RBP, index=Register.RCX, scale=8, disp=-0x18, size=8)
+    instruction = make("mov", Reg(Register.RAX), mem)
+    assert roundtrip(instruction) == instruction
+
+
+def test_mem_operand_without_base_roundtrip():
+    mem = Mem(disp=0x600010, size=1)
+    instruction = make("mov", Reg(Register.RAX, 1), mem)
+    assert roundtrip(instruction) == instruction
+
+
+def test_conditional_instructions_roundtrip():
+    for cc in CONDITION_CODES:
+        assert roundtrip(make(f"j{cc}", Imm(0x401000))).condition == cc
+        assert roundtrip(make(f"cmov{cc}", Reg(Register.RAX), Reg(Register.RBX))).condition == cc
+        assert roundtrip(make(f"set{cc}", Reg(Register.RAX, 1))).condition == cc
+
+
+def test_negative_displacement_roundtrip():
+    mem = Mem(base=Register.RSP, disp=-8)
+    assert roundtrip(make("mov", Reg(Register.RAX), mem)).operands[1].disp == -8
+
+
+def test_decode_rejects_unknown_opcode():
+    with pytest.raises(DecodeError):
+        decode_instruction(bytes([0x00, 0x00]))
+
+
+def test_decode_rejects_truncated_instruction():
+    blob = encode_instruction(make("mov", Reg(Register.RAX), Imm(5)))
+    with pytest.raises(DecodeError):
+        decode_instruction(blob[:-3])
+
+
+def test_decode_rejects_bad_operand_count():
+    with pytest.raises(DecodeError):
+        decode_instruction(bytes([0x10, 0x07]))
+
+
+def test_encoded_length_matches_encoding():
+    instruction = make("add", Reg(Register.RSP), Imm(0x18))
+    assert encoded_length(instruction) == len(encode_instruction(instruction))
+
+
+def test_labels_cannot_be_encoded():
+    from repro.isa.operands import Label
+
+    with pytest.raises(ValueError):
+        encode_instruction(make("jmp", Label("somewhere")))
+
+
+@given(
+    reg=st.sampled_from(list(Register)),
+    value=st.integers(min_value=0, max_value=(1 << 64) - 1),
+)
+def test_mov_imm_roundtrip_property(reg, value):
+    instruction = make("mov", Reg(reg), Imm(value))
+    assert roundtrip(instruction) == instruction
+
+
+@given(
+    base=st.sampled_from(list(Register)),
+    index=st.sampled_from(list(Register)),
+    scale=st.sampled_from([1, 2, 4, 8]),
+    disp=st.integers(min_value=-(1 << 31), max_value=(1 << 31) - 1),
+    size=st.sampled_from([1, 2, 4, 8]),
+)
+def test_mem_roundtrip_property(base, index, scale, disp, size):
+    mem = Mem(base=base, index=index, scale=scale, disp=disp, size=size)
+    instruction = make("mov", Reg(Register.RAX, size), mem)
+    assert roundtrip(instruction) == instruction
+
+
+@given(data=st.binary(min_size=0, max_size=64))
+def test_decoder_never_crashes_on_garbage(data):
+    try:
+        instruction, length = decode_instruction(data)
+    except DecodeError:
+        return
+    assert 0 < length <= len(data)
+    assert isinstance(instruction, Instruction)

@@ -1,0 +1,142 @@
+"""Functional tests for the VM obfuscation, flattening and configurations."""
+
+import pytest
+
+from repro.binary import load_image
+from repro.compiler import compile_program
+from repro.cpu import call_function
+from repro.lang import (
+    Assign,
+    BinOp,
+    Call,
+    Const,
+    Function,
+    GlobalArray,
+    If,
+    Load,
+    Probe,
+    Program,
+    Return,
+    Store,
+    Var,
+    While,
+)
+from repro.obfuscation import (
+    apply_configuration,
+    flatten_function,
+    nvm,
+    ropk,
+    virtualize_program,
+)
+
+HASHISH = Program([Function("f", ["x"], [
+    Assign("h", Const(17)),
+    Assign("i", Const(0)),
+    While(BinOp("<", Var("i"), Const(5)), [
+        Assign("h", BinOp("^", BinOp("*", Var("h"), Const(31)), BinOp("+", Var("x"), Var("i")))),
+        Assign("i", BinOp("+", Var("i"), Const(1))),
+    ]),
+    If(BinOp("==", BinOp("&", Var("h"), Const(0xFF)), Const(0x5A)),
+       [Return(Const(1))], [Return(Const(0))]),
+])])
+
+TABLEY = Program(
+    [Function("f", ["i"], [Return(Load(BinOp("+", Var("table"), Var("i")), 1))])],
+    globals=[GlobalArray("table", 8, initial=bytes([1, 2, 3, 4, 5, 6, 7, 8]))],
+)
+
+CALLY = Program([
+    Function("helper", ["x"], [Return(BinOp("*", Var("x"), Const(3)))]),
+    Function("f", ["x"], [
+        Assign("t", Call("helper", [BinOp("+", Var("x"), Const(1))])),
+        Return(BinOp("-", Var("t"), Const(2))),
+    ]),
+])
+
+
+def run_native(program, function, args, max_steps=50_000_000):
+    image = compile_program(program)
+    return call_function(load_image(image), function, args, max_steps=max_steps)[0]
+
+
+def run_virtualized(program, function, args, layers=1, implicit="none", max_steps=50_000_000):
+    transformed = virtualize_program(program, [function], layers=layers,
+                                     implicit=implicit, seed=3)
+    image = compile_program(transformed)
+    return call_function(load_image(image), function, args, max_steps=max_steps)[0]
+
+
+@pytest.mark.parametrize("argument", [0, 7, 123])
+def test_single_layer_vm_preserves_behaviour(argument):
+    assert run_virtualized(HASHISH, "f", [argument]) == run_native(HASHISH, "f", [argument])
+
+
+def test_vm_preserves_global_table_lookups():
+    for index in range(8):
+        assert run_virtualized(TABLEY, "f", [index]) == index + 1
+
+
+def test_vm_preserves_calls():
+    assert run_virtualized(CALLY, "f", [5]) == run_native(CALLY, "f", [5]) == 16
+
+
+def test_two_layer_vm_preserves_behaviour():
+    assert run_virtualized(HASHISH, "f", [9], layers=2) == run_native(HASHISH, "f", [9])
+
+
+def test_implicit_vpc_layers_preserve_behaviour():
+    assert run_virtualized(HASHISH, "f", [5], layers=1, implicit="all") \
+        == run_native(HASHISH, "f", [5])
+
+
+def test_vm_code_differs_between_seeds():
+    a = virtualize_program(HASHISH, ["f"], seed=1)
+    b = virtualize_program(HASHISH, ["f"], seed=2)
+    code_a = next(g.initial for g in a.globals if g.name.startswith("__vm_code"))
+    code_b = next(g.initial for g in b.globals if g.name.startswith("__vm_code"))
+    assert code_a != code_b
+
+
+def test_vm_is_slower_than_native():
+    image = compile_program(HASHISH)
+    _, native_emulator = call_function(load_image(image), "f", [7])
+    transformed = compile_program(virtualize_program(HASHISH, ["f"], seed=3))
+    _, vm_emulator = call_function(load_image(transformed), "f", [7], max_steps=50_000_000)
+    assert vm_emulator.steps > 3 * native_emulator.steps
+
+
+def test_flattening_preserves_behaviour():
+    flattened = Program([flatten_function(HASHISH.functions[0])])
+    for argument in (0, 5, 99):
+        assert run_native(flattened, "f", [argument]) == run_native(HASHISH, "f", [argument])
+
+
+def test_probe_survives_virtualization():
+    program = Program([Function("f", ["x"], [
+        Probe(11),
+        If(BinOp(">", Var("x"), Const(0)), [Probe(12)], [Probe(13)]),
+        Return(Const(0)),
+    ])])
+    transformed = compile_program(virtualize_program(program, ["f"], seed=1))
+    _, emulator = call_function(load_image(transformed), "f", [4], max_steps=50_000_000)
+    assert emulator.host.probes == [11, 12]
+
+
+def test_apply_configuration_registry():
+    for config in (nvm(1), ropk(0.25)):
+        image = apply_configuration(HASHISH, ["f"], config, seed=2)
+        result, _ = call_function(load_image(image), "f", [7], max_steps=80_000_000)
+        assert result == run_native(HASHISH, "f", [7])
+
+
+def test_rop_on_top_of_vm():
+    """The paper notes ROP rewriting applies to already-VM-obfuscated code (§IV-C)."""
+    from repro.core import RopConfig, rop_obfuscate
+
+    transformed = virtualize_program(HASHISH, ["f"], seed=5)
+    image = compile_program(transformed)
+    obfuscated, report = rop_obfuscate(image, ["f"], RopConfig.ropk(0.05))
+    assert report.coverage == 1.0, report.failure_categories()
+    native = run_native(HASHISH, "f", [7])
+    result, _ = call_function(load_image(obfuscated), "f", [7], max_steps=120_000_000)
+    assert result == native

@@ -1,0 +1,112 @@
+"""Sanity tests for the workload generators."""
+
+import pytest
+
+from repro.binary import load_image
+from repro.compiler import compile_program
+from repro.core import RopConfig, rop_obfuscate
+from repro.cpu import call_function
+from repro.workloads import (
+    CLBG_BENCHMARKS,
+    CONTROL_STRUCTURES,
+    RandomFunSpec,
+    base64_check_program,
+    build_clbg_program,
+    build_coreutils_corpus,
+    generate_random_function,
+    generate_table2_suite,
+)
+from repro.workloads.base64_ref import base64_program, reference_encode
+
+
+def test_table2_suite_has_72_functions():
+    assert len(generate_table2_suite()) == 6 * 4 * 3
+
+
+@pytest.mark.parametrize("structure", [s[0] for s in CONTROL_STRUCTURES])
+def test_randomfuns_secret_is_reachable(structure):
+    spec = RandomFunSpec(structure=structure, input_size=1, seed=1)
+    program, secret, _ = generate_random_function(spec)
+    image = compile_program(program)
+    accept, _ = call_function(load_image(image), spec.name, [secret], max_steps=5_000_000)
+    assert accept == 1
+    reject, _ = call_function(load_image(image), spec.name, [(secret + 1) & 0xFF],
+                              max_steps=5_000_000)
+    assert reject in (0, 1)  # usually 0; hash collisions are possible but rare
+
+
+def test_randomfuns_coverage_variant_has_probes():
+    spec = RandomFunSpec(structure=CONTROL_STRUCTURES[1][0], input_size=1, seed=2,
+                         point_test=False)
+    program, _, probe_count = generate_random_function(spec)
+    assert probe_count > 0
+    image = compile_program(program)
+    _, emulator = call_function(load_image(image), spec.name, [5], max_steps=5_000_000)
+    assert emulator.host.probes
+
+
+def test_randomfuns_generation_is_deterministic():
+    spec = RandomFunSpec(structure=CONTROL_STRUCTURES[0][0], input_size=2, seed=3)
+    _, secret_a, _ = generate_random_function(spec)
+    _, secret_b, _ = generate_random_function(spec)
+    assert secret_a == secret_b
+
+
+@pytest.mark.parametrize("name", sorted(CLBG_BENCHMARKS))
+def test_clbg_benchmarks_run_natively(name):
+    program, entry, argument, _ = build_clbg_program(name)
+    image = compile_program(program)
+    result, _ = call_function(load_image(image), entry, [argument], max_steps=20_000_000)
+    assert result >= 0
+
+
+def test_clbg_benchmark_survives_rop_rewriting():
+    program, entry, argument, targets = build_clbg_program("fasta")
+    image = compile_program(program)
+    native, _ = call_function(load_image(image), entry, [argument], max_steps=20_000_000)
+    obfuscated, report = rop_obfuscate(image, targets, RopConfig.ropk(0.25))
+    assert report.coverage == 1.0, report.failure_categories()
+    rewritten, _ = call_function(load_image(obfuscated), entry, [argument],
+                                 max_steps=60_000_000)
+    assert rewritten == native
+
+
+def test_base64_encoder_matches_reference():
+    program = base64_program()
+    image = compile_program(program)
+    loaded = load_image(image)
+    source = loaded.heap_base + 0x10
+    destination = loaded.heap_base + 0x100
+    data = b"raindr"
+    for index, byte in enumerate(data):
+        loaded.memory.write_int(source + index, byte, 1)
+    _, emulator = call_function(loaded, "base64_encode", [source, len(data), destination],
+                                max_steps=5_000_000)
+    encoded = loaded.memory.read(destination, 8)
+    assert encoded == reference_encode(data)
+
+
+def test_base64_check_accepts_only_the_secret():
+    program, secret = base64_check_program()
+    image = compile_program(program)
+
+    def run(data):
+        loaded = load_image(image)
+        source = loaded.heap_base + 0x10
+        for index, byte in enumerate(data):
+            loaded.memory.write_int(source + index, byte, 1)
+        return call_function(loaded, "base64_check", [source], max_steps=5_000_000)[0]
+
+    assert run(secret) == 1
+    assert run(b"wrong!") == 0
+
+
+def test_coreutils_corpus_shape():
+    corpus = build_coreutils_corpus(programs=3, functions_per_program=5, seed=7)
+    assert len(corpus) == 3
+    categories = {entry.category for _, entries in corpus for entry in entries}
+    assert "normal" in categories
+    # every compiled image exposes its function symbols
+    image, entries = corpus[0]
+    for entry in entries:
+        assert entry.name in image.symbols
