@@ -21,7 +21,7 @@ from repro.attacks.shadow import ShadowTracker
 from repro.attacks.solver.expr import SymExpr
 from repro.attacks.solver.solver import ConstraintSolver, PathConstraint
 from repro.binary.image import BinaryImage
-from repro.binary.loader import load_image
+from repro.binary.loader import LoadedProgram, load_image
 from repro.cpu.emulator import Emulator
 from repro.cpu.host import EXIT_ADDRESS, HostEnvironment
 from repro.cpu.state import EmulationError
@@ -107,11 +107,18 @@ class DseEngine:
         self.symbols = self.input_spec.symbol_table()
         self.solver = ConstraintSolver(self.symbols, seed=seed)
         self.stats = ExplorationStats()
+        self._pristine: Optional["LoadedProgram"] = None
+
+    def _fork_program(self):
+        """Fork a fresh program state off a lazily-loaded pristine image."""
+        if self._pristine is None:
+            self._pristine = load_image(self.image)
+        return self._pristine.fork()
 
     # -- concrete+symbolic execution of one input --------------------------------
     def execute(self, assignment: Dict[str, int]) -> ExecutionResult:
         """Run the target once under the given input assignment."""
-        program = load_image(self.image)
+        program = self._fork_program()
         host = HostEnvironment()
         emulator = Emulator(program.memory, host=host, max_steps=self.max_instructions)
         tracker = ShadowTracker(memory_model=self.memory_model)

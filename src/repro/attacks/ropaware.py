@@ -18,7 +18,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.binary.image import BinaryImage
-from repro.binary.loader import load_image
+from repro.binary.loader import LoadedProgram, load_image
 from repro.cpu.emulator import Emulator
 from repro.cpu.host import EXIT_ADDRESS, HostEnvironment
 from repro.cpu.state import EmulationError
@@ -73,10 +73,13 @@ class RopMemuExplorer:
         self.image = image
         self.function = function
         self.max_instructions = max_instructions
+        self._pristine: Optional[LoadedProgram] = None
 
     def _run(self, arguments: Sequence[int], flip_index: Optional[int] = None
              ) -> Tuple[bool, Set[int], List]:
-        program = load_image(self.image)
+        if self._pristine is None:
+            self._pristine = load_image(self.image)
+        program = self._pristine.fork()
         host = HostEnvironment()
         emulator = Emulator(program.memory, host=host, max_steps=self.max_instructions)
         recorder = TraceRecorder(capture_registers=False).attach(emulator)

@@ -17,7 +17,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.binary.image import BinaryImage
-from repro.binary.loader import load_image
+from repro.binary.loader import LoadedProgram, load_image
 from repro.cpu.emulator import Emulator
 from repro.cpu.host import EXIT_ADDRESS, HostEnvironment
 from repro.cpu.state import EmulationError
@@ -64,11 +64,14 @@ class TaintDrivenSimplifier:
         self.image = image
         self.function = function
         self.max_instructions = max_instructions
+        self._pristine: Optional[LoadedProgram] = None
 
     # -- trace recording -----------------------------------------------------------
     def record(self, arguments: Sequence[int]) -> Tuple[List[TraceEntry], int]:
         """Execute the function concretely and return ``(trace, return_value)``."""
-        program = load_image(self.image)
+        if self._pristine is None:
+            self._pristine = load_image(self.image)
+        program = self._pristine.fork()
         emulator = Emulator(program.memory, host=HostEnvironment(),
                             max_steps=self.max_instructions)
         recorder = TraceRecorder(capture_registers=True).attach(emulator)

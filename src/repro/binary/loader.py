@@ -26,6 +26,17 @@ class LoadedProgram:
     stack_top: int
     heap_base: int
 
+    def fork(self) -> "LoadedProgram":
+        """Return a copy-on-write fork of this program.
+
+        The fork shares all region backing storage with this program until
+        either side writes (see :meth:`repro.memory.Memory.snapshot`).  The
+        attack engines call this once per execution instead of re-running
+        :func:`load_image`, which made every fork deep-copy the stack.
+        """
+        return LoadedProgram(image=self.image, memory=self.memory.snapshot(),
+                             stack_top=self.stack_top, heap_base=self.heap_base)
+
 
 def load_image(image: BinaryImage, extra_stack: int = 0) -> LoadedProgram:
     """Map ``image`` plus a stack and heap into a fresh :class:`Memory`.

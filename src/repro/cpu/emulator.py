@@ -5,17 +5,40 @@ ROP chains run exactly as the paper describes them: ``ret`` pops the next
 gadget address from the stack and execution continues wherever ``rsp`` points.
 The emulator also services host runtime calls and drives the tracing hooks the
 attack engines (DSE, TDS, ROPMEMU) build on.
+
+Performance notes (this is the hottest loop in the repo — every experiment
+in the evaluation grid bottoms out here):
+
+* **Decode cache** — decoded ``(instruction, length)`` pairs are cached per
+  address, keyed on the owning region's write ``generation``.  Stores into a
+  region bump its generation (see :class:`repro.memory.Region`), so
+  self-modifying code and ROP-materialized instructions invalidate their
+  cache entries naturally.  Set ``REPRO_DECODE_CACHE=0`` to disable it.
+* **Dispatch table** — instruction semantics live in per-mnemonic handler
+  methods bound into a ``Mnemonic -> handler`` table at construction, and
+  the cached decode entry memoizes the handler, so steady-state dispatch is
+  one dict probe instead of a ~40-branch ``if`` chain.
+* **Hook-free fast path** — :meth:`run` only takes the slow path (pre-hook
+  fan-out per instruction) when hooks are actually installed.
 """
 
 from __future__ import annotations
 
+import os
 from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.binary.loader import LoadedProgram
+from repro.binary.sections import HOST_FUNCTION_LIMIT
 from repro.cpu.host import EXIT_ADDRESS, HostEnvironment, is_host_address
-from repro.cpu.state import CpuState, EmulationError, to_signed
+from repro.cpu.state import (
+    BIT_WIDTHS,
+    CpuState,
+    EmulationError,
+    SIGN_BITS,
+    SIZE_MASKS,
+    to_signed,
+)
 from repro.isa.encoding import DecodeError, decode_instruction
-from repro.isa.flags import Flag
 from repro.isa.instructions import Instruction, Mnemonic
 from repro.isa.operands import Imm, Mem, Reg
 from repro.isa.registers import ARG_REGISTERS, Register
@@ -27,6 +50,16 @@ _MAX_INSTRUCTION_LENGTH = 64
 #: 64-bit mask.
 _MASK64 = (1 << 64) - 1
 
+#: Program addresses live above this; anything at or below it is either the
+#: host-function range, the :data:`EXIT_ADDRESS` sentinel, or an unmapped
+#: low address.  The run loop compares against this once per step instead of
+#: calling :func:`is_host_address` per instruction.
+_HOST_SPACE_END = HOST_FUNCTION_LIMIT
+
+#: Decode caching default; ``REPRO_DECODE_CACHE=0`` disables it globally
+#: (useful for benchmarking the cache itself and as a bisection aid).
+_DECODE_CACHE_DEFAULT = os.environ.get("REPRO_DECODE_CACHE", "1") != "0"
+
 
 class Emulator:
     """Executes instructions against a :class:`CpuState` and a memory.
@@ -36,10 +69,13 @@ class Emulator:
         host: host runtime environment; a fresh one is created if omitted.
         max_steps: hard cap on executed instructions (guards against runaway
             obfuscated code and is also the knob attack budgets use).
+        decode_cache: override the decode-cache toggle for this instance
+            (defaults to the ``REPRO_DECODE_CACHE`` environment knob).
     """
 
     def __init__(self, memory: Memory, host: Optional[HostEnvironment] = None,
-                 max_steps: int = 2_000_000) -> None:
+                 max_steps: int = 2_000_000,
+                 decode_cache: Optional[bool] = None) -> None:
         self.memory = memory
         self.state = CpuState()
         self.host = host or HostEnvironment()
@@ -50,6 +86,13 @@ class Emulator:
         #: hooks called as ``hook(emulator, address, instruction)`` before
         #: each instruction executes.
         self.pre_hooks: List[Callable] = []
+        self._decode_cache_enabled = (_DECODE_CACHE_DEFAULT
+                                      if decode_cache is None else decode_cache)
+        #: address -> (instruction, length, region, generation, handler)
+        self._decode_cache: Dict[int, tuple] = {}
+        self._dispatch: Dict[Mnemonic, Callable[[Instruction], None]] = {
+            mnemonic: getattr(self, name) for mnemonic, name in _HANDLER_NAMES.items()
+        }
 
     # -- fetch / decode -----------------------------------------------------
     def fetch(self, address: int) -> tuple:
@@ -60,33 +103,50 @@ class Emulator:
         Raises:
             EmulationError: when the address is unmapped or undecodable.
         """
+        entry = self._decode_cache.get(address)
+        if entry is not None and entry[2].generation == entry[3]:
+            return entry[0], entry[1]
+        entry = self._fetch_slow(address)
+        return entry[0], entry[1]
+
+    def _fetch_slow(self, address: int) -> tuple:
+        """Decode at ``address`` and (re)populate the decode cache."""
         region = self.memory.region_at(address)
         if region is None:
             raise EmulationError(f"fetch from unmapped address {address:#x}")
-        window = min(_MAX_INSTRUCTION_LENGTH, region.end - address)
-        blob = self.memory.read(address, window)
+        offset = address - region.start
+        window = min(_MAX_INSTRUCTION_LENGTH, len(region.data) - offset)
+        blob = bytes(region.data[offset:offset + window])
         try:
-            return decode_instruction(blob, 0)
+            instruction, length = decode_instruction(blob, 0)
         except DecodeError as exc:
             raise EmulationError(f"undecodable instruction at {address:#x}: {exc}") from exc
+        handler = self._dispatch.get(instruction.mnemonic)
+        entry = (instruction, length, region, region.generation, handler)
+        if self._decode_cache_enabled:
+            self._decode_cache[address] = entry
+        return entry
 
     # -- operand access -----------------------------------------------------
     def effective_address(self, operand: Mem) -> int:
         """Compute the effective address of a memory operand."""
         address = operand.disp
         if operand.base is not None:
-            address += self.state.read_reg(operand.base)
+            address += self.state.regs[operand.base]
         if operand.index is not None:
-            address += self.state.read_reg(operand.index) * operand.scale
+            address += self.state.regs[operand.index] * operand.scale
         return address & _MASK64
 
     def read_operand(self, operand) -> int:
         """Read the unsigned value of a register, immediate or memory operand."""
-        if isinstance(operand, Reg):
+        # operand classes are final frozen dataclasses, so exact type checks
+        # are safe and cheaper than isinstance in this per-operand hot path
+        cls = type(operand)
+        if cls is Reg:
             return self.state.read_reg(operand.reg, operand.size)
-        if isinstance(operand, Imm):
-            return operand.value & ((1 << (8 * operand.size)) - 1)
-        if isinstance(operand, Mem):
+        if cls is Imm:
+            return operand.value & SIZE_MASKS[operand.size]
+        if cls is Mem:
             try:
                 return self.memory.read_int(self.effective_address(operand), operand.size)
             except MemoryError_ as exc:
@@ -95,10 +155,11 @@ class Emulator:
 
     def write_operand(self, operand, value: int) -> None:
         """Write ``value`` to a register or memory operand."""
-        if isinstance(operand, Reg):
+        cls = type(operand)
+        if cls is Reg:
             self.state.write_reg(operand.reg, value, operand.size)
             return
-        if isinstance(operand, Mem):
+        if cls is Mem:
             try:
                 self.memory.write_int(self.effective_address(operand), value, operand.size)
             except MemoryError_ as exc:
@@ -109,8 +170,8 @@ class Emulator:
     # -- stack helpers ------------------------------------------------------
     def push(self, value: int) -> None:
         """Push a 64-bit value on the stack."""
-        rsp = (self.state.read_reg(Register.RSP) - 8) & _MASK64
-        self.state.write_reg(Register.RSP, rsp)
+        rsp = (self.state.regs[Register.RSP] - 8) & _MASK64
+        self.state.regs[Register.RSP] = rsp
         try:
             self.memory.write_int(rsp, value, 8)
         except MemoryError_ as exc:
@@ -118,50 +179,52 @@ class Emulator:
 
     def pop(self) -> int:
         """Pop a 64-bit value from the stack."""
-        rsp = self.state.read_reg(Register.RSP)
+        rsp = self.state.regs[Register.RSP]
         try:
             value = self.memory.read_int(rsp, 8)
         except MemoryError_ as exc:
             raise EmulationError(str(exc)) from exc
-        self.state.write_reg(Register.RSP, (rsp + 8) & _MASK64)
+        self.state.regs[Register.RSP] = (rsp + 8) & _MASK64
         return value
 
     # -- flag computation ---------------------------------------------------
     def _set_logic_flags(self, result: int, size: int) -> None:
-        bits = 8 * size
-        result &= (1 << bits) - 1
-        self.state.write_flag(Flag.CF, 0)
-        self.state.write_flag(Flag.OF, 0)
-        self.state.write_flag(Flag.ZF, result == 0)
-        self.state.write_flag(Flag.SF, (result >> (bits - 1)) & 1)
+        result &= SIZE_MASKS[size]
+        state = self.state
+        state.cf = 0
+        state.of = 0
+        state.zf = 1 if result == 0 else 0
+        state.sf = 1 if result & SIGN_BITS[size] else 0
 
     def _set_add_flags(self, a: int, b: int, carry_in: int, size: int) -> int:
-        bits = 8 * size
-        mask = (1 << bits) - 1
-        total = (a & mask) + (b & mask) + carry_in
+        mask = SIZE_MASKS[size]
+        half = SIGN_BITS[size]
+        a &= mask
+        b &= mask
+        total = a + b + carry_in
         result = total & mask
-        sa, sb = to_signed(a, size), to_signed(b, size)
-        signed_total = sa + sb + carry_in
-        self.state.write_flag(Flag.CF, total > mask)
-        self.state.write_flag(Flag.OF,
-                              signed_total < -(1 << (bits - 1)) or signed_total >= (1 << (bits - 1)))
-        self.state.write_flag(Flag.ZF, result == 0)
-        self.state.write_flag(Flag.SF, (result >> (bits - 1)) & 1)
+        # signed value = unsigned value minus 2*sign_bit when the sign bit is
+        # set; avoids two to_signed() calls in the hottest flag helper
+        signed_total = (a - ((a & half) << 1)) + (b - ((b & half) << 1)) + carry_in
+        state = self.state
+        state.cf = 1 if total > mask else 0
+        state.of = 1 if (signed_total < -half or signed_total >= half) else 0
+        state.zf = 1 if result == 0 else 0
+        state.sf = 1 if result & half else 0
         return result
 
     def _set_sub_flags(self, a: int, b: int, borrow_in: int, size: int) -> int:
-        bits = 8 * size
-        mask = (1 << bits) - 1
+        mask = SIZE_MASKS[size]
+        half = SIGN_BITS[size]
         a &= mask
         b &= mask
         result = (a - b - borrow_in) & mask
-        sa, sb = to_signed(a, size), to_signed(b, size)
-        signed_total = sa - sb - borrow_in
-        self.state.write_flag(Flag.CF, a < b + borrow_in)
-        self.state.write_flag(Flag.OF,
-                              signed_total < -(1 << (bits - 1)) or signed_total >= (1 << (bits - 1)))
-        self.state.write_flag(Flag.ZF, result == 0)
-        self.state.write_flag(Flag.SF, (result >> (bits - 1)) & 1)
+        signed_total = (a - ((a & half) << 1)) - (b - ((b & half) << 1)) - borrow_in
+        state = self.state
+        state.cf = 1 if a < b + borrow_in else 0
+        state.of = 1 if (signed_total < -half or signed_total >= half) else 0
+        state.zf = 1 if result == 0 else 0
+        state.sf = 1 if result & half else 0
         return result
 
     # -- execution ----------------------------------------------------------
@@ -179,19 +242,63 @@ class Emulator:
             self._run_host_function(address)
             self.steps += 1
             return
-        instruction, length = self.fetch(address)
-        for hook in self.pre_hooks:
-            hook(self, address, instruction)
+        entry = self._decode_cache.get(address)
+        if entry is None or entry[2].generation != entry[3]:
+            entry = self._fetch_slow(address)
+        instruction, length, _, _, handler = entry
+        if self.pre_hooks:
+            for hook in self.pre_hooks:
+                hook(self, address, instruction)
         self.state.rip = (address + length) & _MASK64
-        self._execute(instruction)
+        if handler is None:
+            raise EmulationError(f"unimplemented instruction {instruction}")
+        handler(instruction)
         self.steps += 1
 
     def run(self, max_steps: Optional[int] = None) -> None:
-        """Run until halted, hitting :data:`EXIT_ADDRESS`, or out of budget."""
-        if max_steps is not None:
-            self.max_steps = max_steps
+        """Run until halted, hitting :data:`EXIT_ADDRESS`, or out of budget.
+
+        Args:
+            max_steps: optional *per-call* budget of additional instructions
+                this call may execute.  The emulator-wide :attr:`max_steps`
+                cap stays in force and is never modified by this argument.
+        """
+        if max_steps is None:
+            limit = self.max_steps
+        else:
+            limit = min(self.max_steps, self.steps + max_steps)
+        state = self.state
+        cache_get = self._decode_cache.get
+        fetch_slow = self._fetch_slow
+        host_space_end = _HOST_SPACE_END
         while not self.halted:
-            self.step()
+            if self.pre_hooks:
+                # slow path: step() fans out to hooks with identical semantics
+                if self.steps >= limit:
+                    raise EmulationError(f"instruction budget exhausted ({limit})")
+                self.step()
+                continue
+            if self.steps >= limit:
+                raise EmulationError(f"instruction budget exhausted ({limit})")
+            address = state.rip
+            if address <= host_space_end:
+                if address == EXIT_ADDRESS:
+                    self.halted = True
+                    return
+                if is_host_address(address):
+                    self._run_host_function(address)
+                    self.steps += 1
+                    continue
+                # unmapped low address: fall through so fetch reports the fault
+            entry = cache_get(address)
+            if entry is None or entry[2].generation != entry[3]:
+                entry = fetch_slow(address)
+            state.rip = (address + entry[1]) & _MASK64
+            handler = entry[4]
+            if handler is None:
+                raise EmulationError(f"unimplemented instruction {entry[0]}")
+            handler(entry[0])
+            self.steps += 1
 
     def _run_host_function(self, address: int) -> None:
         handler = self.host_handlers.get(address)
@@ -204,171 +311,283 @@ class Emulator:
         # behave like a native function: return to the caller
         self.state.rip = self.pop()
 
-    def _execute(self, instruction: Instruction) -> None:
-        mnemonic = instruction.mnemonic
+    # -- instruction handlers ------------------------------------------------
+    def _op_nop(self, instruction: Instruction) -> None:
+        return
+
+    def _op_hlt(self, instruction: Instruction) -> None:
+        self.halted = True
+
+    def _op_mov(self, instruction: Instruction) -> None:
         ops = instruction.operands
+        self.write_operand(ops[0], self.read_operand(ops[1]))
+
+    def _op_movsx(self, instruction: Instruction) -> None:
+        ops = instruction.operands
+        src = ops[1]
+        value = to_signed(self.read_operand(src), getattr(src, "size", 8))
+        self.write_operand(ops[0], value & _MASK64)
+
+    def _op_lea(self, instruction: Instruction) -> None:
+        ops = instruction.operands
+        if not isinstance(ops[1], Mem):
+            raise EmulationError("lea requires a memory source")
+        self.write_operand(ops[0], self.effective_address(ops[1]))
+
+    def _op_xchg(self, instruction: Instruction) -> None:
+        ops = instruction.operands
+        a, b = self.read_operand(ops[0]), self.read_operand(ops[1])
+        self.write_operand(ops[0], b)
+        self.write_operand(ops[1], a)
+
+    def _op_push(self, instruction: Instruction) -> None:
+        self.push(self.read_operand(instruction.operands[0]))
+
+    def _op_pop(self, instruction: Instruction) -> None:
+        # ROP dispatch is pop/ret heavy; inline the pop to skip a call frame
+        operand = instruction.operands[0]
         state = self.state
+        rsp = state.regs[Register.RSP]
+        try:
+            value = self.memory.read_int(rsp, 8)
+        except MemoryError_ as exc:
+            raise EmulationError(str(exc)) from exc
+        state.regs[Register.RSP] = (rsp + 8) & _MASK64
+        if type(operand) is Reg and operand.size == 8:
+            state.regs[operand.reg] = value
+        else:
+            self.write_operand(operand, value)
 
-        if mnemonic is Mnemonic.NOP:
-            return
-        if mnemonic is Mnemonic.HLT:
-            self.halted = True
-            return
-        if mnemonic is Mnemonic.MOV:
+    def _op_add(self, instruction: Instruction) -> None:
+        ops = instruction.operands
+        size = getattr(ops[0], "size", 8)
+        result = self._set_add_flags(self.read_operand(ops[0]),
+                                     self.read_operand(ops[1]), 0, size)
+        self.write_operand(ops[0], result)
+
+    def _op_adc(self, instruction: Instruction) -> None:
+        ops = instruction.operands
+        size = getattr(ops[0], "size", 8)
+        carry = self.state.cf
+        result = self._set_add_flags(self.read_operand(ops[0]),
+                                     self.read_operand(ops[1]), carry, size)
+        self.write_operand(ops[0], result)
+
+    def _op_sub(self, instruction: Instruction) -> None:
+        ops = instruction.operands
+        size = getattr(ops[0], "size", 8)
+        result = self._set_sub_flags(self.read_operand(ops[0]),
+                                     self.read_operand(ops[1]), 0, size)
+        self.write_operand(ops[0], result)
+
+    def _op_sbb(self, instruction: Instruction) -> None:
+        ops = instruction.operands
+        size = getattr(ops[0], "size", 8)
+        borrow = self.state.cf
+        result = self._set_sub_flags(self.read_operand(ops[0]),
+                                     self.read_operand(ops[1]), borrow, size)
+        self.write_operand(ops[0], result)
+
+    def _op_cmp(self, instruction: Instruction) -> None:
+        ops = instruction.operands
+        size = getattr(ops[0], "size", 8)
+        self._set_sub_flags(self.read_operand(ops[0]), self.read_operand(ops[1]), 0, size)
+
+    def _op_test(self, instruction: Instruction) -> None:
+        ops = instruction.operands
+        size = getattr(ops[0], "size", 8)
+        self._set_logic_flags(self.read_operand(ops[0]) & self.read_operand(ops[1]), size)
+
+    def _op_and(self, instruction: Instruction) -> None:
+        ops = instruction.operands
+        size = getattr(ops[0], "size", 8)
+        result = self.read_operand(ops[0]) & self.read_operand(ops[1])
+        self._set_logic_flags(result, size)
+        self.write_operand(ops[0], result)
+
+    def _op_or(self, instruction: Instruction) -> None:
+        ops = instruction.operands
+        size = getattr(ops[0], "size", 8)
+        result = self.read_operand(ops[0]) | self.read_operand(ops[1])
+        self._set_logic_flags(result, size)
+        self.write_operand(ops[0], result)
+
+    def _op_xor(self, instruction: Instruction) -> None:
+        ops = instruction.operands
+        size = getattr(ops[0], "size", 8)
+        result = self.read_operand(ops[0]) ^ self.read_operand(ops[1])
+        self._set_logic_flags(result, size)
+        self.write_operand(ops[0], result)
+
+    def _op_neg(self, instruction: Instruction) -> None:
+        ops = instruction.operands
+        size = getattr(ops[0], "size", 8)
+        value = self.read_operand(ops[0])
+        result = self._set_sub_flags(0, value, 0, size)
+        self.state.cf = 1 if value != 0 else 0
+        self.write_operand(ops[0], result)
+
+    def _op_not(self, instruction: Instruction) -> None:
+        ops = instruction.operands
+        size = getattr(ops[0], "size", 8)
+        mask = SIZE_MASKS[size]
+        self.write_operand(ops[0], (~self.read_operand(ops[0])) & mask)
+
+    def _shift(self, instruction: Instruction, mnemonic: Mnemonic) -> None:
+        ops = instruction.operands
+        size = getattr(ops[0], "size", 8)
+        bits = BIT_WIDTHS[size]
+        mask = SIZE_MASKS[size]
+        value = self.read_operand(ops[0])
+        # x86 masks the count by the operand width: 6 bits for 64-bit
+        # operands, 5 bits for everything narrower
+        amount = self.read_operand(ops[1]) & (0x3F if size == 8 else 0x1F)
+        if mnemonic is Mnemonic.SHL:
+            result = (value << amount) & mask
+            carry = (value >> (bits - amount)) & 1 if 0 < amount <= bits else 0
+        elif mnemonic is Mnemonic.SHR:
+            result = (value & mask) >> amount
+            carry = (value >> (amount - 1)) & 1 if amount else 0
+        else:
+            result = (to_signed(value, size) >> amount) & mask
+            carry = (value >> (amount - 1)) & 1 if amount else 0
+        self._set_logic_flags(result, size)
+        self.state.cf = carry
+        self.write_operand(ops[0], result)
+
+    def _op_shl(self, instruction: Instruction) -> None:
+        self._shift(instruction, Mnemonic.SHL)
+
+    def _op_shr(self, instruction: Instruction) -> None:
+        self._shift(instruction, Mnemonic.SHR)
+
+    def _op_sar(self, instruction: Instruction) -> None:
+        self._shift(instruction, Mnemonic.SAR)
+
+    def _op_imul(self, instruction: Instruction) -> None:
+        ops = instruction.operands
+        size = getattr(ops[0], "size", 8)
+        bits = BIT_WIDTHS[size]
+        a = to_signed(self.read_operand(ops[0]), size)
+        b = to_signed(self.read_operand(ops[1]), size)
+        full = a * b
+        result = full & SIZE_MASKS[size]
+        overflow = not (-(1 << (bits - 1)) <= full < (1 << (bits - 1)))
+        self._set_logic_flags(result, size)
+        state = self.state
+        state.cf = 1 if overflow else 0
+        state.of = 1 if overflow else 0
+        self.write_operand(ops[0], result)
+
+    def _op_cqo(self, instruction: Instruction) -> None:
+        rax = to_signed(self.state.regs[Register.RAX])
+        self.state.regs[Register.RDX] = _MASK64 if rax < 0 else 0
+
+    def _op_idiv(self, instruction: Instruction) -> None:
+        state = self.state
+        divisor = to_signed(self.read_operand(instruction.operands[0]))
+        if divisor == 0:
+            raise EmulationError("integer division by zero")
+        dividend = to_signed(state.regs[Register.RAX])
+        quotient = int(dividend / divisor)
+        remainder = dividend - quotient * divisor
+        state.regs[Register.RAX] = quotient & _MASK64
+        state.regs[Register.RDX] = remainder & _MASK64
+
+    def _op_inc(self, instruction: Instruction) -> None:
+        ops = instruction.operands
+        size = getattr(ops[0], "size", 8)
+        state = self.state
+        saved_cf = state.cf
+        result = self._set_add_flags(self.read_operand(ops[0]), 1, 0, size)
+        state.cf = saved_cf
+        self.write_operand(ops[0], result)
+
+    def _op_dec(self, instruction: Instruction) -> None:
+        ops = instruction.operands
+        size = getattr(ops[0], "size", 8)
+        state = self.state
+        saved_cf = state.cf
+        result = self._set_sub_flags(self.read_operand(ops[0]), 1, 0, size)
+        state.cf = saved_cf
+        self.write_operand(ops[0], result)
+
+    def _op_cmov(self, instruction: Instruction) -> None:
+        if self.state.condition(instruction.condition):
+            ops = instruction.operands
             self.write_operand(ops[0], self.read_operand(ops[1]))
-            return
-        if mnemonic is Mnemonic.MOVZX:
-            self.write_operand(ops[0], self.read_operand(ops[1]))
-            return
-        if mnemonic is Mnemonic.MOVSX:
-            src = ops[1]
-            value = to_signed(self.read_operand(src), getattr(src, "size", 8))
-            self.write_operand(ops[0], value & _MASK64)
-            return
-        if mnemonic is Mnemonic.LEA:
-            if not isinstance(ops[1], Mem):
-                raise EmulationError("lea requires a memory source")
-            self.write_operand(ops[0], self.effective_address(ops[1]))
-            return
-        if mnemonic is Mnemonic.XCHG:
-            a, b = self.read_operand(ops[0]), self.read_operand(ops[1])
-            self.write_operand(ops[0], b)
-            self.write_operand(ops[1], a)
-            return
-        if mnemonic is Mnemonic.PUSH:
-            self.push(self.read_operand(ops[0]))
-            return
-        if mnemonic is Mnemonic.POP:
-            self.write_operand(ops[0], self.pop())
-            return
 
-        if mnemonic in (Mnemonic.ADD, Mnemonic.ADC):
-            size = getattr(ops[0], "size", 8)
-            carry = state.read_flag(Flag.CF) if mnemonic is Mnemonic.ADC else 0
-            result = self._set_add_flags(self.read_operand(ops[0]),
-                                         self.read_operand(ops[1]), carry, size)
-            self.write_operand(ops[0], result)
-            return
-        if mnemonic in (Mnemonic.SUB, Mnemonic.SBB):
-            size = getattr(ops[0], "size", 8)
-            borrow = state.read_flag(Flag.CF) if mnemonic is Mnemonic.SBB else 0
-            result = self._set_sub_flags(self.read_operand(ops[0]),
-                                         self.read_operand(ops[1]), borrow, size)
-            self.write_operand(ops[0], result)
-            return
-        if mnemonic is Mnemonic.CMP:
-            size = getattr(ops[0], "size", 8)
-            self._set_sub_flags(self.read_operand(ops[0]), self.read_operand(ops[1]), 0, size)
-            return
-        if mnemonic is Mnemonic.TEST:
-            size = getattr(ops[0], "size", 8)
-            self._set_logic_flags(self.read_operand(ops[0]) & self.read_operand(ops[1]), size)
-            return
-        if mnemonic in (Mnemonic.AND, Mnemonic.OR, Mnemonic.XOR):
-            size = getattr(ops[0], "size", 8)
-            a, b = self.read_operand(ops[0]), self.read_operand(ops[1])
-            result = {Mnemonic.AND: a & b, Mnemonic.OR: a | b, Mnemonic.XOR: a ^ b}[mnemonic]
-            self._set_logic_flags(result, size)
-            self.write_operand(ops[0], result)
-            return
-        if mnemonic is Mnemonic.NEG:
-            size = getattr(ops[0], "size", 8)
-            value = self.read_operand(ops[0])
-            result = self._set_sub_flags(0, value, 0, size)
-            self.state.write_flag(Flag.CF, value != 0)
-            self.write_operand(ops[0], result)
-            return
-        if mnemonic is Mnemonic.NOT:
-            size = getattr(ops[0], "size", 8)
-            mask = (1 << (8 * size)) - 1
-            self.write_operand(ops[0], (~self.read_operand(ops[0])) & mask)
-            return
-        if mnemonic in (Mnemonic.SHL, Mnemonic.SHR, Mnemonic.SAR):
-            size = getattr(ops[0], "size", 8)
-            bits = 8 * size
-            mask = (1 << bits) - 1
-            value = self.read_operand(ops[0])
-            amount = self.read_operand(ops[1]) & 0x3F
-            if mnemonic is Mnemonic.SHL:
-                result = (value << amount) & mask
-                carry = (value >> (bits - amount)) & 1 if 0 < amount <= bits else 0
-            elif mnemonic is Mnemonic.SHR:
-                result = (value & mask) >> amount
-                carry = (value >> (amount - 1)) & 1 if amount else 0
-            else:
-                result = (to_signed(value, size) >> amount) & mask
-                carry = (value >> (amount - 1)) & 1 if amount else 0
-            self._set_logic_flags(result, size)
-            self.state.write_flag(Flag.CF, carry)
-            self.write_operand(ops[0], result)
-            return
-        if mnemonic is Mnemonic.IMUL:
-            size = getattr(ops[0], "size", 8)
-            bits = 8 * size
-            a = to_signed(self.read_operand(ops[0]), size)
-            b = to_signed(self.read_operand(ops[1]), size)
-            full = a * b
-            result = full & ((1 << bits) - 1)
-            overflow = not (-(1 << (bits - 1)) <= full < (1 << (bits - 1)))
-            self._set_logic_flags(result, size)
-            self.state.write_flag(Flag.CF, overflow)
-            self.state.write_flag(Flag.OF, overflow)
-            self.write_operand(ops[0], result)
-            return
-        if mnemonic is Mnemonic.CQO:
-            rax = to_signed(state.read_reg(Register.RAX))
-            state.write_reg(Register.RDX, _MASK64 if rax < 0 else 0)
-            return
-        if mnemonic is Mnemonic.IDIV:
-            divisor = to_signed(self.read_operand(ops[0]))
-            if divisor == 0:
-                raise EmulationError("integer division by zero")
-            dividend = to_signed(state.read_reg(Register.RAX))
-            quotient = int(dividend / divisor)
-            remainder = dividend - quotient * divisor
-            state.write_reg(Register.RAX, quotient & _MASK64)
-            state.write_reg(Register.RDX, remainder & _MASK64)
-            return
-        if mnemonic in (Mnemonic.INC, Mnemonic.DEC):
-            size = getattr(ops[0], "size", 8)
-            saved_cf = state.read_flag(Flag.CF)
-            delta = 1
-            if mnemonic is Mnemonic.INC:
-                result = self._set_add_flags(self.read_operand(ops[0]), delta, 0, size)
-            else:
-                result = self._set_sub_flags(self.read_operand(ops[0]), delta, 0, size)
-            state.write_flag(Flag.CF, saved_cf)
-            self.write_operand(ops[0], result)
-            return
-        if mnemonic is Mnemonic.CMOV:
-            if state.condition(instruction.condition):
-                self.write_operand(ops[0], self.read_operand(ops[1]))
-            return
-        if mnemonic is Mnemonic.SET:
-            self.write_operand(ops[0], 1 if state.condition(instruction.condition) else 0)
-            return
+    def _op_set(self, instruction: Instruction) -> None:
+        value = 1 if self.state.condition(instruction.condition) else 0
+        self.write_operand(instruction.operands[0], value)
 
-        if mnemonic is Mnemonic.JMP:
-            state.rip = self.read_operand(ops[0])
-            return
-        if mnemonic is Mnemonic.JCC:
-            if state.condition(instruction.condition):
-                state.rip = self.read_operand(ops[0])
-            return
-        if mnemonic is Mnemonic.CALL:
-            target = self.read_operand(ops[0])
-            self.push(state.rip)
-            state.rip = target
-            return
-        if mnemonic is Mnemonic.RET:
-            state.rip = self.pop()
-            return
-        if mnemonic is Mnemonic.LEAVE:
-            state.write_reg(Register.RSP, state.read_reg(Register.RBP))
-            state.write_reg(Register.RBP, self.pop())
-            return
+    def _op_jmp(self, instruction: Instruction) -> None:
+        self.state.rip = self.read_operand(instruction.operands[0])
 
-        raise EmulationError(f"unimplemented instruction {instruction}")
+    def _op_jcc(self, instruction: Instruction) -> None:
+        if self.state.condition(instruction.condition):
+            self.state.rip = self.read_operand(instruction.operands[0])
+
+    def _op_call(self, instruction: Instruction) -> None:
+        state = self.state
+        target = self.read_operand(instruction.operands[0])
+        self.push(state.rip)
+        state.rip = target
+
+    def _op_ret(self, instruction: Instruction) -> None:
+        # the single hottest instruction in a ROP chain: inline pop entirely
+        state = self.state
+        rsp = state.regs[Register.RSP]
+        try:
+            state.rip = self.memory.read_int(rsp, 8)
+        except MemoryError_ as exc:
+            raise EmulationError(str(exc)) from exc
+        state.regs[Register.RSP] = (rsp + 8) & _MASK64
+
+    def _op_leave(self, instruction: Instruction) -> None:
+        state = self.state
+        state.regs[Register.RSP] = state.regs[Register.RBP]
+        state.write_reg(Register.RBP, self.pop())
+
+
+#: Mnemonic -> handler method name; bound per instance into the dispatch table.
+_HANDLER_NAMES: Dict[Mnemonic, str] = {
+    Mnemonic.NOP: "_op_nop",
+    Mnemonic.HLT: "_op_hlt",
+    Mnemonic.MOV: "_op_mov",
+    Mnemonic.MOVZX: "_op_mov",
+    Mnemonic.MOVSX: "_op_movsx",
+    Mnemonic.LEA: "_op_lea",
+    Mnemonic.XCHG: "_op_xchg",
+    Mnemonic.PUSH: "_op_push",
+    Mnemonic.POP: "_op_pop",
+    Mnemonic.ADD: "_op_add",
+    Mnemonic.ADC: "_op_adc",
+    Mnemonic.SUB: "_op_sub",
+    Mnemonic.SBB: "_op_sbb",
+    Mnemonic.CMP: "_op_cmp",
+    Mnemonic.TEST: "_op_test",
+    Mnemonic.AND: "_op_and",
+    Mnemonic.OR: "_op_or",
+    Mnemonic.XOR: "_op_xor",
+    Mnemonic.NEG: "_op_neg",
+    Mnemonic.NOT: "_op_not",
+    Mnemonic.SHL: "_op_shl",
+    Mnemonic.SHR: "_op_shr",
+    Mnemonic.SAR: "_op_sar",
+    Mnemonic.IMUL: "_op_imul",
+    Mnemonic.CQO: "_op_cqo",
+    Mnemonic.IDIV: "_op_idiv",
+    Mnemonic.INC: "_op_inc",
+    Mnemonic.DEC: "_op_dec",
+    Mnemonic.CMOV: "_op_cmov",
+    Mnemonic.SET: "_op_set",
+    Mnemonic.JMP: "_op_jmp",
+    Mnemonic.JCC: "_op_jcc",
+    Mnemonic.CALL: "_op_call",
+    Mnemonic.RET: "_op_ret",
+    Mnemonic.LEAVE: "_op_leave",
+}
 
 
 def call_function(program: LoadedProgram, name_or_address, args: Sequence[int] = (),

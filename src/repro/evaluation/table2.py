@@ -104,11 +104,12 @@ def _reachable_probes(program, spec: RandomFunSpec, probe_count: int) -> set:
     from repro.cpu import call_function
 
     image = compile_program(program)
+    pristine = load_image(image)
     reachable = set()
     mask = (1 << (8 * spec.input_size)) - 1
     samples = list(range(0, min(mask + 1, 64))) + [mask, mask // 2, mask // 3]
     for sample in samples:
-        _, emulator = call_function(load_image(image), spec.name, [sample & mask],
+        _, emulator = call_function(pristine.fork(), spec.name, [sample & mask],
                                     max_steps=5_000_000)
         reachable.update(emulator.host.probes)
     return reachable

@@ -5,19 +5,40 @@ ROP stack, …).  Reads and writes must fall entirely inside one mapped region;
 anything else raises :class:`MemoryError_`, which the emulator reports as a
 fault — the behaviour the paper's P2 predicate relies on when brute-forced
 branches send ``rsp`` into unintended code.
+
+Two properties matter for throughput, because every emulated instruction
+funnels through here:
+
+* **Fast lookup** — regions are kept address-sorted so :meth:`Memory.region_at`
+  is a bisect over the start addresses, fronted by a last-region-hit cache
+  (almost all consecutive accesses hit the same region: the stack during ROP
+  dispatch, ``.text`` during fetch).
+* **Cheap forking** — :meth:`Memory.snapshot` is copy-on-write: forks share
+  the backing bytearrays with their parent until either side writes, so the
+  attack engines (shadow/DSE/TDS/ROPMEMU) can fork per execution without
+  deep-copying a multi-megabyte stack each time.
+
+Every region also carries a monotonically increasing ``generation`` counter,
+bumped on each store into it.  The emulator's decode cache keys on it, which
+keeps cached decodes correct in the presence of self-modifying code and
+ROP-materialized instructions.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from bisect import bisect_right
 from typing import Dict, List, Optional
+
+#: Truncation mask per access width; avoids recomputing ``(1 << (8*size)) - 1``
+#: on every store (kept local so the memory layer stays import-free of cpu).
+_INT_MASKS: Dict[int, int] = {1: 0xFF, 2: 0xFFFF, 4: 0xFFFFFFFF,
+                              8: 0xFFFFFFFFFFFFFFFF}
 
 
 class MemoryError_(RuntimeError):
     """Raised on out-of-bounds or unmapped accesses."""
 
 
-@dataclass
 class Region:
     """A contiguous mapped memory region.
 
@@ -26,12 +47,23 @@ class Region:
         start: first mapped address.
         data: backing byte storage.
         writable: whether stores are permitted.
+        shared: True while ``data`` is shared copy-on-write with another
+            :class:`Memory` (parent or fork); the first store detaches it.
+        generation: store counter; consumers (the emulator decode cache) use
+            it to detect that cached views of this region went stale.
     """
 
-    name: str
-    start: int
-    data: bytearray
-    writable: bool = True
+    __slots__ = ("name", "start", "data", "writable", "shared", "generation")
+
+    def __init__(self, name: str, start: int, data: bytearray,
+                 writable: bool = True, shared: bool = False,
+                 generation: int = 0) -> None:
+        self.name = name
+        self.start = start
+        self.data = data
+        self.writable = writable
+        self.shared = shared
+        self.generation = generation
 
     @property
     def end(self) -> int:
@@ -40,7 +72,16 @@ class Region:
 
     def contains(self, address: int, size: int = 1) -> bool:
         """True if ``[address, address+size)`` falls inside the region."""
-        return self.start <= address and address + size <= self.end
+        return self.start <= address and address + size <= self.start + len(self.data)
+
+    def detach(self) -> None:
+        """Privatize the backing storage (first write after a COW fork)."""
+        self.data = bytearray(self.data)
+        self.shared = False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Region(name={self.name!r}, start={self.start:#x}, "
+                f"size={len(self.data):#x}, writable={self.writable})")
 
 
 class Memory:
@@ -48,6 +89,8 @@ class Memory:
 
     def __init__(self) -> None:
         self._regions: List[Region] = []
+        self._starts: List[int] = []
+        self._hit: Optional[Region] = None
 
     def map(self, name: str, start: int, size: int, data: bytes = b"",
             writable: bool = True) -> Region:
@@ -74,6 +117,7 @@ class Memory:
         region = Region(name, start, backing, writable)
         self._regions.append(region)
         self._regions.sort(key=lambda r: r.start)
+        self._starts = [r.start for r in self._regions]
         return region
 
     @property
@@ -83,14 +127,20 @@ class Memory:
 
     def region_at(self, address: int) -> Optional[Region]:
         """Return the region containing ``address``, or None."""
-        for region in self._regions:
-            if region.contains(address):
+        hit = self._hit
+        if hit is not None and hit.start <= address < hit.start + len(hit.data):
+            return hit
+        index = bisect_right(self._starts, address) - 1
+        if index >= 0:
+            region = self._regions[index]
+            if address < region.start + len(region.data):
+                self._hit = region
                 return region
         return None
 
     def _region_for(self, address: int, size: int) -> Region:
         region = self.region_at(address)
-        if region is None or not region.contains(address, size):
+        if region is None or address + size > region.start + len(region.data):
             raise MemoryError_(f"unmapped access at {address:#x} size {size}")
         return region
 
@@ -114,33 +164,74 @@ class Memory:
         region = self._region_for(address, len(data))
         if not region.writable:
             raise MemoryError_(f"write to read-only region {region.name!r} at {address:#x}")
+        if region.shared:
+            region.detach()
         offset = address - region.start
         region.data[offset:offset + len(data)] = data
+        region.generation += 1
 
     def read_int(self, address: int, size: int = 8, signed: bool = False) -> int:
         """Read a little-endian integer of ``size`` bytes."""
-        return int.from_bytes(self.read(address, size), "little", signed=signed)
+        region = self._hit
+        if region is not None:
+            offset = address - region.start
+            data = region.data
+            if 0 <= offset <= len(data) - size:
+                return int.from_bytes(data[offset:offset + size], "little",
+                                      signed=signed)
+        region = self._region_for(address, size)
+        offset = address - region.start
+        return int.from_bytes(region.data[offset:offset + size], "little", signed=signed)
 
     def write_int(self, address: int, value: int, size: int = 8) -> None:
         """Write a little-endian integer of ``size`` bytes (two's complement)."""
-        mask = (1 << (8 * size)) - 1
-        self.write(address, (value & mask).to_bytes(size, "little"))
+        region = self._hit
+        if region is not None and region.writable and not region.shared:
+            offset = address - region.start
+            data = region.data
+            if 0 <= offset <= len(data) - size:
+                data[offset:offset + size] = \
+                    (value & _INT_MASKS[size]).to_bytes(size, "little")
+                region.generation += 1
+                return
+        region = self._region_for(address, size)
+        if not region.writable:
+            raise MemoryError_(f"write to read-only region {region.name!r} at {address:#x}")
+        if region.shared:
+            region.detach()
+        offset = address - region.start
+        region.data[offset:offset + size] = \
+            (value & _INT_MASKS[size]).to_bytes(size, "little")
+        region.generation += 1
 
     def read_cstring(self, address: int, limit: int = 4096) -> bytes:
         """Read a NUL-terminated byte string (without the terminator)."""
-        out = bytearray()
-        for i in range(limit):
-            byte = self.read(address + i, 1)[0]
-            if byte == 0:
-                break
-            out.append(byte)
-        return bytes(out)
+        region = self._region_for(address, 1)
+        offset = address - region.start
+        window_end = min(offset + limit, len(region.data))
+        terminator = region.data.find(b"\0", offset, window_end)
+        if terminator >= 0:
+            return bytes(region.data[offset:terminator])
+        if window_end - offset >= limit:
+            # limit exhausted inside the region: return the unterminated window
+            return bytes(region.data[offset:window_end])
+        # string runs off the end of the region before hitting a terminator
+        raise MemoryError_(f"unmapped access at {region.start + len(region.data):#x} size 1")
 
     def snapshot(self) -> "Memory":
-        """Return a deep copy of the memory (used by attack engines to fork)."""
+        """Return a copy-on-write fork of the memory.
+
+        Both the parent and the fork keep using the shared backing storage
+        until either side writes into a region, at which point that side
+        privatizes its copy.  Used by the attack engines to fork per
+        execution at near-zero cost.
+        """
         clone = Memory()
         for region in self._regions:
+            region.shared = True
             clone._regions.append(
-                Region(region.name, region.start, bytearray(region.data), region.writable)
+                Region(region.name, region.start, region.data, region.writable,
+                       shared=True, generation=region.generation)
             )
+        clone._starts = list(self._starts)
         return clone

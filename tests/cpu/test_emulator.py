@@ -224,3 +224,110 @@ def test_lea_computes_effective_address():
         make("ret"),
     ])
     assert call_function(program, "f", [100, 3])[0] == 100 + 24 + 4
+
+
+def test_shift_count_masked_by_operand_width():
+    # x86 masks shift counts by the operand width: 5 bits for 32-bit and
+    # narrower operands, 6 bits for 64-bit ones.  A count of 33 therefore
+    # shifts a 32-bit operand by 1 but a 64-bit operand by 33.
+    program = build_program([
+        make("mov", Reg(Register.RAX), Reg(Register.RDI)),
+        make("shl", Reg(Register.RAX, 4), Imm(33)),
+        make("ret"),
+    ])
+    assert call_function(program, "f", [3])[0] == 6
+
+    program = build_program([
+        make("mov", Reg(Register.RAX), Reg(Register.RDI)),
+        make("shl", Reg(Register.RAX), Imm(33)),
+        make("ret"),
+    ])
+    assert call_function(program, "f", [3])[0] == 3 << 33
+
+    # same masking applies to right shifts
+    program = build_program([
+        make("mov", Reg(Register.RAX), Reg(Register.RDI)),
+        make("shr", Reg(Register.RAX, 4), Imm(33)),
+        make("ret"),
+    ])
+    assert call_function(program, "f", [8])[0] == 4
+
+
+def _start_call(emulator, program, address, args=()):
+    """Prepare ``emulator`` to run the function at ``address`` from scratch."""
+    emulator.halted = False
+    emulator.state.write_reg(Register.RSP, program.stack_top)
+    emulator.state.write_reg(Register.RBP, program.stack_top)
+    for reg, value in zip([Register.RDI, Register.RSI], args):
+        emulator.state.write_reg(reg, value)
+    emulator.push(EXIT_ADDRESS)
+    emulator.state.rip = address
+
+
+def test_self_modifying_code_invalidates_decode_cache():
+    """Stores over already-executed .text bytes must re-decode correctly."""
+    program = build_program([
+        make("mov", Reg(Register.RAX), Imm(1)),
+        make("ret"),
+    ])
+    address = program.image.function("f").address
+    emulator = Emulator(program.memory)
+    _start_call(emulator, program, address)
+    emulator.run()
+    assert emulator.state.read_reg(Register.RAX) == 1
+
+    # overwrite the executed code in place (same shape, new immediate), the
+    # way ROP-materialized or self-modifying code would
+    patched, _ = assemble([
+        make("mov", Reg(Register.RAX), Imm(2)),
+        make("ret"),
+    ], base_address=address)
+    program.memory.write(address, patched)
+
+    _start_call(emulator, program, address)
+    emulator.run()
+    assert emulator.state.read_reg(Register.RAX) == 2
+
+
+def test_program_fork_isolates_runs():
+    """Runs against COW forks never leak state into the pristine program."""
+    # f stores rdi into the data blob, then returns the stored value
+    program = build_program(
+        [
+            make("mov", Mem(disp=0x600000, size=8), Reg(Register.RDI)),
+            make("mov", Reg(Register.RAX), Mem(disp=0x600000, size=8)),
+            make("ret"),
+        ],
+        data=(7).to_bytes(8, "little"),
+    )
+    fork_a = program.fork()
+    fork_b = program.fork()
+    assert call_function(fork_a, "f", [111])[0] == 111
+    assert call_function(fork_b, "f", [222])[0] == 222
+    # neither run polluted the pristine image or the sibling fork
+    assert program.memory.read_int(0x600000, 8) == 7
+    assert fork_a.memory.read_int(0x600000, 8) == 111
+    assert fork_b.memory.read_int(0x600000, 8) == 222
+
+
+def test_run_max_steps_is_a_per_call_budget():
+    from repro.isa.operands import Label
+
+    program = build_program(["spin", make("jmp", Label("spin"))])
+    address = program.image.function("f").address
+    emulator = Emulator(program.memory, max_steps=1000)
+    _start_call(emulator, program, address)
+    with pytest.raises(EmulationError):
+        emulator.run(max_steps=10)
+    # the per-call budget must not clobber the emulator-wide cap
+    assert emulator.max_steps == 1000
+    assert emulator.steps <= 10
+    # a second call gets a fresh per-call budget and can keep executing
+    steps_before = emulator.steps
+    with pytest.raises(EmulationError):
+        emulator.run(max_steps=10)
+    assert emulator.steps > steps_before
+    # ... but the emulator-wide cap still binds overall
+    with pytest.raises(EmulationError):
+        emulator.run()
+    assert emulator.steps == 1000

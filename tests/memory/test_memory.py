@@ -1,0 +1,143 @@
+"""Tests for the region-based memory: lookup fast paths, generations, COW."""
+
+import pytest
+
+from repro.memory import Memory, MemoryError_
+
+
+def build_memory():
+    memory = Memory()
+    memory.map("code", 0x1000, 0x100, bytes(range(16)) * 16, writable=True)
+    memory.map("data", 0x4000, 0x100)
+    memory.map("stack", 0x8000, 0x1000)
+    return memory
+
+
+def test_region_lookup_and_bounds():
+    memory = build_memory()
+    assert memory.region_at(0x1000).name == "code"
+    assert memory.region_at(0x10FF).name == "code"
+    assert memory.region_at(0x1100) is None
+    assert memory.region_at(0x0FFF) is None
+    assert memory.region_at(0x8FFF).name == "stack"
+    # repeated hits (the cached-region path) keep resolving correctly
+    for _ in range(3):
+        assert memory.region_at(0x4010).name == "data"
+        assert memory.region_at(0x1001).name == "code"
+
+
+def test_read_write_int_roundtrip_and_faults():
+    memory = build_memory()
+    memory.write_int(0x4000, 0xDEADBEEF, 4)
+    assert memory.read_int(0x4000, 4) == 0xDEADBEEF
+    assert memory.read_int(0x4000, 8) == 0xDEADBEEF
+    memory.write_int(0x4008, -1, 8)
+    assert memory.read_int(0x4008, 8) == (1 << 64) - 1
+    assert memory.read_int(0x4008, 8, signed=True) == -1
+    with pytest.raises(MemoryError_):
+        memory.read_int(0x40FC, 8)  # straddles the region end
+    with pytest.raises(MemoryError_):
+        memory.write_int(0x2000, 1, 8)  # unmapped
+
+
+def test_write_to_read_only_region_faults():
+    memory = Memory()
+    memory.map("ro", 0x1000, 0x10, b"abcd", writable=False)
+    assert memory.read(0x1000, 4) == b"abcd"
+    with pytest.raises(MemoryError_):
+        memory.write(0x1000, b"x")
+    with pytest.raises(MemoryError_):
+        memory.write_int(0x1000, 1, 1)
+
+
+def test_overlapping_map_rejected():
+    memory = build_memory()
+    with pytest.raises(MemoryError_):
+        memory.map("overlap", 0x10F0, 0x100)
+
+
+def test_generation_bumps_on_store():
+    memory = build_memory()
+    region = memory.region_at(0x1000)
+    before = region.generation
+    memory.write_int(0x1008, 0x42, 8)
+    assert region.generation == before + 1
+    memory.write(0x1010, b"\x01\x02")
+    assert region.generation == before + 2
+    # reads never bump the generation
+    memory.read_int(0x1008, 8)
+    assert region.generation == before + 2
+
+
+def test_read_cstring():
+    memory = Memory()
+    memory.map("data", 0x1000, 0x100, b"hello\0world")
+    assert memory.read_cstring(0x1000) == b"hello"
+    assert memory.read_cstring(0x1006) == b"world"
+    assert memory.read_cstring(0x1000, limit=3) == b"hel"
+    with pytest.raises(MemoryError_):
+        # unterminated string running off the region end
+        memory.map("tight", 0x2000, 4, b"abcd")
+        memory.read_cstring(0x2000)
+
+
+def test_snapshot_fork_isolation():
+    """Mutations in a fork never leak into the parent or sibling forks."""
+    parent = build_memory()
+    parent.write_int(0x4000, 0x1111, 8)
+    fork_a = parent.snapshot()
+    fork_b = parent.snapshot()
+
+    fork_a.write_int(0x4000, 0xAAAA, 8)
+    assert fork_a.read_int(0x4000, 8) == 0xAAAA
+    assert parent.read_int(0x4000, 8) == 0x1111
+    assert fork_b.read_int(0x4000, 8) == 0x1111
+
+    fork_b.write_int(0x4000, 0xBBBB, 8)
+    assert fork_b.read_int(0x4000, 8) == 0xBBBB
+    assert fork_a.read_int(0x4000, 8) == 0xAAAA
+    assert parent.read_int(0x4000, 8) == 0x1111
+
+    # parent writes after forking stay invisible to both forks
+    parent.write_int(0x4008, 0x2222, 8)
+    assert fork_a.read_int(0x4008, 8) == 0
+    assert fork_b.read_int(0x4008, 8) == 0
+
+
+def test_snapshot_untouched_regions_stay_shared():
+    parent = build_memory()
+    fork = parent.snapshot()
+    fork.write_int(0x8000, 1, 8)  # detaches only the stack region
+    parent_regions = {r.name: r for r in parent.regions}
+    fork_regions = {r.name: r for r in fork.regions}
+    assert fork_regions["stack"].data is not parent_regions["stack"].data
+    assert fork_regions["code"].data is parent_regions["code"].data
+    assert fork_regions["data"].data is parent_regions["data"].data
+
+
+def test_snapshot_of_snapshot():
+    parent = build_memory()
+    child = parent.snapshot()
+    child.write_int(0x4000, 7, 8)
+    grandchild = child.snapshot()
+    grandchild.write_int(0x4000, 8, 8)
+    assert parent.read_int(0x4000, 8) == 0
+    assert child.read_int(0x4000, 8) == 7
+    assert grandchild.read_int(0x4000, 8) == 8
+
+
+def test_snapshot_preserves_generation_semantics():
+    """Decode caches keyed on generations stay sound across forks."""
+    parent = build_memory()
+    parent.write_int(0x1000, 0x90, 1)
+    code = parent.region_at(0x1000)
+    generation = code.generation
+    fork = parent.snapshot()
+    # a fork write bumps only the fork's region generation
+    fork.write_int(0x1000, 0xCC, 1)
+    assert fork.region_at(0x1000).generation == generation + 1
+    assert code.generation == generation
+    # a parent write after forking bumps the parent's region generation
+    parent.write_int(0x1001, 0xCC, 1)
+    assert code.generation == generation + 1
+    assert fork.read_int(0x1001, 1) == 0x01  # pre-fork byte, unchanged
