@@ -1,16 +1,19 @@
-"""Microbenchmark: emulator steady-state throughput and memory fork rate.
+"""Microbenchmark: emulator steady-state throughput and fork/snapshot rates.
 
 This is the perf gate for the fast execution core (decode cache, dispatch
-table, memory fast paths, copy-on-write forking).  It drives a fully
-ROP-obfuscated workload (``fasta`` under ``ROP1.00`` — every instruction
-dispatched through ret-terminated chains, the worst case the paper measures
-in Figure 5) and reports:
+table, trace-fused superinstructions, memory fast paths, copy-on-write
+forking).  It drives a fully ROP-obfuscated workload (``fasta`` under
+``ROP1.00`` — every instruction dispatched through ret-terminated chains, the
+worst case the paper measures in Figure 5) and reports:
 
-* **instructions/sec** of the hook-free interpreter loop, with and without
-  the decode cache (``REPRO_DECODE_CACHE``),
+* **instructions/sec** of the hook-free interpreter loop, plus A/B numbers
+  with superinstruction fusion off (``REPRO_TRACE_CACHE``) and with the
+  decode cache also off (``REPRO_DECODE_CACHE``),
 * **forks/sec** of :meth:`repro.memory.Memory.snapshot`-based program
   forking versus the deep ``load_image`` path the attack engines used to
-  take per execution.
+  take per execution,
+* **snapshots/sec** of the full-context :meth:`repro.cpu.Emulator.snapshot`
+  / :meth:`~repro.cpu.Emulator.restore` pair the DSE engine rewinds with.
 
 Results are persisted to ``BENCH_emulator.json`` at the repo root so future
 PRs see the trajectory.  The committed file doubles as the regression
@@ -42,8 +45,10 @@ RESULT_PATH = REPO_ROOT / "BENCH_emulator.json"
 #: Maximum tolerated interpreter-throughput regression before the gate fails.
 REGRESSION_TOLERANCE = 0.20
 
-#: The decode cache is the largest single win; flag runs where it is off.
+#: The decode and trace caches are the two largest wins; flag runs where the
+#: environment has turned either off so the report stays honest about it.
 _CACHE_ENABLED = os.environ.get("REPRO_DECODE_CACHE", "1") != "0"
+_TRACE_ENABLED = os.environ.get("REPRO_TRACE_CACHE", "1") != "0"
 
 
 def measure_calibration(rounds=3):
@@ -75,7 +80,8 @@ def _build_workload():
     return load_image(image), entry, argument
 
 
-def measure_throughput(pristine, entry, argument, rounds=3, decode_cache=None):
+def measure_throughput(pristine, entry, argument, rounds=3, decode_cache=None,
+                       trace_cache=None):
     """Run the workload ``rounds`` times; return best-of instructions/sec."""
     from repro.cpu.emulator import Emulator
     from repro.cpu.host import EXIT_ADDRESS, HostEnvironment
@@ -86,7 +92,8 @@ def measure_throughput(pristine, entry, argument, rounds=3, decode_cache=None):
     for _ in range(rounds):
         program = pristine.fork()
         emulator = Emulator(program.memory, host=HostEnvironment(),
-                            max_steps=5_000_000, decode_cache=decode_cache)
+                            max_steps=5_000_000, decode_cache=decode_cache,
+                            trace_cache=trace_cache)
         emulator.state.write_reg(Register.RSP, program.stack_top)
         emulator.state.write_reg(Register.RBP, program.stack_top)
         emulator.state.write_reg(ARG_REGISTERS[0], argument)
@@ -127,17 +134,54 @@ def measure_fork_rate(pristine, image, count=300):
     }
 
 
+def measure_snapshot_rate(pristine, entry, argument, count=2000):
+    """Measure full-context ``Emulator.snapshot()``/``restore()`` cycles.
+
+    This is the DSE rewind pattern: snapshot a prepared emulator once, then
+    restore per explored path.  Each cycle includes a register write and a
+    stack store so the COW detach a real path pays is part of the cost.
+    """
+    from repro.cpu.emulator import Emulator
+    from repro.cpu.host import EXIT_ADDRESS, HostEnvironment
+    from repro.isa.registers import ARG_REGISTERS, Register
+
+    program = pristine.fork()
+    emulator = Emulator(program.memory, host=HostEnvironment(),
+                        max_steps=5_000_000)
+    emulator.state.write_reg(Register.RSP, program.stack_top)
+    emulator.state.write_reg(Register.RBP, program.stack_top)
+    emulator.state.write_reg(ARG_REGISTERS[0], argument)
+    emulator.push(EXIT_ADDRESS)
+    emulator.state.rip = program.image.function(entry).address
+    snap = emulator.snapshot()
+
+    start = time.perf_counter()
+    for index in range(count):
+        emulator.restore(snap)
+        emulator.state.write_reg(ARG_REGISTERS[0], index)
+        emulator.memory.write_int(program.stack_top - 16, index, 8)
+    elapsed = time.perf_counter() - start
+    return {"snapshot_restores_per_sec": round(count / elapsed)}
+
+
 def run_benchmarks():
     """Measure everything and return the report dict."""
     pristine, entry, argument = _build_workload()
+    fusion = (_CACHE_ENABLED and _TRACE_ENABLED) or None
     report = {
         "workload": "clbg/fasta under ROP1.00 (seed=1), hook-free run loop",
         "calibration_sec": round(measure_calibration(), 4),
         "throughput": measure_throughput(pristine, entry, argument,
-                                         decode_cache=_CACHE_ENABLED or None),
+                                         decode_cache=_CACHE_ENABLED or None,
+                                         trace_cache=fusion),
+        "throughput_trace_cache_off": measure_throughput(
+            pristine, entry, argument, rounds=2,
+            decode_cache=_CACHE_ENABLED or None, trace_cache=False),
         "throughput_decode_cache_off": measure_throughput(
-            pristine, entry, argument, rounds=1, decode_cache=False),
+            pristine, entry, argument, rounds=1, decode_cache=False,
+            trace_cache=False),
         "forking": measure_fork_rate(pristine, pristine.image),
+        "snapshots": measure_snapshot_rate(pristine, entry, argument),
     }
     return report
 
@@ -154,7 +198,7 @@ def _load_committed():
 
 
 def _persist(report, committed):
-    payload = {"schema": 1}
+    payload = {"schema": 2}
     # the seed measurement is a fixed historical reference; carry it forward
     if committed and "seed" in committed:
         payload["seed"] = committed["seed"]
@@ -183,16 +227,27 @@ def test_emulator_throughput_and_fork_rate():
     gate = os.environ.get("REPRO_BENCH_GATE", "1") != "0" and not update
 
     ips = report["throughput"]["instructions_per_sec"]
+    trace_off_ips = report["throughput_trace_cache_off"]["instructions_per_sec"]
     forking = report["forking"]
+    snapshots = report["snapshots"]
     print()
     print(f"interpreter throughput : {ips:>12,} instructions/sec")
+    print(f"  trace cache off      : {trace_off_ips:>12,} instructions/sec")
     print(f"  decode cache off     : "
           f"{report['throughput_decode_cache_off']['instructions_per_sec']:>12,}"
           " instructions/sec")
     print(f"COW fork rate          : {forking['forks_per_sec']:>12,} forks/sec "
           f"({forking['fork_speedup']}x over deep load_image)")
+    print(f"emulator snapshot rate : "
+          f"{snapshots['snapshot_restores_per_sec']:>12,} restores/sec")
 
+    caches_on = _CACHE_ENABLED and _TRACE_ENABLED
     if update or committed is None:
+        if not caches_on:
+            raise SystemExit(
+                "refusing to (re)write the baseline with REPRO_DECODE_CACHE/"
+                "REPRO_TRACE_CACHE disabled: the committed numbers must be "
+                "the fused configuration CI gates against")
         payload = _persist(report, committed)
         print(f"baseline updated: {RESULT_PATH}")
         speedups = payload.get("speedup_vs_seed")
@@ -206,7 +261,20 @@ def test_emulator_throughput_and_fork_rate():
         f"COW forking only {forking['fork_speedup']}x faster than deep "
         f"load_image (expected >= 10x)")
 
-    if gate:
+    if caches_on:
+        # same-machine ratio: superinstruction fusion must stay a large
+        # multiplier over single-step dispatch.  Nominally ~2.1-2.7x; gated
+        # at 1.8x because the single-step leg is noisy on shared runners.
+        fusion_speedup = ips / max(1, trace_off_ips)
+        assert fusion_speedup >= 1.8, (
+            f"trace fusion only {fusion_speedup:.2f}x over single-step "
+            f"dispatch (expected >= 1.8x)")
+
+    if gate and not caches_on:
+        # the committed baseline is the fused configuration; measuring with
+        # a cache disabled is the A/B debugging mode, not a regression
+        print("absolute throughput gate skipped: decode/trace cache disabled")
+    elif gate:
         # scale the baseline host's absolute numbers by the ratio of machine
         # speeds, so slow CI runners don't fail without a code regression
         baseline_cal = committed.get("calibration_sec")

@@ -21,8 +21,8 @@ from repro.attacks.shadow import ShadowTracker
 from repro.attacks.solver.expr import SymExpr
 from repro.attacks.solver.solver import ConstraintSolver, PathConstraint
 from repro.binary.image import BinaryImage
-from repro.binary.loader import LoadedProgram, load_image
-from repro.cpu.emulator import Emulator
+from repro.binary.loader import load_image
+from repro.cpu.emulator import Emulator, EmulatorSnapshot
 from repro.cpu.host import EXIT_ADDRESS, HostEnvironment
 from repro.cpu.state import EmulationError
 from repro.isa.registers import ARG_REGISTERS, Register
@@ -107,25 +107,40 @@ class DseEngine:
         self.symbols = self.input_spec.symbol_table()
         self.solver = ConstraintSolver(self.symbols, seed=seed)
         self.stats = ExplorationStats()
-        self._pristine: Optional["LoadedProgram"] = None
+        self._emulator: Optional[Emulator] = None
+        self._entry_snapshot: Optional[EmulatorSnapshot] = None
+        self._heap_base = 0
 
-    def _fork_program(self):
-        """Fork a fresh program state off a lazily-loaded pristine image."""
-        if self._pristine is None:
-            self._pristine = load_image(self.image)
-        return self._pristine.fork()
+    def _fork_emulator(self) -> Emulator:
+        """Rewind the engine's emulator to the attacked function's entry.
+
+        The first call loads the image once and snapshots the fully prepared
+        emulator (stack, return-to-exit sentinel, ``rip`` at the function
+        entry); every later call restores that snapshot copy-on-write, so
+        each explored path starts from the entry in O(1) instead of paying
+        ``load_image`` and a fresh run from ``main``.
+        """
+        if self._entry_snapshot is None:
+            program = load_image(self.image)
+            emulator = Emulator(program.memory, host=HostEnvironment(),
+                                max_steps=self.max_instructions)
+            emulator.state.write_reg(Register.RSP, program.stack_top)
+            emulator.state.write_reg(Register.RBP, program.stack_top)
+            emulator.push(EXIT_ADDRESS)
+            emulator.state.rip = self.image.function(self.function).address
+            self._heap_base = program.heap_base
+            self._emulator = emulator
+            self._entry_snapshot = emulator.snapshot()
+        self._emulator.restore(self._entry_snapshot)
+        return self._emulator
 
     # -- concrete+symbolic execution of one input --------------------------------
     def execute(self, assignment: Dict[str, int]) -> ExecutionResult:
         """Run the target once under the given input assignment."""
-        program = self._fork_program()
-        host = HostEnvironment()
-        emulator = Emulator(program.memory, host=host, max_steps=self.max_instructions)
+        emulator = self._fork_emulator()
+        host = emulator.host
         tracker = ShadowTracker(memory_model=self.memory_model)
-        emulator.pre_hooks.append(tracker.hook)
-
-        emulator.state.write_reg(Register.RSP, program.stack_top)
-        emulator.state.write_reg(Register.RBP, program.stack_top)
+        emulator.pre_hooks = [tracker.hook]
 
         arguments: List[int] = []
         for index, size in enumerate(self.input_spec.argument_sizes):
@@ -133,11 +148,11 @@ class DseEngine:
             value = assignment.get(name, 0) & ((1 << (8 * size)) - 1)
             arguments.append(value)
         if self.input_spec.buffer_symbols:
-            buffer_address = program.heap_base + 0x100
+            buffer_address = self._heap_base + 0x100
             for index in range(self.input_spec.buffer_symbols):
                 name = f"buf{index}"
                 value = assignment.get(name, 0) & 0xFF
-                program.memory.write_int(buffer_address + index, value, 1)
+                emulator.memory.write_int(buffer_address + index, value, 1)
                 tracker.set_memory_symbol(buffer_address + index, 1, SymExpr(name, 1))
             arguments.append(buffer_address)
 
@@ -145,9 +160,6 @@ class DseEngine:
             emulator.state.write_reg(register, value & _MASK64)
         for index, size in enumerate(self.input_spec.argument_sizes):
             tracker.set_register_symbol(ARG_REGISTERS[index], SymExpr(f"arg{index}", size))
-
-        emulator.push(EXIT_ADDRESS)
-        emulator.state.rip = self.image.function(self.function).address
 
         faulted = False
         try:

@@ -2,7 +2,7 @@
 
 from repro.cpu.state import CpuState, EmulationError
 from repro.cpu.host import HostEnvironment, EXIT_ADDRESS
-from repro.cpu.emulator import Emulator, call_function
+from repro.cpu.emulator import Emulator, EmulatorSnapshot, call_function
 from repro.cpu.tracing import TraceRecorder, TraceEntry
 
 __all__ = [
@@ -11,6 +11,7 @@ __all__ = [
     "HostEnvironment",
     "EXIT_ADDRESS",
     "Emulator",
+    "EmulatorSnapshot",
     "call_function",
     "TraceRecorder",
     "TraceEntry",

@@ -18,8 +18,19 @@ in the evaluation grid bottoms out here):
   methods bound into a ``Mnemonic -> handler`` table at construction, and
   the cached decode entry memoizes the handler, so steady-state dispatch is
   one dict probe instead of a ~40-branch ``if`` chain.
+* **Trace cache** — hot addresses are fused into superinstructions: straight
+  -line runs (and ret-chains with concrete stack targets) compile into flat
+  lists of operand-bound closures executed as one unit, skipping the whole
+  per-instruction dispatch (see :mod:`repro.cpu.trace`).  Traces key on the
+  code region's write generation like the decode cache and fall back to
+  single-step whenever hooks are installed or the step budget is nearly
+  exhausted.  Set ``REPRO_TRACE_CACHE=0`` to disable fusion.
 * **Hook-free fast path** — :meth:`run` only takes the slow path (pre-hook
   fan-out per instruction) when hooks are actually installed.
+* **O(1) snapshots** — :meth:`Emulator.snapshot` / :meth:`Emulator.restore`
+  fork the complete execution context (registers, flags, memory COW, host
+  state) so the attack engines can rewind to a saved point instead of
+  re-running from the entry.
 """
 
 from __future__ import annotations
@@ -38,6 +49,7 @@ from repro.cpu.state import (
     SIZE_MASKS,
     to_signed,
 )
+from repro.cpu.trace import Trace, build_trace
 from repro.isa.encoding import DecodeError, decode_instruction
 from repro.isa.instructions import Instruction, Mnemonic
 from repro.isa.operands import Imm, Mem, Reg
@@ -60,6 +72,34 @@ _HOST_SPACE_END = HOST_FUNCTION_LIMIT
 #: (useful for benchmarking the cache itself and as a bisection aid).
 _DECODE_CACHE_DEFAULT = os.environ.get("REPRO_DECODE_CACHE", "1") != "0"
 
+#: Trace fusion default; ``REPRO_TRACE_CACHE=0`` disables superinstruction
+#: fusion globally (debugging aid and the A/B lever the benchmark uses).
+_TRACE_CACHE_DEFAULT = os.environ.get("REPRO_TRACE_CACHE", "1") != "0"
+
+#: Number of run-loop visits to an address before it is fused into a trace.
+#: One free visit keeps cold straight-through code out of the compiler.
+_TRACE_HEAT_THRESHOLD = 2
+
+
+class EmulatorSnapshot:
+    """A frozen copy of a complete execution context.
+
+    Produced by :meth:`Emulator.snapshot`; consumed (any number of times) by
+    :meth:`Emulator.restore`.  Memory is captured copy-on-write, registers,
+    flags and host state are shallow-copied, so taking and restoring
+    snapshots is O(regions), not O(bytes).
+    """
+
+    __slots__ = ("state", "memory", "host", "steps", "halted")
+
+    def __init__(self, state: CpuState, memory: Memory, host: HostEnvironment,
+                 steps: int, halted: bool) -> None:
+        self.state = state
+        self.memory = memory
+        self.host = host
+        self.steps = steps
+        self.halted = halted
+
 
 class Emulator:
     """Executes instructions against a :class:`CpuState` and a memory.
@@ -71,11 +111,14 @@ class Emulator:
             obfuscated code and is also the knob attack budgets use).
         decode_cache: override the decode-cache toggle for this instance
             (defaults to the ``REPRO_DECODE_CACHE`` environment knob).
+        trace_cache: override the superinstruction-fusion toggle for this
+            instance (defaults to the ``REPRO_TRACE_CACHE`` environment knob).
     """
 
     def __init__(self, memory: Memory, host: Optional[HostEnvironment] = None,
                  max_steps: int = 2_000_000,
-                 decode_cache: Optional[bool] = None) -> None:
+                 decode_cache: Optional[bool] = None,
+                 trace_cache: Optional[bool] = None) -> None:
         self.memory = memory
         self.state = CpuState()
         self.host = host or HostEnvironment()
@@ -88,8 +131,14 @@ class Emulator:
         self.pre_hooks: List[Callable] = []
         self._decode_cache_enabled = (_DECODE_CACHE_DEFAULT
                                       if decode_cache is None else decode_cache)
+        self._trace_cache_enabled = (_TRACE_CACHE_DEFAULT
+                                     if trace_cache is None else trace_cache)
         #: address -> (instruction, length, region, generation, handler)
         self._decode_cache: Dict[int, tuple] = {}
+        #: entry address -> compiled superinstruction
+        self._trace_cache: Dict[int, Trace] = {}
+        #: entry address -> run-loop visit count (see _TRACE_HEAT_THRESHOLD)
+        self._trace_heat: Dict[int, int] = {}
         self._dispatch: Dict[Mnemonic, Callable[[Instruction], None]] = {
             mnemonic: getattr(self, name) for mnemonic, name in _HANDLER_NAMES.items()
         }
@@ -108,6 +157,17 @@ class Emulator:
             return entry[0], entry[1]
         entry = self._fetch_slow(address)
         return entry[0], entry[1]
+
+    def decode_entry(self, address: int) -> tuple:
+        """Decode at ``address`` returning the full cache entry tuple.
+
+        The tuple is ``(instruction, length, region, generation, handler)``;
+        used by the trace builder so fusion re-uses cached decodes.
+        """
+        entry = self._decode_cache.get(address)
+        if entry is not None and entry[2].generation == entry[3]:
+            return entry
+        return self._fetch_slow(address)
 
     def _fetch_slow(self, address: int) -> tuple:
         """Decode at ``address`` and (re)populate the decode cache."""
@@ -271,6 +331,11 @@ class Emulator:
         cache_get = self._decode_cache.get
         fetch_slow = self._fetch_slow
         host_space_end = _HOST_SPACE_END
+        fuse = self._trace_cache_enabled
+        traces = self._trace_cache
+        trace_get = traces.get
+        heat = self._trace_heat
+        heat_get = heat.get
         while not self.halted:
             if self.pre_hooks:
                 # slow path: step() fans out to hooks with identical semantics
@@ -290,6 +355,38 @@ class Emulator:
                     self.steps += 1
                     continue
                 # unmapped low address: fall through so fetch reports the fault
+            if fuse:
+                trace = trace_get(address)
+                if trace is not None and trace.generation != trace.region.generation:
+                    # the code under the trace changed (self-modifying or
+                    # ROP-materialized): recompile from the current bytes
+                    trace = build_trace(self, address)
+                    if trace is None:
+                        # unfusable right now (single-step will report the
+                        # fault); reset the heat so the address can fuse
+                        # again once valid code is written over it
+                        del traces[address]
+                        heat[address] = 0
+                    else:
+                        traces[address] = trace
+                if trace is not None:
+                    if self.steps + trace.length <= limit:
+                        self._execute_trace(trace)
+                        continue
+                    # budget nearly exhausted: single-step to the exact cap
+                else:
+                    count = heat_get(address, 0) + 1
+                    if count >= _TRACE_HEAT_THRESHOLD:
+                        trace = build_trace(self, address)
+                        if trace is None:
+                            heat[address] = 0
+                        else:
+                            traces[address] = trace
+                            if self.steps + trace.length <= limit:
+                                self._execute_trace(trace)
+                                continue
+                    else:
+                        heat[address] = count
             entry = cache_get(address)
             if entry is None or entry[2].generation != entry[3]:
                 entry = fetch_slow(address)
@@ -299,6 +396,64 @@ class Emulator:
                 raise EmulationError(f"unimplemented instruction {entry[0]}")
             handler(entry[0])
             self.steps += 1
+
+    def _execute_trace(self, trace: Trace) -> None:
+        """Execute one fused superinstruction.
+
+        The caller has already verified the region generation and that the
+        remaining step budget covers the full trace.  A False-returning op
+        (failed ret guard, mid-trace self-modification) ends the fused run
+        with the architectural state exactly as single-stepping would have
+        left it; a faulting op repairs ``rip``/``steps`` to match single-step
+        semantics before the error propagates.
+        """
+        executed = 0
+        try:
+            for op in trace.ops:
+                executed += 1
+                if not op():
+                    self.steps += executed
+                    return
+        except MemoryError_ as exc:
+            self.steps += executed - 1
+            self.state.rip = trace.posts[executed - 1]
+            raise EmulationError(str(exc)) from exc
+        except EmulationError:
+            self.steps += executed - 1
+            self.state.rip = trace.posts[executed - 1]
+            raise
+        self.steps += executed
+        if trace.final_rip is not None:
+            self.state.rip = trace.final_rip
+
+    # -- snapshots ----------------------------------------------------------
+    def snapshot(self) -> EmulatorSnapshot:
+        """Capture the complete execution context copy-on-write.
+
+        The returned snapshot is immutable from the emulator's point of view
+        and may be restored any number of times (each :meth:`restore` forks
+        it again), which is what lets the DSE engine rewind to the attacked
+        function's entry in O(1) per explored path.
+        """
+        return EmulatorSnapshot(self.state.fork(), self.memory.snapshot(),
+                                self.host.fork(), self.steps, self.halted)
+
+    def restore(self, snap: EmulatorSnapshot) -> None:
+        """Rewind this emulator to ``snap``.
+
+        Registers, flags, memory and host state all revert to their values at
+        snapshot time; the decode and trace caches are dropped because their
+        entries reference the replaced memory's regions.
+        """
+        self.state = snap.state.fork()
+        self.memory = snap.memory.snapshot()
+        self.host = snap.host.fork()
+        self.host_handlers = self.host.handlers()
+        self.steps = snap.steps
+        self.halted = snap.halted
+        self._decode_cache.clear()
+        self._trace_cache.clear()
+        self._trace_heat.clear()
 
     def _run_host_function(self, address: int) -> None:
         handler = self.host_handlers.get(address)

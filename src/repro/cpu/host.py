@@ -157,6 +157,23 @@ class HostEnvironment:
             table[host_function_address(name)] = implementations[name]
         return table
 
+    def fork(self) -> "HostEnvironment":
+        """Return an independent copy of the host state.
+
+        Everything the host tracks (allocator cursor, allocation table,
+        output buffers, probe log) is small and flat, so forking is a few
+        shallow copies — the host half of the O(1) emulator snapshots.
+        """
+        clone = HostEnvironment()
+        clone.heap_cursor = self.heap_cursor
+        clone.heap_limit = self.heap_limit
+        clone.allocations = dict(self.allocations)
+        clone.output = bytearray(self.output)
+        clone.int_output = list(self.int_output)
+        clone.probes = list(self.probes)
+        clone.aborted = self.aborted
+        return clone
+
     def reset_observations(self) -> None:
         """Clear output and probe records (heap state is preserved)."""
         self.output = bytearray()

@@ -145,8 +145,13 @@ class CpuState:
             raise EmulationError(f"unknown condition code {code!r}")
         return predicate(self.cf, self.zf, self.sf, self.of)
 
-    def copy(self) -> "CpuState":
-        """Return an independent copy of the state."""
+    def fork(self) -> "CpuState":
+        """Return an independent copy of the state.
+
+        Registers are a flat dict and flags are plain ints, so forking is a
+        single dict copy — the CPU half of the O(1) emulator snapshots
+        (:meth:`repro.cpu.Emulator.snapshot`).
+        """
         clone = CpuState()
         clone.regs = dict(self.regs)
         clone.cf = self.cf
@@ -155,6 +160,9 @@ class CpuState:
         clone.of = self.of
         clone.rip = self.rip
         return clone
+
+    #: Backwards-compatible alias for :meth:`fork`.
+    copy = fork
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         regs = ", ".join(f"{reg}={value:#x}" for reg, value in self.regs.items() if value)

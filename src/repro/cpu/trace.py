@@ -1,0 +1,866 @@
+"""Trace-fused superinstructions for the concrete emulator.
+
+The interpreter's per-instruction dispatch (address probe, generation check,
+budget check, handler lookup) dominates ROP workloads, where the ret-to-ret
+control flow makes every gadget a fresh dispatch.  This module discovers
+straight-line *traces* at execution time and compiles each one into a flat
+list of zero-argument closures with the operands already bound — a
+superinstruction executed as one unit by :meth:`Emulator._execute_trace`.
+
+A trace extends through:
+
+* fall-through instructions (ordinary basic-block bodies),
+* ``jmp``/``call`` with immediate targets inside the same region, and
+* ``ret`` whose return target can be *peeked* from the current stack — the
+  ROP case: chains pivot ``rsp`` into ``.ropchains``, so the popped slots are
+  section constants and the peek sees exactly what the ``ret`` will pop.
+
+Peeked targets are never trusted: the fused ``ret`` executes its real
+semantics and then *guards* on the recorded target.  A mismatching pop (a
+rewritten chain slot, a data-dependent branch) simply ends the fused run with
+the architectural state fully consistent, and the run loop carries on from
+the actual ``rip``.  Conditional branches and indirect jumps end a trace the
+same way, so no fused step is ever speculative.
+
+Correctness keying mirrors the decode cache: a trace records its code
+region's write ``generation`` and is rebuilt when the region changes
+(ROP-materialized and self-modifying code).  Closures that store to memory
+additionally re-check the generation *mid-trace*, so a program overwriting
+its own upcoming instructions falls back to single-step decode immediately.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.binary.sections import HOST_FUNCTION_LIMIT
+from repro.cpu.state import CONDITION_TABLE, EmulationError, SIZE_MASKS, to_signed
+from repro.isa.instructions import Instruction, Mnemonic
+from repro.isa.operands import Imm, Mem, Reg
+from repro.isa.registers import Register
+
+_M = (1 << 64) - 1
+_M32 = 0xFFFFFFFF
+_H = 1 << 63
+
+#: Upper bound on fused instructions per trace.  Long enough to swallow a
+#: whole chain block between branch gadgets, short enough that the run
+#: loop's ``steps + length <= limit`` pre-check rarely forces single-step.
+TRACE_CAP = 64
+
+_RSP = Register.RSP
+
+#: Shared closure for instructions that vanish entirely when fused
+#: (immediate jumps whose target simply continues the trace).
+_NOOP = lambda: True
+
+#: Mnemonics whose first operand being a plain register means that register
+#: is (potentially) written.  Used for the static rsp-delta tracking.
+_REG_WRITERS = frozenset(m for m in Mnemonic) - frozenset(
+    (Mnemonic.CMP, Mnemonic.TEST, Mnemonic.PUSH, Mnemonic.JMP, Mnemonic.JCC,
+     Mnemonic.NOP, Mnemonic.HLT, Mnemonic.RET)
+)
+
+
+class Trace:
+    """One compiled superinstruction.
+
+    Attributes:
+        entry: address the trace starts at.
+        ops: zero-argument closures, one per fused instruction; each returns
+            True to continue or False to end the fused run (failed ret guard,
+            mid-trace self-modification).
+        posts: per-instruction post-execution ``rip`` values, used to repair
+            ``rip`` when a fused instruction faults (matching single-step,
+            which advances ``rip`` before running the handler).
+        length: number of fused instructions (``len(ops)``).
+        region: the code region every fused instruction was decoded from.
+        generation: the region's write generation at build time; the trace is
+            stale once they differ.
+        final_rip: ``rip`` to install after a complete run when the last
+            fused instruction does not set it itself (straight-line tail);
+            None when the last instruction is a control transfer.
+    """
+
+    __slots__ = ("entry", "ops", "posts", "length", "region", "generation",
+                 "final_rip")
+
+    def __init__(self, entry: int, ops: List[Callable[[], bool]],
+                 posts: List[int], region, generation: int,
+                 final_rip: Optional[int]) -> None:
+        self.entry = entry
+        self.ops = ops
+        self.posts = posts
+        self.length = len(ops)
+        self.region = region
+        self.generation = generation
+        self.final_rip = final_rip
+
+
+# -- effective address helpers -------------------------------------------------
+
+def _ea_factory(operand: Mem, regs) -> Callable[[], int]:
+    """Compile a memory operand's effective-address computation."""
+    base, index, scale, disp = operand.base, operand.index, operand.scale, operand.disp
+    if index is None:
+        if base is None:
+            address = disp & _M
+            return lambda: address
+        if disp == 0:
+            return lambda: regs[base]
+        return lambda: (regs[base] + disp) & _M
+    if base is None:
+        return lambda: (regs[index] * scale + disp) & _M
+    return lambda: (regs[base] + regs[index] * scale + disp) & _M
+
+
+def _imm_value(operand: Imm) -> int:
+    """The unsigned value ``read_operand`` would produce for ``operand``."""
+    return operand.value & SIZE_MASKS[operand.size]
+
+
+# -- specialized closure factories ---------------------------------------------
+#
+# Every factory must reproduce the corresponding Emulator handler *exactly*,
+# including flag updates, sub-register write semantics and the order of state
+# mutations around a potential memory fault.  Anything not covered falls back
+# to the generic bound-handler closure, so coverage here is a pure
+# optimization, never a correctness requirement.
+
+def _fuse_mov(instruction: Instruction, state, regs, memory):
+    dst, src = instruction.operands
+    dcls, scls = type(dst), type(src)
+    if dcls is Reg:
+        if dst.size == 8:
+            d = dst.reg
+            if scls is Imm:
+                value = _imm_value(src)
+                def op():
+                    regs[d] = value
+                    return True
+                return op
+            if scls is Reg:
+                s = src.reg
+                if src.size == 8:
+                    def op():
+                        regs[d] = regs[s]
+                        return True
+                    return op
+                smask = SIZE_MASKS[src.size]
+                def op():
+                    regs[d] = regs[s] & smask
+                    return True
+                return op
+            if scls is Mem:
+                ea = _ea_factory(src, regs)
+                read_int = memory.read_int
+                size = src.size
+                def op():
+                    regs[d] = read_int(ea(), size)
+                    return True
+                return op
+        elif dst.size == 4:
+            d = dst.reg
+            if scls is Imm:
+                value = _imm_value(src) & _M32
+                def op():
+                    regs[d] = value
+                    return True
+                return op
+            if scls is Reg and src.size in (4, 8):
+                s = src.reg
+                def op():
+                    regs[d] = regs[s] & _M32
+                    return True
+                return op
+            if scls is Mem:
+                ea = _ea_factory(src, regs)
+                read_int = memory.read_int
+                size = src.size
+                def op():
+                    regs[d] = read_int(ea(), size) & _M32
+                    return True
+                return op
+    return None
+
+
+def _fuse_mov_to_mem(instruction: Instruction, state, regs, memory,
+                     region, generation, post):
+    dst, src = instruction.operands
+    if type(dst) is not Mem:
+        return None
+    scls = type(src)
+    ea = _ea_factory(dst, regs)
+    write_int = memory.write_int
+    size = dst.size
+    if scls is Imm:
+        value = _imm_value(src)
+        def op():
+            write_int(ea(), value, size)
+            if region.generation != generation:
+                state.rip = post
+                return False
+            return True
+        return op
+    if scls is Reg:
+        s = src.reg
+        if src.size == 8:
+            def op():
+                write_int(ea(), regs[s], size)
+                if region.generation != generation:
+                    state.rip = post
+                    return False
+                return True
+            return op
+        smask = SIZE_MASKS[src.size]
+        def op():
+            write_int(ea(), regs[s] & smask, size)
+            if region.generation != generation:
+                state.rip = post
+                return False
+            return True
+        return op
+    return None
+
+
+def _fuse_alu(instruction: Instruction, state, regs):
+    """add/sub/cmp/and/or/xor/test with a 64-bit register destination."""
+    dst, src = instruction.operands
+    if type(dst) is not Reg or dst.size != 8:
+        return None
+    d = dst.reg
+    scls = type(src)
+    if scls is Imm:
+        b = _imm_value(src)
+        s = None
+    elif scls is Reg and src.size == 8:
+        s = src.reg
+        b = None
+    else:
+        return None
+    mnemonic = instruction.mnemonic
+
+    if mnemonic is Mnemonic.ADD:
+        if s is None:
+            sb = b - ((b & _H) << 1)
+            def op():
+                a = regs[d]
+                total = a + b
+                result = total & _M
+                regs[d] = result
+                state.cf = 1 if total > _M else 0
+                st = (a - ((a & _H) << 1)) + sb
+                state.of = 1 if (st < -_H or st >= _H) else 0
+                state.zf = 1 if result == 0 else 0
+                state.sf = 1 if result & _H else 0
+                return True
+        else:
+            def op():
+                a = regs[d]
+                bv = regs[s]
+                total = a + bv
+                result = total & _M
+                regs[d] = result
+                state.cf = 1 if total > _M else 0
+                st = (a - ((a & _H) << 1)) + (bv - ((bv & _H) << 1))
+                state.of = 1 if (st < -_H or st >= _H) else 0
+                state.zf = 1 if result == 0 else 0
+                state.sf = 1 if result & _H else 0
+                return True
+        return op
+
+    if mnemonic in (Mnemonic.SUB, Mnemonic.CMP):
+        store = mnemonic is Mnemonic.SUB
+        if s is None:
+            sb = b - ((b & _H) << 1)
+            if store:
+                def op():
+                    a = regs[d]
+                    result = (a - b) & _M
+                    regs[d] = result
+                    state.cf = 1 if a < b else 0
+                    st = (a - ((a & _H) << 1)) - sb
+                    state.of = 1 if (st < -_H or st >= _H) else 0
+                    state.zf = 1 if result == 0 else 0
+                    state.sf = 1 if result & _H else 0
+                    return True
+            else:
+                def op():
+                    a = regs[d]
+                    result = (a - b) & _M
+                    state.cf = 1 if a < b else 0
+                    st = (a - ((a & _H) << 1)) - sb
+                    state.of = 1 if (st < -_H or st >= _H) else 0
+                    state.zf = 1 if result == 0 else 0
+                    state.sf = 1 if result & _H else 0
+                    return True
+        else:
+            if store:
+                def op():
+                    a = regs[d]
+                    bv = regs[s]
+                    result = (a - bv) & _M
+                    regs[d] = result
+                    state.cf = 1 if a < bv else 0
+                    st = (a - ((a & _H) << 1)) - (bv - ((bv & _H) << 1))
+                    state.of = 1 if (st < -_H or st >= _H) else 0
+                    state.zf = 1 if result == 0 else 0
+                    state.sf = 1 if result & _H else 0
+                    return True
+            else:
+                def op():
+                    a = regs[d]
+                    bv = regs[s]
+                    result = (a - bv) & _M
+                    state.cf = 1 if a < bv else 0
+                    st = (a - ((a & _H) << 1)) - (bv - ((bv & _H) << 1))
+                    state.of = 1 if (st < -_H or st >= _H) else 0
+                    state.zf = 1 if result == 0 else 0
+                    state.sf = 1 if result & _H else 0
+                    return True
+        return op
+
+    if mnemonic in (Mnemonic.AND, Mnemonic.OR, Mnemonic.XOR, Mnemonic.TEST):
+        store = mnemonic is not Mnemonic.TEST
+        kind = mnemonic
+        def op():
+            a = regs[d]
+            bv = b if s is None else regs[s]
+            if kind is Mnemonic.XOR:
+                result = a ^ bv
+            elif kind is Mnemonic.OR:
+                result = a | bv
+            else:
+                result = a & bv
+            if store:
+                regs[d] = result
+            state.cf = 0
+            state.of = 0
+            state.zf = 1 if result == 0 else 0
+            state.sf = 1 if result & _H else 0
+            return True
+        return op
+    return None
+
+
+def _fuse_incdec(instruction: Instruction, state, regs):
+    dst = instruction.operands[0]
+    if type(dst) is not Reg or dst.size != 8:
+        return None
+    d = dst.reg
+    if instruction.mnemonic is Mnemonic.INC:
+        def op():
+            a = regs[d]
+            result = (a + 1) & _M
+            regs[d] = result
+            # cf preserved; of set on signed overflow (0x7fff.. -> 0x8000..)
+            state.of = 1 if a == _H - 1 else 0
+            state.zf = 1 if result == 0 else 0
+            state.sf = 1 if result & _H else 0
+            return True
+    else:
+        def op():
+            a = regs[d]
+            result = (a - 1) & _M
+            regs[d] = result
+            state.of = 1 if a == _H else 0
+            state.zf = 1 if result == 0 else 0
+            state.sf = 1 if result & _H else 0
+            return True
+    return op
+
+
+def _fuse_shift(instruction: Instruction, state, regs):
+    dst, src = instruction.operands
+    if type(dst) is not Reg or dst.size != 8 or type(src) is not Imm:
+        return None
+    if instruction.mnemonic not in (Mnemonic.SHL, Mnemonic.SHR):
+        return None
+    d = dst.reg
+    amount = _imm_value(src) & 0x3F
+    left = instruction.mnemonic is Mnemonic.SHL
+    if left:
+        def op():
+            value = regs[d]
+            result = (value << amount) & _M
+            regs[d] = result
+            state.cf = (value >> (64 - amount)) & 1 if amount else 0
+            state.of = 0
+            state.zf = 1 if result == 0 else 0
+            state.sf = 1 if result & _H else 0
+            return True
+    else:
+        def op():
+            value = regs[d]
+            result = value >> amount
+            regs[d] = result
+            state.cf = (value >> (amount - 1)) & 1 if amount else 0
+            state.of = 0
+            state.zf = 1 if result == 0 else 0
+            state.sf = 1 if result & _H else 0
+            return True
+    return op
+
+
+def _fuse_lea(instruction: Instruction, state, regs):
+    dst, src = instruction.operands
+    if type(dst) is not Reg or dst.size != 8 or type(src) is not Mem:
+        return None
+    d = dst.reg
+    ea = _ea_factory(src, regs)
+    return lambda: (regs.__setitem__(d, ea()), True)[1]
+
+
+def _fuse_cmov(instruction: Instruction, state, regs):
+    dst, src = instruction.operands
+    if type(dst) is not Reg or dst.size != 8 or type(src) is not Reg or src.size != 8:
+        return None
+    d, s = dst.reg, src.reg
+    predicate = CONDITION_TABLE[instruction.condition]
+    def op():
+        if predicate(state.cf, state.zf, state.sf, state.of):
+            regs[d] = regs[s]
+        return True
+    return op
+
+
+def _fuse_set(instruction: Instruction, state, regs):
+    dst = instruction.operands[0]
+    if type(dst) is not Reg:
+        return None
+    d = dst.reg
+    predicate = CONDITION_TABLE[instruction.condition]
+    if dst.size >= 4:
+        def op():
+            regs[d] = 1 if predicate(state.cf, state.zf, state.sf, state.of) else 0
+            return True
+        return op
+    keep = ~SIZE_MASKS[dst.size] & _M
+    def op():
+        value = 1 if predicate(state.cf, state.zf, state.sf, state.of) else 0
+        regs[d] = (regs[d] & keep) | value
+        return True
+    return op
+
+
+def _fuse_push(instruction: Instruction, state, regs, memory, region,
+               generation, post):
+    src = instruction.operands[0]
+    scls = type(src)
+    write_int = memory.write_int
+    if scls is Reg and src.size == 8:
+        s = src.reg
+        def op():
+            # read before the rsp update: ``push rsp`` stores the old value
+            value = regs[s]
+            rsp = (regs[_RSP] - 8) & _M
+            regs[_RSP] = rsp
+            write_int(rsp, value, 8)
+            if region.generation != generation:
+                state.rip = post
+                return False
+            return True
+        return op
+    if scls is Imm:
+        value = _imm_value(src)
+        def op():
+            rsp = (regs[_RSP] - 8) & _M
+            regs[_RSP] = rsp
+            write_int(rsp, value, 8)
+            if region.generation != generation:
+                state.rip = post
+                return False
+            return True
+        return op
+    return None
+
+
+# The pop/ret closures below repeat the same qword stack load (bounds-check
+# against the pinned stack_region, inline int.from_bytes, read_int fallback)
+# instead of sharing a load(rsp) helper.  The duplication is deliberate: pops
+# and rets dominate ROP dispatch, and routing the load through one more
+# Python call costs ~10% whole-workload throughput (measured on fasta/
+# ROP1.00).  Keep all three bodies in lockstep when touching any of them.
+
+def _fuse_pop(instruction: Instruction, state, regs, memory, stack_region):
+    dst = instruction.operands[0]
+    if type(dst) is not Reg or dst.size != 8:
+        return None
+    d = dst.reg
+    read_int = memory.read_int
+    if stack_region is None:
+        def op():
+            rsp = regs[_RSP]
+            value = read_int(rsp, 8)
+            regs[_RSP] = (rsp + 8) & _M
+            regs[d] = value
+            return True
+        return op
+    start = stack_region.start
+    fence = len(stack_region.data) - 8
+    def op():
+        rsp = regs[_RSP]
+        offset = rsp - start
+        if 0 <= offset <= fence:
+            value = int.from_bytes(stack_region.data[offset:offset + 8],
+                                   "little")
+        else:
+            value = read_int(rsp, 8)
+        regs[_RSP] = (rsp + 8) & _M
+        regs[d] = value
+        return True
+    return op
+
+
+def _ret_guarded(state, regs, memory, expected: int, stack_region):
+    read_int = memory.read_int
+    if stack_region is None:
+        def op():
+            rsp = regs[_RSP]
+            target = read_int(rsp, 8)
+            regs[_RSP] = (rsp + 8) & _M
+            state.rip = target
+            return target == expected
+        return op
+    start = stack_region.start
+    fence = len(stack_region.data) - 8
+    def op():
+        rsp = regs[_RSP]
+        offset = rsp - start
+        if 0 <= offset <= fence:
+            target = int.from_bytes(stack_region.data[offset:offset + 8],
+                                    "little")
+        else:
+            target = read_int(rsp, 8)
+        regs[_RSP] = (rsp + 8) & _M
+        state.rip = target
+        return target == expected
+    return op
+
+
+def _ret_terminal(state, regs, memory, stack_region):
+    read_int = memory.read_int
+    if stack_region is None:
+        def op():
+            rsp = regs[_RSP]
+            state.rip = read_int(rsp, 8)
+            regs[_RSP] = (rsp + 8) & _M
+            return True
+        return op
+    start = stack_region.start
+    fence = len(stack_region.data) - 8
+    def op():
+        rsp = regs[_RSP]
+        offset = rsp - start
+        if 0 <= offset <= fence:
+            target = int.from_bytes(stack_region.data[offset:offset + 8],
+                                    "little")
+        else:
+            target = read_int(rsp, 8)
+        state.rip = target
+        regs[_RSP] = (rsp + 8) & _M
+        return True
+    return op
+
+
+def _fuse_neg(instruction: Instruction, state, regs):
+    dst = instruction.operands[0]
+    if type(dst) is not Reg or dst.size != 8:
+        return None
+    d = dst.reg
+    def op():
+        a = regs[d]
+        result = (-a) & _M
+        regs[d] = result
+        state.cf = 1 if a else 0
+        state.of = 1 if a == _H else 0
+        state.zf = 1 if result == 0 else 0
+        state.sf = 1 if result & _H else 0
+        return True
+    return op
+
+
+def _call_fused(state, regs, memory, region, generation, post, target):
+    """``call imm`` whose target continues inside the trace."""
+    write_int = memory.write_int
+    def op():
+        rsp = (regs[_RSP] - 8) & _M
+        regs[_RSP] = rsp
+        write_int(rsp, post, 8)
+        if region.generation != generation:
+            state.rip = target
+            return False
+        return True
+    return op
+
+
+def _call_terminal(state, regs, memory, post, target):
+    """``call imm`` leaving the trace (host functions, other regions)."""
+    write_int = memory.write_int
+    def op():
+        rsp = (regs[_RSP] - 8) & _M
+        regs[_RSP] = rsp
+        write_int(rsp, post, 8)
+        state.rip = target
+        return True
+    return op
+
+
+def _jcc_terminal(instruction: Instruction, state, post: int, target: int):
+    predicate = CONDITION_TABLE[instruction.condition]
+    def op():
+        state.rip = target if predicate(state.cf, state.zf, state.sf,
+                                        state.of) else post
+        return True
+    return op
+
+
+def _generic(handler, instruction):
+    """Fallback: the emulator's own bound handler, one dict probe cheaper."""
+    def op():
+        handler(instruction)
+        return True
+    return op
+
+
+def _generic_writer(handler, instruction, state, region, generation, post):
+    """Fallback for memory-writing instructions: add the mid-trace SMC check."""
+    def op():
+        handler(instruction)
+        if region.generation != generation:
+            state.rip = post
+            return False
+        return True
+    return op
+
+
+def _generic_terminal(handler, instruction, state, post):
+    """Fallback for control transfers: set fall-through rip, then run."""
+    def op():
+        state.rip = post
+        handler(instruction)
+        return True
+    return op
+
+
+def _writes_memory(instruction: Instruction) -> bool:
+    mnemonic = instruction.mnemonic
+    if mnemonic in (Mnemonic.PUSH, Mnemonic.CALL):
+        return True
+    if mnemonic in (Mnemonic.CMP, Mnemonic.TEST, Mnemonic.JMP, Mnemonic.JCC):
+        return False
+    operands = instruction.operands
+    if operands and isinstance(operands[0], Mem):
+        return True
+    if mnemonic is Mnemonic.XCHG and any(isinstance(op, Mem) for op in operands):
+        return True
+    return False
+
+
+def _specialize(instruction: Instruction, state, regs, memory, region,
+                generation, post, stack_region):
+    """Return a specialized closure for a straight-line instruction, or None."""
+    mnemonic = instruction.mnemonic
+    try:
+        if mnemonic in (Mnemonic.MOV, Mnemonic.MOVZX):
+            op = _fuse_mov(instruction, state, regs, memory)
+            if op is not None:
+                return op
+            return _fuse_mov_to_mem(instruction, state, regs, memory,
+                                    region, generation, post)
+        if mnemonic in (Mnemonic.ADD, Mnemonic.SUB, Mnemonic.CMP,
+                        Mnemonic.AND, Mnemonic.OR, Mnemonic.XOR, Mnemonic.TEST):
+            return _fuse_alu(instruction, state, regs)
+        if mnemonic is Mnemonic.POP:
+            return _fuse_pop(instruction, state, regs, memory, stack_region)
+        if mnemonic is Mnemonic.NEG:
+            return _fuse_neg(instruction, state, regs)
+        if mnemonic is Mnemonic.PUSH:
+            return _fuse_push(instruction, state, regs, memory, region,
+                              generation, post)
+        if mnemonic is Mnemonic.LEA:
+            return _fuse_lea(instruction, state, regs)
+        if mnemonic in (Mnemonic.INC, Mnemonic.DEC):
+            return _fuse_incdec(instruction, state, regs)
+        if mnemonic in (Mnemonic.SHL, Mnemonic.SHR):
+            return _fuse_shift(instruction, state, regs)
+        if mnemonic is Mnemonic.CMOV:
+            return _fuse_cmov(instruction, state, regs)
+        if mnemonic is Mnemonic.SET:
+            return _fuse_set(instruction, state, regs)
+        if mnemonic is Mnemonic.NOP:
+            return lambda: True
+    except (KeyError, IndexError):  # malformed operands: leave it generic
+        return None
+    return None
+
+
+def _rsp_delta(instruction: Instruction, delta: Optional[int]) -> Optional[int]:
+    """Track the static stack-pointer offset across a fused instruction.
+
+    Returns the new byte delta relative to the trace entry's ``rsp``, or None
+    once the offset is no longer statically known (the builder then stops
+    peeking ret targets).
+    """
+    if delta is None:
+        return None
+    mnemonic = instruction.mnemonic
+    operands = instruction.operands
+    if mnemonic is Mnemonic.PUSH:
+        return delta - 8
+    if mnemonic is Mnemonic.POP:
+        dst = operands[0]
+        if isinstance(dst, Reg) and dst.reg is _RSP:
+            return None
+        return delta + 8
+    if mnemonic is Mnemonic.LEAVE:
+        return None
+    if operands and isinstance(operands[0], Reg) and operands[0].reg is _RSP \
+            and mnemonic in _REG_WRITERS:
+        if mnemonic in (Mnemonic.ADD, Mnemonic.SUB) and len(operands) == 2 \
+                and isinstance(operands[1], Imm) and operands[0].size == 8:
+            adjust = to_signed(_imm_value(operands[1]), 8)
+            return delta + adjust if mnemonic is Mnemonic.ADD else delta - adjust
+        return None
+    if mnemonic is Mnemonic.XCHG and any(
+            isinstance(op, Reg) and op.reg is _RSP for op in operands):
+        return None
+    return delta
+
+
+def build_trace(emulator, entry: int, cap: int = TRACE_CAP) -> Optional[Trace]:
+    """Discover and compile the trace starting at ``entry``.
+
+    The walk decodes forward from ``entry`` (re-using the decode cache),
+    following immediate jumps/calls and peeking concrete ret targets through
+    the statically-tracked ``rsp`` offset.  It never mutates emulator state.
+    Returns None when not even one instruction can be fused (undecodable or
+    unimplemented entry — single-step will report the precise fault).
+    """
+    memory = emulator.memory
+    region = memory.region_at(entry)
+    if region is None:
+        return None
+    state = emulator.state
+    regs = state.regs
+    generation = region.generation
+    entry_rsp = regs[_RSP]
+    #: the region rsp currently points into (the chain section during ROP
+    #: dispatch); pop/ret closures inline their loads against it and fall
+    #: back to the generic memory path whenever rsp has wandered elsewhere
+    stack_region = memory.region_at(entry_rsp)
+    host_space_end = HOST_FUNCTION_LIMIT
+
+    ops: List[Callable[[], bool]] = []
+    posts: List[int] = []
+    final_rip: Optional[int] = None
+    delta: Optional[int] = 0
+    address = entry
+
+    while len(ops) < cap:
+        if not (region.start <= address < region.end):
+            final_rip = address
+            break
+        try:
+            instruction, length, _, _, handler = emulator.decode_entry(address)
+        except EmulationError:
+            final_rip = address
+            break
+        if handler is None:
+            final_rip = address
+            break
+        mnemonic = instruction.mnemonic
+        post = (address + length) & _M
+
+        if mnemonic is Mnemonic.RET:
+            target = None
+            if delta is not None:
+                target = memory.peek_int(entry_rsp + delta)
+            if target is not None and region.start <= target < region.end \
+                    and target > host_space_end and len(ops) + 1 < cap:
+                ops.append(_ret_guarded(state, regs, memory, target,
+                                        stack_region))
+                posts.append(post)
+                delta += 8
+                address = target
+                continue
+            ops.append(_ret_terminal(state, regs, memory, stack_region))
+            posts.append(post)
+            break
+
+        if mnemonic is Mnemonic.JMP:
+            operand = instruction.operands[0]
+            if type(operand) is Imm:
+                target = _imm_value(operand)
+                if region.start <= target < region.end and target > host_space_end \
+                        and len(ops) + 1 < cap:
+                    ops.append(_NOOP)
+                    posts.append(target)
+                    address = target
+                    continue
+                def op(target=target):
+                    state.rip = target
+                    return True
+                ops.append(op)
+            else:
+                ops.append(_generic_terminal(handler, instruction, state, post))
+            posts.append(post)
+            break
+
+        if mnemonic is Mnemonic.JCC:
+            operand = instruction.operands[0]
+            if type(operand) is Imm:
+                ops.append(_jcc_terminal(instruction, state, post,
+                                         _imm_value(operand)))
+            else:
+                ops.append(_generic_terminal(handler, instruction, state, post))
+            posts.append(post)
+            break
+
+        if mnemonic is Mnemonic.CALL:
+            operand = instruction.operands[0]
+            if type(operand) is Imm:
+                target = _imm_value(operand)
+                if region.start <= target < region.end and target > host_space_end \
+                        and len(ops) + 1 < cap:
+                    ops.append(_call_fused(state, regs, memory, region,
+                                           generation, post, target))
+                    posts.append(post)
+                    delta = None if delta is None else delta - 8
+                    address = target
+                    continue
+                ops.append(_call_terminal(state, regs, memory, post, target))
+            else:
+                ops.append(_generic_terminal(handler, instruction, state, post))
+            posts.append(post)
+            break
+
+        if mnemonic is Mnemonic.HLT:
+            def op(post=post):
+                state.rip = post
+                emulator.halted = True
+                return True
+            ops.append(op)
+            posts.append(post)
+            break
+
+        op = _specialize(instruction, state, regs, memory, region, generation,
+                         post, stack_region)
+        if op is None:
+            handler_ = handler
+            if _writes_memory(instruction):
+                op = _generic_writer(handler_, instruction, state, region,
+                                     generation, post)
+            else:
+                op = _generic(handler_, instruction)
+        ops.append(op)
+        posts.append(post)
+        delta = _rsp_delta(instruction, delta)
+        address = post
+    else:
+        # cap reached on a straight-line tail: resume at the next address
+        final_rip = address
+
+    if not ops:
+        return None
+    return Trace(entry, ops, posts, region, generation, final_rip)

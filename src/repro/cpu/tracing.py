@@ -4,6 +4,12 @@ A :class:`TraceRecorder` attaches to an :class:`repro.cpu.Emulator` and
 records every executed instruction with its address and the pre-execution
 register snapshot the analyses need (TDS taint tracking, ROPMEMU flag-leak
 detection, DSE concolic state updates).
+
+Recorders hook in through ``pre_hooks``, which forces the emulator's run
+loop onto the per-instruction path: superinstruction fusion
+(:mod:`repro.cpu.trace`) never skips a hooked instruction, so a recorded
+trace is always the complete architectural sequence regardless of
+``REPRO_TRACE_CACHE``.
 """
 
 from __future__ import annotations

@@ -4,8 +4,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
+from weakref import WeakKeyDictionary
 
-from repro.binary import load_image
+from repro.binary import LoadedProgram, load_image
 from repro.compiler import compile_program
 from repro.cpu import call_function
 from repro.evaluation.configurations import ROPK_SWEEP, apply_configuration, nvm, ropk
@@ -39,11 +40,33 @@ class Figure5Bar:
         return self.rop_instructions / max(1, self.baseline_instructions)
 
 
+#: image -> pristine ``(memory, stack_top, heap_base)`` triple, so repeated
+#: measurements of the same image (overhead sweeps, benchmark rounds) load it
+#: once and fork COW per run like the attack engines.  Weak keys — and the
+#: cached value deliberately omits the :class:`LoadedProgram` image
+#: back-reference — so a preload never outlives the image it maps.
+_PRELOADED = WeakKeyDictionary()
+
+
 def _run(image, entry: str, argument: int) -> int:
+    """Measure one execution against a COW fork of the preloaded ``image``.
+
+    The first measurement of an image pays :func:`load_image`; every later
+    one forks the cached pristine memory in O(regions).  Forks are never
+    mutated back into the preload, so the cache stays pristine.
+    """
     from repro.cpu.state import EmulationError
 
+    cached = _PRELOADED.get(image)
+    if cached is None:
+        pristine = load_image(image)
+        cached = (pristine.memory, pristine.stack_top, pristine.heap_base)
+        _PRELOADED[image] = cached
+    memory, stack_top, heap_base = cached
+    fork = LoadedProgram(image=image, memory=memory.snapshot(),
+                         stack_top=stack_top, heap_base=heap_base)
     try:
-        _, emulator = call_function(load_image(image), entry, [argument],
+        _, emulator = call_function(fork, entry, [argument],
                                     max_steps=_RUN_BUDGET)
         return emulator.steps
     except EmulationError:

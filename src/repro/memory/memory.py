@@ -204,6 +204,22 @@ class Memory:
             (value & _INT_MASKS[size]).to_bytes(size, "little")
         region.generation += 1
 
+    def peek_int(self, address: int, size: int = 8) -> Optional[int]:
+        """Read a little-endian integer if mapped, else None — never faults.
+
+        Speculative consumers (the emulator's trace builder peeking upcoming
+        ret targets off the stack) use this so a probe beyond a region edge
+        is an answer, not an emulation fault.
+        """
+        region = self.region_at(address)
+        if region is None:
+            return None
+        offset = address - region.start
+        data = region.data
+        if offset + size > len(data):
+            return None
+        return int.from_bytes(data[offset:offset + size], "little")
+
     def read_cstring(self, address: int, limit: int = 4096) -> bytes:
         """Read a NUL-terminated byte string (without the terminator)."""
         region = self._region_for(address, 1)

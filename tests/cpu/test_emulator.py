@@ -310,6 +310,71 @@ def test_program_fork_isolates_runs():
     assert fork_b.memory.read_int(0x600000, 8) == 222
 
 
+def test_snapshot_restore_rewinds_full_context():
+    """snapshot()/restore() must revert registers, flags, memory and host."""
+    program = build_program(
+        [
+            make("mov", Mem(disp=0x600000, size=8), Reg(Register.RDI)),
+            make("mov", Reg(Register.RDI), Imm(16)),
+            make("call", Imm(host_function_address("malloc"))),
+            make("cmp", Reg(Register.RAX), Imm(0)),
+            make("ret"),
+        ],
+        data=(7).to_bytes(8, "little"),
+    )
+    address = program.image.function("f").address
+    emulator = Emulator(program.memory)
+    _start_call(emulator, program, address, args=[41])
+    snap = emulator.snapshot()
+
+    emulator.run()
+    first_pointer = emulator.state.read_reg(Register.RAX)
+    assert emulator.memory.read_int(0x600000, 8) == 41
+    assert emulator.host.allocations
+    assert emulator.steps > 0 and emulator.halted
+    assert emulator.state.zf == 0  # cmp rax, 0 on a nonzero pointer
+
+    # a snapshot can be restored any number of times; every restore rewinds
+    # the allocator, so malloc hands out the same block again
+    for argument in (5, 6):
+        emulator.restore(snap)
+        assert emulator.steps == 0 and not emulator.halted
+        assert emulator.state.rip == address
+        assert emulator.state.read_reg(Register.RDI) == 41
+        assert emulator.state.zf == 0 and emulator.state.cf == 0
+        assert emulator.memory.read_int(0x600000, 8) == 7
+        assert not emulator.host.allocations
+        emulator.state.write_reg(Register.RDI, argument)
+        emulator.run()
+        assert emulator.state.read_reg(Register.RAX) == first_pointer
+        assert emulator.memory.read_int(0x600000, 8) == argument
+
+    # runs after a restore never leak back into the snapshot itself
+    assert snap.memory.read_int(0x600000, 8) == 7
+    assert not snap.host.allocations
+    assert snap.state.read_reg(Register.RDI) == 41
+
+
+def test_snapshot_is_isolated_from_later_host_output():
+    program = build_program([
+        make("mov", Reg(Register.RDI), Imm(65)),
+        make("call", Imm(host_function_address("putchar"))),
+        make("mov", Reg(Register.RAX), Imm(0)),
+        make("ret"),
+    ])
+    address = program.image.function("f").address
+    emulator = Emulator(program.memory)
+    _start_call(emulator, program, address)
+    snap = emulator.snapshot()
+    emulator.run()
+    assert bytes(emulator.host.output) == b"A"
+    assert bytes(snap.host.output) == b""
+    emulator.restore(snap)
+    assert bytes(emulator.host.output) == b""
+    emulator.run()
+    assert bytes(emulator.host.output) == b"A"
+
+
 def test_run_max_steps_is_a_per_call_budget():
     from repro.isa.operands import Label
 

@@ -1,0 +1,330 @@
+"""Correctness tests for the trace-fused superinstruction cache.
+
+Every test forces ``trace_cache=True`` on the emulator so the fused paths are
+exercised even when the suite runs with ``REPRO_TRACE_CACHE=0`` (the CI slow
+leg), and compares against single-step semantics where the distinction
+matters.
+"""
+
+import pytest
+
+from repro.binary import BinaryImage, load_image
+from repro.cpu import Emulator, TraceRecorder
+from repro.cpu.host import EXIT_ADDRESS, host_function_address
+from repro.cpu.state import EmulationError
+from repro.isa import Imm, Mem, Reg, assemble
+from repro.isa.instructions import make
+from repro.isa.operands import Label
+from repro.isa.registers import Register
+
+
+def build_program(instructions, name="f", data=b""):
+    """Assemble ``instructions`` into a one-function image and load it."""
+    image = BinaryImage()
+    code, _ = assemble(instructions, base_address=image.text.address)
+    address = image.text.append(code)
+    image.add_function(name, address, len(code))
+    if data:
+        addr = image.data.append(data)
+        image.add_object("blob", addr, len(data))
+    return load_image(image)
+
+
+def start_call(emulator, program, args=(), name="f"):
+    """Prepare ``emulator`` to run function ``name`` from scratch."""
+    emulator.halted = False
+    emulator.state.write_reg(Register.RSP, program.stack_top)
+    emulator.state.write_reg(Register.RBP, program.stack_top)
+    for reg, value in zip([Register.RDI, Register.RSI], args):
+        emulator.state.write_reg(reg, value)
+    emulator.push(EXIT_ADDRESS)
+    emulator.state.rip = program.image.function(name).address
+
+
+#: A program whose loop body covers the specialized fusion factories (mov in
+#: all shapes, alu, lea, shifts, inc/dec, push/pop, cmov/set, neg, call/ret).
+_DIFFERENTIAL_BODY = [
+    make("xor", Reg(Register.RAX), Reg(Register.RAX)),
+    make("xor", Reg(Register.RCX), Reg(Register.RCX)),
+    "loop",
+    make("cmp", Reg(Register.RCX), Reg(Register.RDI)),
+    make("jge", Label("done")),
+    make("mov", Reg(Register.RDX), Reg(Register.RCX)),
+    make("shl", Reg(Register.RDX), Imm(2)),
+    make("lea", Reg(Register.R8),
+         Mem(base=Register.RDX, index=Register.RCX, scale=2, disp=3)),
+    make("push", Reg(Register.R8)),
+    make("mov", Reg(Register.R9), Mem(base=Register.RSP)),
+    make("pop", Reg(Register.R10)),
+    make("add", Reg(Register.RAX), Reg(Register.R10)),
+    make("sub", Reg(Register.R9), Imm(1)),
+    make("neg", Reg(Register.R9)),
+    make("and", Reg(Register.R9), Imm(0xFF)),
+    make("or", Reg(Register.RAX), Imm(0)),
+    make("xor", Reg(Register.R9), Reg(Register.RDX)),
+    make("test", Reg(Register.RCX), Imm(1)),
+    make("mov", Reg(Register.R11), Imm(7)),
+    make("cmovne", Reg(Register.RAX), Reg(Register.RAX)),
+    make("sete", Reg(Register.RBX, 1)),
+    make("add", Reg(Register.RAX), Reg(Register.RBX)),
+    make("mov", Mem(disp=0x600000, size=8), Reg(Register.RAX)),
+    make("mov", Reg(Register.RSI), Mem(disp=0x600000, size=8)),
+    make("mov", Reg(Register.RSI, 4), Reg(Register.RSI, 4)),
+    make("inc", Reg(Register.RCX)),
+    make("dec", Reg(Register.R11)),
+    make("jmp", Label("loop")),
+    "done",
+    make("ret"),
+]
+
+
+def _run_collect(trace_cache, iterations=40):
+    program = build_program(_DIFFERENTIAL_BODY, data=bytes(8))
+    emulator = Emulator(program.memory, trace_cache=trace_cache)
+    start_call(emulator, program, [iterations])
+    emulator.run()
+    return {
+        "steps": emulator.steps,
+        "regs": dict(emulator.state.regs),
+        "flags": (emulator.state.cf, emulator.state.zf,
+                  emulator.state.sf, emulator.state.of),
+        "rip": emulator.state.rip,
+        "blob": emulator.memory.read_int(0x600000, 8),
+    }
+
+
+def test_fused_execution_matches_single_step():
+    """Fusion must be observationally identical to single-step dispatch."""
+    assert _run_collect(trace_cache=True) == _run_collect(trace_cache=False)
+
+
+def test_fused_ret_chain_matches_single_step():
+    """ROP chains (ret-to-ret control flow) fuse without changing results."""
+    image = BinaryImage()
+    gadget1, _ = assemble([make("pop", Reg(Register.RDI)), make("ret")],
+                          base_address=image.text.address)
+    g1 = image.text.append(gadget1)
+    gadget2, _ = assemble([make("add", Reg(Register.RDI), Imm(1)),
+                           make("mov", Reg(Register.RAX), Reg(Register.RDI)),
+                           make("ret")], base_address=image.text.end)
+    g2 = image.text.append(gadget2)
+    program = load_image(image)
+    emulator = Emulator(program.memory, trace_cache=True)
+
+    def run_chain(chain):
+        emulator.halted = False
+        rsp = program.stack_top - 0x100
+        for offset, value in enumerate(chain):
+            emulator.memory.write_int(rsp + 8 * offset, value, 8)
+        emulator.state.write_reg(Register.RSP, rsp + 8)
+        emulator.state.rip = chain[0]
+        steps_before = emulator.steps
+        emulator.run()
+        return emulator.state.read_reg(Register.RAX), emulator.steps - steps_before
+
+    # repeat the same chain until the gadget entries are hot and fused
+    for _ in range(4):
+        value, steps = run_chain([g1, 41, g2, EXIT_ADDRESS])
+        assert (value, steps) == (42, 5)
+
+
+def test_fused_ret_guard_follows_rewritten_chain():
+    """A cached ret-chain trace must not replay a stale successor gadget."""
+    image = BinaryImage()
+    gadget1, _ = assemble([make("pop", Reg(Register.RDI)), make("ret")],
+                          base_address=image.text.address)
+    g1 = image.text.append(gadget1)
+    gadget2, _ = assemble([make("add", Reg(Register.RDI), Imm(1)),
+                           make("mov", Reg(Register.RAX), Reg(Register.RDI)),
+                           make("ret")], base_address=image.text.end)
+    g2 = image.text.append(gadget2)
+    gadget3, _ = assemble([make("add", Reg(Register.RDI), Imm(2)),
+                           make("mov", Reg(Register.RAX), Reg(Register.RDI)),
+                           make("ret")], base_address=image.text.end)
+    g3 = image.text.append(gadget3)
+    program = load_image(image)
+    emulator = Emulator(program.memory, trace_cache=True)
+
+    def run_chain(chain):
+        emulator.halted = False
+        rsp = program.stack_top - 0x100
+        for offset, value in enumerate(chain):
+            emulator.memory.write_int(rsp + 8 * offset, value, 8)
+        emulator.state.write_reg(Register.RSP, rsp + 8)
+        emulator.state.rip = chain[0]
+        emulator.run()
+        return emulator.state.read_reg(Register.RAX)
+
+    # get g1's trace hot with the g2 chain, then swap the successor: the
+    # fused ret's guard must notice the popped target changed and fall back
+    assert run_chain([g1, 41, g2, EXIT_ADDRESS]) == 42
+    assert run_chain([g1, 41, g2, EXIT_ADDRESS]) == 42
+    assert run_chain([g1, 10, g3, EXIT_ADDRESS]) == 12
+
+
+def test_self_modifying_code_invalidates_fused_trace():
+    """Patching code between runs must recompile the stale trace."""
+    program = build_program([
+        make("xor", Reg(Register.RAX), Reg(Register.RAX)),
+        make("xor", Reg(Register.RCX), Reg(Register.RCX)),
+        "loop",
+        make("cmp", Reg(Register.RCX), Reg(Register.RDI)),
+        make("jge", Label("done")),
+        make("add", Reg(Register.RAX), Imm(2)),
+        make("inc", Reg(Register.RCX)),
+        make("jmp", Label("loop")),
+        "done",
+        make("ret"),
+    ])
+    address = program.image.function("f").address
+    emulator = Emulator(program.memory, trace_cache=True)
+    start_call(emulator, program, [5])
+    emulator.run()
+    assert emulator.state.read_reg(Register.RAX) == 10
+    assert emulator._trace_cache, "loop body should have been fused"
+
+    # rewrite the whole function body with a new addend (same shape)
+    patched, _ = assemble([
+        make("xor", Reg(Register.RAX), Reg(Register.RAX)),
+        make("xor", Reg(Register.RCX), Reg(Register.RCX)),
+        "loop",
+        make("cmp", Reg(Register.RCX), Reg(Register.RDI)),
+        make("jge", Label("done")),
+        make("add", Reg(Register.RAX), Imm(3)),
+        make("inc", Reg(Register.RCX)),
+        make("jmp", Label("loop")),
+        "done",
+        make("ret"),
+    ], base_address=address)
+    program.memory.write(address, patched)
+
+    start_call(emulator, program, [5])
+    emulator.run()
+    assert emulator.state.read_reg(Register.RAX) == 15
+
+
+def test_mid_trace_self_modification_falls_back_to_single_step():
+    """A store rewriting an upcoming fused instruction takes effect at once."""
+    image = BinaryImage()
+    base = image.text.address
+
+    def body(patch_address):
+        return [
+            # patch the low immediate byte of the upcoming mov with dil
+            make("mov", Mem(disp=patch_address, size=1), Reg(Register.RDI, 1)),
+            make("mov", Reg(Register.RAX), Imm(0)),
+            make("ret"),
+        ]
+
+    # immediate encodings are value-independent in length, so assemble once
+    # with a placeholder to locate the patched instruction and its imm byte
+    draft, _ = assemble(body(base), base_address=base)
+    store_len = len(assemble([body(base)[0]], base_address=base)[0])
+    variant_a, _ = assemble([make("mov", Reg(Register.RAX), Imm(5))],
+                            base_address=base)
+    variant_b, _ = assemble([make("mov", Reg(Register.RAX), Imm(9))],
+                            base_address=base)
+    (imm_offset,) = [i for i, (a, b) in enumerate(zip(variant_a, variant_b))
+                     if a != b]
+    patch_address = base + store_len + imm_offset
+
+    code, _ = assemble(body(patch_address), base_address=base)
+    assert len(code) == len(draft)
+    address = image.text.append(code)
+    image.add_function("f", address, len(code))
+    program = load_image(image)
+
+    emulator = Emulator(program.memory, trace_cache=True)
+    for value in (5, 9, 13, 21):  # later runs execute the fused trace
+        start_call(emulator, program, [value])
+        emulator.run()
+        assert emulator.state.read_reg(Register.RAX) == value
+
+
+def test_hooks_see_every_instruction_despite_trace_cache():
+    """Installing a tracing hook must disable fused skipping entirely."""
+    program = build_program(_DIFFERENTIAL_BODY, data=bytes(8))
+    emulator = Emulator(program.memory, trace_cache=True)
+
+    # heat the trace cache with hook-free runs first
+    for _ in range(3):
+        start_call(emulator, program, [10])
+        emulator.run()
+    assert emulator._trace_cache
+
+    recorder = TraceRecorder().attach(emulator)
+    steps_before = emulator.steps
+    start_call(emulator, program, [10])
+    emulator.run()
+    executed = emulator.steps - steps_before
+    assert len(recorder.entries) == executed
+    # the recorded control flow is the full per-instruction sequence
+    hook_addresses = recorder.addresses()
+
+    reference = Emulator(program.fork().memory, trace_cache=False)
+    ref_recorder = TraceRecorder().attach(reference)
+    start_call(reference, program, [10])
+    reference.run()
+    assert hook_addresses == ref_recorder.addresses()
+
+
+def test_max_steps_exact_with_fused_traces():
+    """Budget exhaustion must land on the exact step count, not a trace edge."""
+    program = build_program(["spin", make("jmp", Label("spin"))])
+    emulator = Emulator(program.memory, max_steps=10_000, trace_cache=True)
+    start_call(emulator, program)
+    with pytest.raises(EmulationError):
+        emulator.run(max_steps=997)
+    assert emulator.steps == 997
+    with pytest.raises(EmulationError):
+        emulator.run()
+    assert emulator.steps == 10_000
+
+
+def test_fused_push_rsp_stores_pre_decrement_value():
+    """``push rsp`` pushes the old stack pointer, fused or not."""
+    program = build_program([
+        make("xor", Reg(Register.RAX), Reg(Register.RAX)),
+        make("push", Reg(Register.RSP)),
+        make("pop", Reg(Register.RCX)),
+        make("sub", Reg(Register.RCX), Reg(Register.RSP)),
+        make("add", Reg(Register.RAX), Reg(Register.RCX)),
+        make("ret"),
+    ])
+    emulator = Emulator(program.memory, trace_cache=True)
+    for _ in range(3):  # later runs hit the fused trace
+        start_call(emulator, program)
+        emulator.run()
+        assert emulator.state.read_reg(Register.RAX) == 0
+
+
+def test_trace_cache_toggle_disables_fusion():
+    program = build_program(_DIFFERENTIAL_BODY, data=bytes(8))
+    emulator = Emulator(program.memory, trace_cache=False)
+    for _ in range(3):
+        start_call(emulator, program, [10])
+        emulator.run()
+    assert not emulator._trace_cache
+
+
+def test_fused_fault_reports_single_step_rip_and_steps():
+    """A mid-trace memory fault must leave rip/steps as single-step would."""
+    body = [
+        make("xor", Reg(Register.RAX), Reg(Register.RAX)),
+        make("add", Reg(Register.RAX), Imm(1)),
+        make("mov", Reg(Register.RDX), Mem(base=Register.RSI)),  # faults
+        make("ret"),
+    ]
+
+    def run(trace_cache):
+        program = build_program(body)
+        emulator = Emulator(program.memory, trace_cache=trace_cache)
+        outcomes = []
+        for _ in range(3):
+            start_call(emulator, program, [0, 0x123456789])
+            with pytest.raises(EmulationError):
+                emulator.run()
+            outcomes.append((emulator.steps, emulator.state.rip))
+        return outcomes
+
+    assert run(trace_cache=True) == run(trace_cache=False)
