@@ -13,7 +13,13 @@ worst case the paper measures in Figure 5) and reports:
   forking versus the deep ``load_image`` path the attack engines used to
   take per execution,
 * **snapshots/sec** of the full-context :meth:`repro.cpu.Emulator.snapshot`
-  / :meth:`~repro.cpu.Emulator.restore` pair the DSE engine rewinds with.
+  / :meth:`~repro.cpu.Emulator.restore` pair the attack engines rewind with,
+* **per-engine executions/sec** of the three snapshot-driven attack engines
+  (DSE, TDS, ROPMEMU) against their legacy fork-per-execution path, measured
+  on a minimal function so the per-execution overhead dominates.  TDS and
+  ROPMEMU must stay >= 3x over the legacy path (same-machine ratio); a
+  ROP-chain workload is also reported (un-gated — its longer hooked runs
+  dilute the per-execution win).
 
 Results are persisted to ``BENCH_emulator.json`` at the repo root so future
 PRs see the trajectory.  The committed file doubles as the regression
@@ -164,6 +170,84 @@ def measure_snapshot_rate(pristine, entry, argument, count=2000):
     return {"snapshot_restores_per_sec": round(count / elapsed)}
 
 
+def _build_engine_workloads():
+    """Small attack targets: a minimal function and a ROP-plain variant.
+
+    The minimal function isolates the per-execution overhead the snapshot
+    engines eliminate (fork + emulator construction + re-decode); the
+    ROP-obfuscated license check is the realistic-context datapoint.
+    """
+    from repro.compiler import compile_program
+    from repro.core import RopConfig, rop_obfuscate
+    from repro.lang import Assign, BinOp, Const, Function, If, Probe, Program, Return, Var
+
+    tiny = compile_program(Program([Function("f", ["x"], [
+        Return(BinOp("^", BinOp("*", Var("x"), Const(13)), Const(0x27))),
+    ])]))
+    check = Program([Function("f", ["x"], [
+        Probe(1),
+        Assign("h", BinOp("^", BinOp("*", Var("x"), Const(13)), Const(0x27))),
+        If(BinOp("==", BinOp("&", Var("h"), Const(0xFF)), Const(0x5A)),
+           [Probe(2), Return(Const(1))],
+           [Probe(3), Return(Const(0))]),
+    ])])
+    ropped, _ = rop_obfuscate(compile_program(check), ["f"], RopConfig.plain())
+    return tiny, ropped
+
+
+def _execution_rate(run_one, count):
+    """Executions/sec of ``run_one`` over one timed window of ``count`` calls."""
+    run_one(0)  # warm caches and snapshots outside the timed window
+    start = time.perf_counter()
+    for index in range(count):
+        run_one(index)
+    return count / (time.perf_counter() - start)
+
+
+def measure_engine_rates(tiny_count=500, rop_count=150):
+    """Per-engine executions/sec: snapshot rewinding vs the legacy path."""
+    from repro.attacks.dse import DseEngine, InputSpec
+    from repro.attacks.ropaware import RopMemuExplorer
+    from repro.attacks.tds import TaintDrivenSimplifier
+
+    tiny, ropped = _build_engine_workloads()
+    report = {}
+
+    def measure(name, image, count, factory, rounds=3):
+        # interleave the two legs so CPU-steal noise on a shared runner hits
+        # both, and take the best window of each
+        snap_one = factory(image, True)
+        legacy_one = factory(image, False)
+        snap_rate = legacy_rate = 0.0
+        for _ in range(rounds):
+            snap_rate = max(snap_rate, _execution_rate(snap_one, count))
+            legacy_rate = max(legacy_rate, _execution_rate(legacy_one, count))
+        return {
+            f"{name}_executions_per_sec": round(snap_rate),
+            f"{name}_legacy_executions_per_sec": round(legacy_rate),
+            f"{name}_speedup": round(snap_rate / legacy_rate, 2),
+        }
+
+    def tds(image, snapshots):
+        engine = TaintDrivenSimplifier(image, "f", use_snapshots=snapshots)
+        return lambda index: engine.record([index & 0xFF])
+
+    def memu(image, snapshots):
+        engine = RopMemuExplorer(image, "f", use_snapshots=snapshots)
+        return lambda index: engine._run([index & 0xFF])
+
+    def dse(image, snapshots):
+        engine = DseEngine(image, "f", InputSpec(argument_sizes=[1]),
+                           use_snapshots=snapshots)
+        return lambda index: engine.execute({"arg0": index & 0xFF})
+
+    for name, factory in (("tds", tds), ("ropmemu", memu), ("dse", dse)):
+        report.update(measure(name, tiny, tiny_count, factory))
+    report.update({f"rop_{key}": value for key, value in
+                   measure("tds", ropped, rop_count, tds).items()})
+    return report
+
+
 def run_benchmarks():
     """Measure everything and return the report dict."""
     pristine, entry, argument = _build_workload()
@@ -182,8 +266,15 @@ def run_benchmarks():
             trace_cache=False),
         "forking": measure_fork_rate(pristine, pristine.image),
         "snapshots": measure_snapshot_rate(pristine, entry, argument),
+        "engines": measure_engine_rates(),
     }
     return report
+
+
+#: Every run also writes its raw measurements here (git-ignored by CI), so a
+#: failing throughput gate can upload the candidate numbers as an artifact
+#: for post-mortem comparison against the committed baseline.
+CANDIDATE_PATH = REPO_ROOT / "BENCH_emulator.candidate.json"
 
 
 def _load_committed():
@@ -198,7 +289,7 @@ def _load_committed():
 
 
 def _persist(report, committed):
-    payload = {"schema": 2}
+    payload = {"schema": 3}
     # the seed measurement is a fixed historical reference; carry it forward
     if committed and "seed" in committed:
         payload["seed"] = committed["seed"]
@@ -225,11 +316,13 @@ def test_emulator_throughput_and_fork_rate():
     committed = _load_committed()
     update = os.environ.get("REPRO_BENCH_UPDATE", "0") == "1"
     gate = os.environ.get("REPRO_BENCH_GATE", "1") != "0" and not update
+    CANDIDATE_PATH.write_text(json.dumps(report, indent=2) + "\n")
 
     ips = report["throughput"]["instructions_per_sec"]
     trace_off_ips = report["throughput_trace_cache_off"]["instructions_per_sec"]
     forking = report["forking"]
     snapshots = report["snapshots"]
+    engines = report["engines"]
     print()
     print(f"interpreter throughput : {ips:>12,} instructions/sec")
     print(f"  trace cache off      : {trace_off_ips:>12,} instructions/sec")
@@ -240,6 +333,13 @@ def test_emulator_throughput_and_fork_rate():
           f"({forking['fork_speedup']}x over deep load_image)")
     print(f"emulator snapshot rate : "
           f"{snapshots['snapshot_restores_per_sec']:>12,} restores/sec")
+    for name in ("tds", "ropmemu", "dse"):
+        print(f"{name.upper():<7} execution rate : "
+              f"{engines[f'{name}_executions_per_sec']:>12,} executions/sec "
+              f"({engines[f'{name}_speedup']}x over fork-per-execution)")
+    print(f"TDS on ROP chain       : "
+          f"{engines['rop_tds_executions_per_sec']:>12,} executions/sec "
+          f"({engines['rop_tds_speedup']}x over fork-per-execution)")
 
     caches_on = _CACHE_ENABLED and _TRACE_ENABLED
     if update or committed is None:
@@ -260,6 +360,14 @@ def test_emulator_throughput_and_fork_rate():
     assert forking["fork_speedup"] >= 10.0, (
         f"COW forking only {forking['fork_speedup']}x faster than deep "
         f"load_image (expected >= 10x)")
+
+    # per-engine rewind speedups are same-machine ratios too: snapshot
+    # restores must stay >= 3x over the legacy fork-per-execution path
+    for name in ("tds", "ropmemu"):
+        speedup = engines[f"{name}_speedup"]
+        assert speedup >= 3.0, (
+            f"{name} snapshot rewinding only {speedup}x over "
+            f"fork-per-execution (expected >= 3x)")
 
     if caches_on:
         # same-machine ratio: superinstruction fusion must stay a large

@@ -8,26 +8,66 @@ exploration in the style of concolic engines.  Exploration order is governed
 by a pluggable strategy; class-uniform path analysis (CUPA) groups pending
 inputs by the branch they negate and picks classes uniformly, the strategy
 the paper found most effective for both ROP and VM configurations.
+
+Exploration is *backtracking* by default: while a path executes, the engine
+captures whole-emulator snapshots (:meth:`repro.cpu.Emulator.snapshot`) at
+symbolic branch points into a bounded :class:`repro.attacks.engine.
+SnapshotPool`.  An input derived by negating decision ``p`` of a path then
+restores the nearest recorded ancestor of its decision prefix instead of
+re-running from the function entry, and the engine *repairs* the restored
+state for the new input assignment by re-evaluating every shadow expression
+(registers, memory, CPU flags) under it.  The repair is exact precisely when
+the tracker's :attr:`~repro.attacks.shadow.ShadowTracker.repair_exact` and
+:attr:`~repro.attacks.shadow.ShadowTracker.constraints_exact` invariants
+hold, so snapshots are only taken while they do — any execution the shadow
+cannot exactly characterize falls back to the entry rewind, which keeps
+backtracking exploration path-for-path identical to rerun-from-entry
+exploration (the differential property the tests assert).
 """
 
 from __future__ import annotations
 
+import os
 import random
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
-from repro.attacks.shadow import ShadowTracker
-from repro.attacks.solver.expr import SymExpr
+from repro.attacks.engine import EngineStats, SnapshotEngine, SnapshotPool
+from repro.attacks.shadow import BranchRecord, ShadowTracker
+from repro.attacks.solver.expr import BinExpr, ConstExpr, SymExpr
 from repro.attacks.solver.solver import ConstraintSolver, PathConstraint
 from repro.binary.image import BinaryImage
-from repro.binary.loader import load_image
-from repro.cpu.emulator import Emulator, EmulatorSnapshot
-from repro.cpu.host import EXIT_ADDRESS, HostEnvironment
+from repro.cpu.emulator import Emulator
 from repro.cpu.state import EmulationError
+from repro.memory import MemoryError_
+from repro.isa.instructions import Mnemonic
 from repro.isa.registers import ARG_REGISTERS, Register
 
 _MASK64 = (1 << 64) - 1
+
+#: ``REPRO_DSE_BACKTRACK=0`` forces rerun-from-entry exploration globally
+#: (the A/B lever the differential tests and the benchmark use).
+_BACKTRACK_DEFAULT = os.environ.get("REPRO_DSE_BACKTRACK", "1") != "0"
+
+#: Backwards-compatible name: the DSE statistics are the shared engine stats.
+ExplorationStats = EngineStats
+
+
+def _decision_key(record: BranchRecord) -> Tuple:
+    """Pool-key element uniquely identifying one branch decision.
+
+    ``(address, expected)`` is ambiguous for pointer records: two sibling
+    chains pin *different* concrete targets at the same address, both with
+    ``expected=True``.  Folding the pinned value in keeps a resume from
+    restoring a snapshot that belongs to the wrong sibling chain.
+    """
+    pinned = None
+    if record.kind == "pointer":
+        expression = record.constraint.expression
+        if isinstance(expression, BinExpr) and isinstance(expression.right, ConstExpr):
+            pinned = expression.right.value
+    return (record.address, record.constraint.expected, pinned)
 
 
 @dataclass
@@ -65,20 +105,15 @@ class ExecutionResult:
     branch_addresses: List[int]
     instructions: int
     faulted: bool
+    #: how many branch decisions deep the snapshot this execution resumed
+    #: from was (0 = started from the function entry).
+    resumed_depth: int = 0
+    #: one :func:`_decision_key` per branch decision — the unambiguous form
+    #: of the path signature the snapshot pool is keyed by.
+    decision_keys: Tuple = ()
 
 
-@dataclass
-class ExplorationStats:
-    """Aggregate statistics of one engine run."""
-
-    executions: int = 0
-    instructions: int = 0
-    solver_queries: int = 0
-    paths_seen: int = 0
-    elapsed: float = 0.0
-
-
-class DseEngine:
+class DseEngine(SnapshotEngine):
     """Concolic exploration of one function in a binary image.
 
     Args:
@@ -89,77 +124,192 @@ class DseEngine:
         memory_model: ``"concretize"`` (default) or ``"page"`` (§VII-C3).
         seed: RNG seed.
         max_instructions: per-execution instruction cap.
+        use_snapshots: False restores the legacy fork-per-execution path.
+        backtracking: explore by restoring mid-path branch snapshots instead
+            of rewinding to the entry per path.  Defaults to the
+            ``REPRO_DSE_BACKTRACK`` knob; forced off for the page memory
+            model (whose select expressions pin another execution's concrete
+            memory) and when snapshots are disabled.
+        max_snapshots_per_run: cap on snapshots captured per execution, so
+            loop-heavy paths do not monopolize the pool.
+        max_snapshot_depth: deepest branch decision worth snapshotting.
     """
 
     def __init__(self, image: BinaryImage, function: str,
                  input_spec: Optional[InputSpec] = None, strategy: str = "cupa",
                  memory_model: str = "concretize", seed: int = 0,
-                 max_instructions: int = 2_000_000) -> None:
+                 max_instructions: int = 2_000_000,
+                 use_snapshots: bool = True,
+                 backtracking: Optional[bool] = None,
+                 max_snapshots_per_run: int = 24,
+                 max_snapshot_depth: int = 48) -> None:
         if strategy not in ("cupa", "bfs", "dfs"):
             raise ValueError(f"unknown strategy {strategy!r}")
-        self.image = image
-        self.function = function
+        super().__init__(image, function, max_instructions=max_instructions,
+                         use_snapshots=use_snapshots)
         self.input_spec = input_spec or InputSpec()
         self.strategy = strategy
         self.memory_model = memory_model
         self.random = random.Random(seed)
-        self.max_instructions = max_instructions
         self.symbols = self.input_spec.symbol_table()
         self.solver = ConstraintSolver(self.symbols, seed=seed)
-        self.stats = ExplorationStats()
-        self._emulator: Optional[Emulator] = None
-        self._entry_snapshot: Optional[EmulatorSnapshot] = None
-        self._heap_base = 0
+        self._pool = SnapshotPool()
+        if backtracking is None:
+            backtracking = _BACKTRACK_DEFAULT
+        self.backtracking = (backtracking and use_snapshots
+                             and memory_model == "concretize"
+                             and self._pool.capacity > 0)
+        self.max_snapshots_per_run = max_snapshots_per_run
+        self.max_snapshot_depth = max_snapshot_depth
 
-    def _fork_emulator(self) -> Emulator:
-        """Rewind the engine's emulator to the attacked function's entry.
+    def invalidate_snapshots(self) -> None:
+        super().invalidate_snapshots()
+        self._pool.clear()
 
-        The first call loads the image once and snapshots the fully prepared
-        emulator (stack, return-to-exit sentinel, ``rip`` at the function
-        entry); every later call restores that snapshot copy-on-write, so
-        each explored path starts from the entry in O(1) instead of paying
-        ``load_image`` and a fresh run from ``main``.
+    # -- mid-path snapshot capture and resume ------------------------------------
+    def _snapshot_hook(self, emulator: Emulator, tracker: ShadowTracker) -> Callable:
+        """Build the pre-hook that captures branch-point snapshots.
+
+        Runs after ``tracker.hook`` in the hook chain, so a freshly appended
+        :class:`~repro.attacks.shadow.BranchRecord` means the *current*
+        instruction is a symbolic branch about to execute.  Only plain
+        ``jcc`` branches are snapshotted: their tracker hook merely appends
+        the record, so popping it off a fork reconstructs the exact
+        pre-branch shadow state (cmov and pointer records also mutate
+        destination shadows in the same hook call, which a fork taken after
+        the fact cannot unwind).
         """
-        if self._entry_snapshot is None:
-            program = load_image(self.image)
-            emulator = Emulator(program.memory, host=HostEnvironment(),
-                                max_steps=self.max_instructions)
-            emulator.state.write_reg(Register.RSP, program.stack_top)
-            emulator.state.write_reg(Register.RBP, program.stack_top)
-            emulator.push(EXIT_ADDRESS)
-            emulator.state.rip = self.image.function(self.function).address
-            self._heap_base = program.heap_base
-            self._emulator = emulator
-            self._entry_snapshot = emulator.snapshot()
-        self._emulator.restore(self._entry_snapshot)
-        return self._emulator
+        state = {"seen": len(tracker.branches), "taken": 0}
+
+        def hook(emu, address, instruction) -> None:
+            branches = tracker.branches
+            if len(branches) == state["seen"]:
+                return
+            state["seen"] = len(branches)
+            if instruction.mnemonic is not Mnemonic.JCC:
+                return
+            if state["taken"] >= self.max_snapshots_per_run:
+                return
+            if len(branches) > self.max_snapshot_depth:
+                return
+            if not (tracker.repair_exact and tracker.constraints_exact):
+                return
+            if tracker.flag_repair is None or tracker.flag_repair[0] == "concrete":
+                return
+            key = tuple(_decision_key(record) for record in branches[:-1])
+            if key in self._pool:
+                self._pool.touch(key)
+                return
+            fork = tracker.fork()
+            fork.branches.pop()
+            evicted = self._pool.evictions
+            self._pool.put(key, (emulator.snapshot(), fork))
+            state["taken"] += 1
+            self.stats.snapshots_taken += 1
+            self.stats.snapshots_evicted += self._pool.evictions - evicted
+
+        return hook
+
+    def _repair_state(self, emulator: Emulator, tracker: ShadowTracker,
+                      assignment: Dict[str, int]) -> None:
+        """Rewrite the restored context for a different input assignment.
+
+        Every input-dependent register, memory location and CPU flag carries
+        a shadow expression; re-evaluating those under ``assignment``
+        reconstructs exactly the state a rerun from the entry would have
+        reached at the snapshot point (the tracker's exactness invariants
+        guarantee nothing input-dependent is missing).
+        """
+        regs = emulator.state.regs
+        for register, expression in tracker.register_exprs.items():
+            regs[register] = expression.evaluate(assignment) & _MASK64
+        memory = emulator.memory
+        for (address, size), expression in tracker.memory_exprs.items():
+            memory.write_int(address, expression.evaluate(assignment), size)
+        repair = tracker.flag_repair
+        kind = repair[0]
+        if kind == "sub":
+            _, left, right, size = repair
+            emulator._set_sub_flags(left.evaluate(assignment),
+                                    right.evaluate(assignment), 0, size)
+        elif kind == "add":
+            _, left, right, size = repair
+            emulator._set_add_flags(left.evaluate(assignment),
+                                    right.evaluate(assignment), 0, size)
+        else:  # "logic"
+            _, expression, size = repair
+            emulator._set_logic_flags(expression.evaluate(assignment), size)
+
+    def _resume(self, resume_key: Tuple, assignment: Dict[str, int]
+                ) -> Optional[Tuple[Emulator, ShadowTracker, int]]:
+        """Restore the nearest recorded ancestor of ``resume_key``.
+
+        Returns ``(emulator, tracker, depth)`` ready to run, or None when no
+        usable snapshot exists (the caller falls back to the entry rewind).
+        """
+        if not self.backtracking or self._entry_snapshot is None \
+                or self._entry_symbol != self.function:
+            return None
+        hit = self._pool.nearest_ancestor(resume_key)
+        if hit is None:
+            return None
+        key, (snapshot, tracker_fork) = hit
+        emulator = self._emulator
+        emulator.restore(snapshot)
+        tracker = tracker_fork.fork()
+        try:
+            self._repair_state(emulator, tracker, assignment)
+        except (ValueError, MemoryError_, EmulationError):
+            # un-evaluable repair expression or unwritable repair target:
+            # rewind from the entry instead (counted so repair regressions
+            # surface in the stats rather than vanishing into the fallback)
+            self.stats.repair_fallbacks += 1
+            return None
+        return emulator, tracker, len(key)
 
     # -- concrete+symbolic execution of one input --------------------------------
-    def execute(self, assignment: Dict[str, int]) -> ExecutionResult:
-        """Run the target once under the given input assignment."""
-        emulator = self._fork_emulator()
+    def execute(self, assignment: Dict[str, int],
+                resume_key: Optional[Tuple] = None) -> ExecutionResult:
+        """Run the target once under the given input assignment.
+
+        ``resume_key`` — the branch-decision prefix this input is expected to
+        follow — lets the engine resume from a pooled mid-path snapshot; the
+        run is indistinguishable from a rerun from the entry.
+        """
+        resumed = self._resume(resume_key, assignment) if resume_key is not None else None
+        if resumed is not None:
+            emulator, tracker, resumed_depth = resumed
+            self.stats.branch_restores += 1
+            self.stats.instructions_replayed += emulator.steps
+        else:
+            resumed_depth = 0
+            emulator = self._fork_emulator()
+            tracker = ShadowTracker(memory_model=self.memory_model)
+
+            arguments: List[int] = []
+            for index, size in enumerate(self.input_spec.argument_sizes):
+                name = f"arg{index}"
+                value = assignment.get(name, 0) & ((1 << (8 * size)) - 1)
+                arguments.append(value)
+            if self.input_spec.buffer_symbols:
+                buffer_address = self._heap_base + 0x100
+                for index in range(self.input_spec.buffer_symbols):
+                    name = f"buf{index}"
+                    value = assignment.get(name, 0) & 0xFF
+                    emulator.memory.write_int(buffer_address + index, value, 1)
+                    tracker.set_memory_symbol(buffer_address + index, 1, SymExpr(name, 1))
+                arguments.append(buffer_address)
+
+            for register, value in zip(ARG_REGISTERS, arguments):
+                emulator.state.write_reg(register, value & _MASK64)
+            for index, size in enumerate(self.input_spec.argument_sizes):
+                tracker.set_register_symbol(ARG_REGISTERS[index], SymExpr(f"arg{index}", size))
+
+        hooks = [tracker.hook]
+        if self.backtracking:
+            hooks.append(self._snapshot_hook(emulator, tracker))
+        emulator.pre_hooks = hooks
         host = emulator.host
-        tracker = ShadowTracker(memory_model=self.memory_model)
-        emulator.pre_hooks = [tracker.hook]
-
-        arguments: List[int] = []
-        for index, size in enumerate(self.input_spec.argument_sizes):
-            name = f"arg{index}"
-            value = assignment.get(name, 0) & ((1 << (8 * size)) - 1)
-            arguments.append(value)
-        if self.input_spec.buffer_symbols:
-            buffer_address = self._heap_base + 0x100
-            for index in range(self.input_spec.buffer_symbols):
-                name = f"buf{index}"
-                value = assignment.get(name, 0) & 0xFF
-                emulator.memory.write_int(buffer_address + index, value, 1)
-                tracker.set_memory_symbol(buffer_address + index, 1, SymExpr(name, 1))
-            arguments.append(buffer_address)
-
-        for register, value in zip(ARG_REGISTERS, arguments):
-            emulator.state.write_reg(register, value & _MASK64)
-        for index, size in enumerate(self.input_spec.argument_sizes):
-            tracker.set_register_symbol(ARG_REGISTERS[index], SymExpr(f"arg{index}", size))
 
         faulted = False
         try:
@@ -177,6 +327,8 @@ class DseEngine:
             branch_addresses=[record.address for record in tracker.branches],
             instructions=emulator.steps,
             faulted=faulted,
+            resumed_depth=resumed_depth,
+            decision_keys=tuple(_decision_key(record) for record in tracker.branches),
         )
 
     # -- exploration ------------------------------------------------------------------
@@ -190,7 +342,7 @@ class DseEngine:
         """
         start = time.monotonic()
         initial = {name: 0 for name in self.symbols}
-        pending: List[Tuple[int, Dict[str, int]]] = [(0, initial)]
+        pending: List[Tuple[int, Dict[str, int], Optional[Tuple]]] = [(0, initial, None)]
         seen_inputs: Set[Tuple] = {tuple(sorted(initial.items()))}
         seen_decisions: Set[Tuple[int, bool]] = set()
         results: List[ExecutionResult] = []
@@ -201,8 +353,8 @@ class DseEngine:
             if elapsed > time_budget or self.stats.executions >= max_executions:
                 break
             index = self._pick(pending)
-            _, assignment = pending.pop(index)
-            result = self.execute(assignment)
+            _, assignment, resume_key = pending.pop(index)
+            result = self.execute(assignment, resume_key=resume_key)
             results.append(result)
 
             signature = tuple(
@@ -239,12 +391,13 @@ class DseEngine:
                 if key in seen_inputs:
                     continue
                 seen_inputs.add(key)
-                pending.append((result.branch_addresses[position], solution))
+                pending.append((result.branch_addresses[position], solution,
+                                result.decision_keys[:position]))
 
         self.stats.elapsed = time.monotonic() - start
         return results, self.stats
 
-    def _pick(self, pending: List[Tuple[int, Dict[str, int]]]) -> int:
+    def _pick(self, pending: List[Tuple]) -> int:
         if self.strategy == "dfs":
             return len(pending) - 1
         if self.strategy == "bfs":
@@ -252,7 +405,7 @@ class DseEngine:
         # CUPA: group by the branch address whose negation produced the input,
         # pick a class uniformly at random, then a member uniformly within it
         classes: Dict[int, List[int]] = {}
-        for index, (address, _) in enumerate(pending):
-            classes.setdefault(address, []).append(index)
+        for index, entry in enumerate(pending):
+            classes.setdefault(entry[0], []).append(index)
         chosen_class = self.random.choice(list(classes))
         return self.random.choice(classes[chosen_class])

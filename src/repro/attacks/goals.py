@@ -39,12 +39,16 @@ class AttackOutcome:
         time_to_success: seconds elapsed when the goal was reached (or the
             full budget when it was not).
         executions: concrete executions performed.
-        instructions: total emulated instructions.
+        instructions: total emulated instructions (rerun-from-entry
+            accounting; see :class:`repro.attacks.engine.EngineStats`).
         solver_queries: solver invocations.
         paths: distinct paths observed.
         witness: for secret finding, the input assignment that reached the
             accepting path.
         covered_probes: for coverage, the set of probe identifiers observed.
+        branch_restores: executions resumed from a mid-path branch snapshot
+            (backtracking DSE).
+        instructions_replayed: instructions skipped by those restores.
     """
 
     success: bool
@@ -55,6 +59,8 @@ class AttackOutcome:
     paths: int
     witness: Optional[Dict[str, int]] = None
     covered_probes: Set[int] = field(default_factory=set)
+    branch_restores: int = 0
+    instructions_replayed: int = 0
 
 
 def _make_engine(image: BinaryImage, function: str, input_spec: InputSpec,
@@ -106,6 +112,8 @@ def secret_finding_attack(image: BinaryImage, function: str,
         paths=stats.paths_seen,
         witness=dict(found) if success else None,
         covered_probes={p for r in results for p in r.probes},
+        branch_restores=stats.branch_restores,
+        instructions_replayed=stats.instructions_replayed,
     )
 
 
@@ -142,4 +150,6 @@ def coverage_attack(image: BinaryImage, function: str, target_probes: Iterable[i
         solver_queries=stats.solver_queries,
         paths=stats.paths_seen,
         covered_probes=covered,
+        branch_restores=stats.branch_restores,
+        instructions_replayed=stats.instructions_replayed,
     )

@@ -15,12 +15,10 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import List, Optional, Sequence, Set, Tuple
 
+from repro.attacks.engine import SnapshotEngine
 from repro.binary.image import BinaryImage
-from repro.binary.loader import LoadedProgram, load_image
-from repro.cpu.emulator import Emulator
-from repro.cpu.host import EXIT_ADDRESS, HostEnvironment
 from repro.cpu.state import EmulationError
 from repro.cpu.tracing import TraceRecorder
 from repro.gadgets.finder import gadget_at
@@ -65,23 +63,25 @@ class RopMemuReport:
         return out
 
 
-class RopMemuExplorer:
-    """Dynamic multi-path exploration of a ROP-obfuscated function."""
+class RopMemuExplorer(SnapshotEngine):
+    """Dynamic multi-path exploration of a ROP-obfuscated function.
+
+    Every flip re-executes the chain from the function entry; the engine
+    rewinds its prepared emulator with :meth:`repro.cpu.Emulator.restore`
+    (see :class:`repro.attacks.engine.SnapshotEngine`) instead of paying a
+    program fork plus a fresh emulator per execution.
+    """
 
     def __init__(self, image: BinaryImage, function: str,
-                 max_instructions: int = 1_000_000) -> None:
-        self.image = image
-        self.function = function
-        self.max_instructions = max_instructions
-        self._pristine: Optional[LoadedProgram] = None
+                 max_instructions: int = 1_000_000,
+                 use_snapshots: bool = True) -> None:
+        super().__init__(image, function, max_instructions=max_instructions,
+                         use_snapshots=use_snapshots)
 
     def _run(self, arguments: Sequence[int], flip_index: Optional[int] = None
              ) -> Tuple[bool, Set[int], List]:
-        if self._pristine is None:
-            self._pristine = load_image(self.image)
-        program = self._pristine.fork()
-        host = HostEnvironment()
-        emulator = Emulator(program.memory, host=host, max_steps=self.max_instructions)
+        emulator = self._fork_emulator()
+        host = emulator.host
         recorder = TraceRecorder(capture_registers=False).attach(emulator)
 
         flips = {"remaining": flip_index}
@@ -98,17 +98,15 @@ class RopMemuExplorer:
                 flips["remaining"] = None
 
         emulator.pre_hooks.append(flipper)
-        emulator.state.write_reg(Register.RSP, program.stack_top)
-        emulator.state.write_reg(Register.RBP, program.stack_top)
         for register, value in zip(ARG_REGISTERS, arguments):
             emulator.state.write_reg(register, value & _MASK64)
-        emulator.push(EXIT_ADDRESS)
-        emulator.state.rip = self.image.function(self.function).address
         survived = True
         try:
             emulator.run()
         except EmulationError:
             survived = False
+        self.stats.executions += 1
+        self.stats.instructions += emulator.steps
         return survived, set(host.probes), recorder.entries
 
     def flag_leak_points(self, trace) -> List[int]:

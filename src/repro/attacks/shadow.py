@@ -43,6 +43,21 @@ _ALU_OPERATORS = {
     Mnemonic.SHL: "shl", Mnemonic.SHR: "shr", Mnemonic.SAR: "sar",
 }
 
+#: Lazily-resolved addresses of the host functions that read or write guest
+#: memory directly (resolved on first use to keep this module import-light).
+_MEMORY_TOUCHING_HOSTS: frozenset = frozenset()
+
+
+def _memory_touching_hosts() -> frozenset:
+    global _MEMORY_TOUCHING_HOSTS
+    if not _MEMORY_TOUCHING_HOSTS:
+        from repro.cpu.host import host_function_address
+
+        _MEMORY_TOUCHING_HOSTS = frozenset(
+            host_function_address(name)
+            for name in ("memcpy", "memset", "strlen", "puts"))
+    return _MEMORY_TOUCHING_HOSTS
+
 
 @dataclass
 class BranchRecord:
@@ -61,7 +76,29 @@ class BranchRecord:
 
 
 class ShadowTracker:
-    """Symbolic mirror of a concrete execution."""
+    """Symbolic mirror of a concrete execution.
+
+    Beyond the path constraints, the tracker maintains the bookkeeping the
+    backtracking DSE explorer needs to resume an execution from a mid-path
+    snapshot under a *different* input assignment:
+
+    * :attr:`repair_exact` stays True while the shadow state exactly
+      characterizes every input-dependent bit of the machine — re-evaluating
+      :attr:`register_exprs` / :attr:`memory_exprs` under a new assignment
+      then reconstructs the state a rerun from the entry would have reached.
+      Depth-truncated expressions, symbolic-address memory accesses (whose
+      concretization loses the input dependence), host calls over symbolic
+      arguments and partial-register merges the shadow cannot model all
+      clear it.
+    * :attr:`constraints_exact` stays True while every recorded constraint's
+      *expression* semantics exactly match the concrete branch semantics
+      (sub-64-bit signed comparisons, for example, do not), so a solver
+      assignment that satisfies a prefix provably drives a rerun down it.
+    * :attr:`flag_repair` describes how to recompute the concrete CPU flags
+      from the current symbolic flag source (``("sub"|"add", left, right,
+      size)`` or ``("logic", expr, size)``), or None when the last
+      flag-setting instruction is not exactly reproducible.
+    """
 
     def __init__(self, memory_model: str = "concretize", page_size: int = 256,
                  max_expression_depth: int = 512) -> None:
@@ -72,11 +109,38 @@ class ShadowTracker:
         self.max_expression_depth = max_expression_depth
         self.register_exprs: Dict[Register, Expression] = {}
         self.memory_exprs: Dict[Tuple[int, int], Expression] = {}
+        #: byte address -> owning ``memory_exprs`` key, so overlap probes in
+        #: the per-instruction hook cost O(access width), not O(entries)
+        self._memory_bytes: Dict[int, Tuple[int, int]] = {}
         #: last flag-setting operation: ("cmp", a, b) or ("result", expr)
         self.flag_state: Optional[Tuple] = None
         self.carry_expr: Optional[Expression] = None
         self.branches: List[BranchRecord] = []
         self.symbolic_instruction_count = 0
+        self.flag_repair: Optional[Tuple] = None
+        self.repair_exact = memory_model == "concretize"
+        self.constraints_exact = True
+
+    def fork(self) -> "ShadowTracker":
+        """Return an independent copy of the tracker state.
+
+        Expressions are immutable, so forking is a handful of shallow dict
+        and list copies — the shadow half of a mid-path branch snapshot.
+        """
+        clone = ShadowTracker(memory_model=self.memory_model,
+                              page_size=self.page_size,
+                              max_expression_depth=self.max_expression_depth)
+        clone.register_exprs = dict(self.register_exprs)
+        clone.memory_exprs = dict(self.memory_exprs)
+        clone._memory_bytes = dict(self._memory_bytes)
+        clone.flag_state = self.flag_state
+        clone.carry_expr = self.carry_expr
+        clone.branches = list(self.branches)
+        clone.symbolic_instruction_count = self.symbolic_instruction_count
+        clone.flag_repair = self.flag_repair
+        clone.repair_exact = self.repair_exact
+        clone.constraints_exact = self.constraints_exact
+        return clone
 
     # -- symbol introduction ----------------------------------------------------
     def set_register_symbol(self, register: Register, expression: Expression) -> None:
@@ -85,13 +149,40 @@ class ShadowTracker:
 
     def set_memory_symbol(self, address: int, size: int, expression: Expression) -> None:
         """Mark a memory location as holding a symbolic input value."""
-        self.memory_exprs[(address, size)] = expression
+        self._set_memory_expr((address, size), expression)
 
     # -- small helpers -------------------------------------------------------------
     def _bounded(self, expression: Expression) -> Expression:
         if expression.depth() > self.max_expression_depth:
+            # giving up loses the input dependence: state repair is no
+            # longer exact from here on
+            self.repair_exact = False
             return ConstExpr(0)  # give up on unwieldy expressions (concretize)
         return expression
+
+    def _set_memory_expr(self, key: Tuple[int, int],
+                         expression: Optional[Expression]) -> None:
+        """Insert or remove a ``memory_exprs`` entry, keeping the byte map."""
+        address, size = key
+        if expression is None:
+            if self.memory_exprs.pop(key, None) is not None:
+                for byte in range(address, address + size):
+                    self._memory_bytes.pop(byte, None)
+            return
+        if key not in self.memory_exprs:
+            for byte in range(address, address + size):
+                self._memory_bytes[byte] = key
+        self.memory_exprs[key] = expression
+
+    def _overlapping_memory(self, address: int, size: int,
+                            key: Tuple[int, int]) -> bool:
+        """True when ``[address, address+size)`` overlaps a foreign entry."""
+        bytes_map = self._memory_bytes
+        for byte in range(address, address + size):
+            owner = bytes_map.get(byte)
+            if owner is not None and owner != key:
+                return True
+        return False
 
     def _register_expr(self, emulator, register: Register, size: int = 8) -> Optional[Expression]:
         expression = self.register_exprs.get(register)
@@ -112,7 +203,18 @@ class ShadowTracker:
             symbolic_address = self._address_expr(emulator, operand)
             if symbolic_address is not None and self.memory_model == "page":
                 return self._page_select(emulator, address, symbolic_address, operand.size)
-            return self.memory_exprs.get((address, operand.size))
+            if symbolic_address is not None:
+                # concretizing a symbolic-address read drops the address's
+                # input dependence from the loaded value
+                self.repair_exact = False
+            expression = self.memory_exprs.get((address, operand.size))
+            if expression is None and self.repair_exact \
+                    and self._overlapping_memory(address, operand.size,
+                                                 (address, operand.size)):
+                # a wider/narrower symbolic entry covers these bytes: the
+                # exact-key miss silently concretizes input-tainted data
+                self.repair_exact = False
+            return expression
         return None
 
     def _address_expr(self, emulator, operand: Mem) -> Optional[Expression]:
@@ -158,18 +260,44 @@ class ShadowTracker:
 
     def _set_destination(self, emulator, operand, expression: Optional[Expression]) -> None:
         if isinstance(operand, Reg):
+            size = getattr(operand, "size", 8)
             if expression is None:
-                self.register_exprs.pop(operand.reg, None)
+                old = self.register_exprs.pop(operand.reg, None)
+                if old is not None and size < 4:
+                    # a narrow concrete write merges into symbolic upper bits
+                    # the shadow just dropped wholesale
+                    self.repair_exact = False
             else:
+                if size < 8:
+                    mask = (1 << (8 * size)) - 1
+                    if size < 4:
+                        # 1/2-byte writes merge into the register's upper
+                        # bits; the shadow models the merge only over a
+                        # concretely-zero, concretely-tracked upper half
+                        if self.register_exprs.get(operand.reg) is not None \
+                                or emulator.state.read_reg(operand.reg) & ~mask & _MASK64:
+                            self.repair_exact = False
+                    # mask so the stored expression equals the full register
+                    # value after the (zero-extending or zero-merging) write
+                    expression = BinExpr("and", expression, ConstExpr(mask))
                 self.register_exprs[operand.reg] = self._bounded(expression)
             return
         if isinstance(operand, Mem):
             address = emulator.effective_address(operand)
+            if self._address_expr(emulator, operand) is not None \
+                    and self.memory_model != "page":
+                # the store lands at an input-dependent address the shadow
+                # pinned to this execution's concrete choice
+                self.repair_exact = False
             key = (address, operand.size)
-            if expression is None:
-                self.memory_exprs.pop(key, None)
-            else:
-                self.memory_exprs[key] = self._bounded(expression)
+            if self.repair_exact and self._overlapping_memory(
+                    address, operand.size, key):
+                self.repair_exact = False
+            if expression is not None and operand.size < 8:
+                expression = BinExpr("and", expression,
+                                     ConstExpr((1 << (8 * operand.size)) - 1))
+            self._set_memory_expr(
+                key, None if expression is None else self._bounded(expression))
 
     # -- condition expressions -------------------------------------------------------
     def _condition_expr(self, condition: str) -> Optional[Expression]:
@@ -203,6 +331,26 @@ class ShadowTracker:
             return bool(self.flag_state[1].symbols() or self.flag_state[2].symbols())
         return bool(self.flag_state[1].symbols())
 
+    def _condition_exact(self, condition: str) -> bool:
+        """True when the condition's expression semantics match the concrete
+        flag semantics exactly (expressions compare at 64 bits, so signed
+        predicates over narrower flag sources do not)."""
+        repair = self.flag_repair
+        if repair is None or repair[0] == "concrete":
+            return False
+        kind, size = repair[0], repair[-1]
+        if kind == "sub":
+            # operands are width-masked, so unsigned/equality predicates are
+            # width-independent; signed ones need the full 64-bit width
+            return condition in ("e", "ne", "b", "be", "a", "ae") or size == 8
+        if kind == "logic":
+            return condition in ("e", "ne") or size == 8
+        if kind == "add":
+            # the 64-bit sum of masked operands can carry past the operand
+            # width, so only full-width equality survives
+            return size == 8 and condition in ("e", "ne")
+        return False
+
     # -- the hook ------------------------------------------------------------------
     def hook(self, emulator, address: int, instruction: Instruction) -> None:
         """Pre-execution hook registered on the emulator."""
@@ -218,6 +366,11 @@ class ShadowTracker:
                 size = getattr(ops[1], "size", 8)
                 if size < 8:
                     expression = BinExpr("and", expression, ConstExpr((1 << (8 * size)) - 1))
+                    if m is Mnemonic.MOVSX:
+                        # sign-extend: (x ^ sign_bit) - sign_bit over the
+                        # zero-extended value
+                        sign = ConstExpr(1 << (8 * size - 1))
+                        expression = BinExpr("sub", BinExpr("xor", expression, sign), sign)
             if expression is not None:
                 self.symbolic_instruction_count += 1
             self._set_destination(emulator, ops[0], expression)
@@ -235,28 +388,39 @@ class ShadowTracker:
             return
 
         if m is Mnemonic.PUSH and ops:
+            if Register.RSP in self.register_exprs:
+                # the concrete slot address is itself input-dependent
+                self.repair_exact = False
             expression = self._operand_expr(emulator, ops[0])
             destination = emulator.state.read_reg(Register.RSP) - 8
-            if expression is None:
-                self.memory_exprs.pop((destination, 8), None)
-            else:
-                self.memory_exprs[(destination, 8)] = expression
+            if self.repair_exact and self._overlapping_memory(
+                    destination, 8, (destination, 8)):
+                self.repair_exact = False
+            self._set_memory_expr((destination, 8), expression)
             return
         if m is Mnemonic.POP and ops:
+            if Register.RSP in self.register_exprs:
+                self.repair_exact = False
             source = emulator.state.read_reg(Register.RSP)
             expression = self.memory_exprs.get((source, 8))
+            if expression is None and self.repair_exact \
+                    and self._overlapping_memory(source, 8, (source, 8)):
+                self.repair_exact = False
             self._set_destination(emulator, ops[0], expression)
             return
 
         if m in (Mnemonic.CMP, Mnemonic.TEST) and len(ops) == 2:
             left = self._value_or_const(emulator, ops[0], self._operand_expr(emulator, ops[0]))
             right = self._value_or_const(emulator, ops[1], self._operand_expr(emulator, ops[1]))
+            size = getattr(ops[0], "size", 8)
             if m is Mnemonic.CMP:
                 self.flag_state = ("cmp", left, right)
                 self.carry_expr = BinExpr("ult", left, right)
+                self.flag_repair = ("sub", left, right, size)
             else:
                 self.flag_state = ("result", BinExpr("and", left, right))
                 self.carry_expr = None
+                self.flag_repair = ("logic", BinExpr("and", left, right), size)
             return
 
         if m in _ALU_OPERATORS and len(ops) == 2:
@@ -266,12 +430,24 @@ class ShadowTracker:
                 self._set_destination(emulator, ops[0], None)
                 self.flag_state = ("result", ConstExpr(0))
                 self.carry_expr = None
+                self.flag_repair = ("concrete",)
                 if isinstance(ops[0], Reg) and ops[0].reg is Register.RSP:
                     pass
                 return
             left = self._value_or_const(emulator, ops[0], left_expr)
             right = self._value_or_const(emulator, ops[1], right_expr)
             expression = BinExpr(_ALU_OPERATORS[m], left, right)
+            size = getattr(ops[0], "size", 8)
+            if m is Mnemonic.SUB:
+                self.flag_repair = ("sub", left, right, size)
+            elif m is Mnemonic.ADD:
+                self.flag_repair = ("add", left, right, size)
+            elif m in (Mnemonic.AND, Mnemonic.OR, Mnemonic.XOR):
+                self.flag_repair = ("logic", expression, size)
+            else:
+                # imul/shifts set carry/overflow the repair recipes do not
+                # model
+                self.flag_repair = None
             self.symbolic_instruction_count += 1
             # symbolic values flowing into the stack pointer are ROP branches:
             # concretize and record the decision (§III-B, S2E-style)
@@ -301,6 +477,9 @@ class ShadowTracker:
             if left_expr is None and right_expr is None and (
                     carry is None or not carry.symbols()):
                 self._set_destination(emulator, ops[0], None)
+                self.flag_state = ("result", ConstExpr(0))
+                self.carry_expr = None
+                self.flag_repair = ("concrete",)
                 return
             left = self._value_or_const(emulator, ops[0], left_expr)
             right = self._value_or_const(emulator, ops[1], right_expr)
@@ -310,6 +489,7 @@ class ShadowTracker:
             expression = BinExpr(operator, BinExpr(operator, left, right), carry_term)
             self._set_destination(emulator, ops[0], expression)
             self.flag_state = ("result", expression)
+            self.flag_repair = None
             return
 
         if m in (Mnemonic.NEG, Mnemonic.NOT) and ops:
@@ -319,6 +499,7 @@ class ShadowTracker:
                 if m is Mnemonic.NEG:
                     self.carry_expr = None
                     self.flag_state = ("result", ConstExpr(0))
+                    self.flag_repair = ("concrete",)
                 return
             operator = "neg" if m is Mnemonic.NEG else "not"
             result = UnExpr(operator, expression)
@@ -326,23 +507,39 @@ class ShadowTracker:
             if m is Mnemonic.NEG:
                 self.flag_state = ("result", result)
                 self.carry_expr = BinExpr("ne", expression, ConstExpr(0))
+                self.flag_repair = None
             return
 
         if m in (Mnemonic.INC, Mnemonic.DEC) and ops:
             expression = self._operand_expr(emulator, ops[0])
             if expression is None:
                 self._set_destination(emulator, ops[0], None)
+                # inc/dec leave CF alone, so a symbolic carry survives a
+                # concrete increment: the architectural CF is then
+                # input-dependent in a way neither the flag_state nor the
+                # repair recipes can express
+                if self.carry_expr is not None and self.carry_expr.symbols():
+                    self.flag_repair = None
+                    self.repair_exact = False
+                else:
+                    self.flag_repair = ("concrete",)
+                self.flag_state = ("result", ConstExpr(0))
                 return
             operator = "add" if m is Mnemonic.INC else "sub"
             result = BinExpr(operator, expression, ConstExpr(1))
             self._set_destination(emulator, ops[0], result)
             self.flag_state = ("result", result)
+            self.flag_repair = None
             return
 
         if m is Mnemonic.SET and ops:
             expression = None
             if self._flags_symbolic():
                 expression = self._condition_expr(instruction.condition)
+                if expression is None or not self._condition_exact(instruction.condition):
+                    # the written 0/1 is input-dependent but the shadow's
+                    # model of it is missing or only approximate
+                    self.repair_exact = False
             self._set_destination(emulator, ops[0], expression)
             return
 
@@ -351,10 +548,15 @@ class ShadowTracker:
                 condition = self._condition_expr(instruction.condition)
                 taken = emulator.state.condition(instruction.condition)
                 if condition is not None:
+                    if not self._condition_exact(instruction.condition):
+                        self.constraints_exact = False
                     self.branches.append(BranchRecord(
                         address=address,
                         constraint=PathConstraint(condition, taken),
                         kind="jcc"))
+                else:
+                    # an input-dependent select went unrecorded
+                    self.constraints_exact = False
             taken = emulator.state.condition(instruction.condition)
             if taken:
                 self._set_destination(emulator, ops[0], self._operand_expr(emulator, ops[1]))
@@ -364,11 +566,16 @@ class ShadowTracker:
             if self._flags_symbolic():
                 condition = self._condition_expr(instruction.condition)
                 if condition is not None:
+                    if not self._condition_exact(instruction.condition):
+                        self.constraints_exact = False
                     taken = emulator.state.condition(instruction.condition)
                     self.branches.append(BranchRecord(
                         address=address,
                         constraint=PathConstraint(condition, taken),
                         kind="jcc"))
+                else:
+                    # an input-dependent branch went unrecorded
+                    self.constraints_exact = False
             return
 
         if m in (Mnemonic.CQO,):
@@ -381,6 +588,10 @@ class ShadowTracker:
         if m is Mnemonic.IDIV and ops:
             dividend = self.register_exprs.get(Register.RAX)
             divisor = self._operand_expr(emulator, ops[0])
+            if divisor is not None:
+                # a different assignment may drive the divisor to zero, where
+                # the concrete machine faults but the expression yields 0
+                self.repair_exact = False
             if dividend is None and divisor is None:
                 self.register_exprs.pop(Register.RAX, None)
                 self.register_exprs.pop(Register.RDX, None)
@@ -399,9 +610,26 @@ class ShadowTracker:
             # matches how the runtime functions are used by the workloads).
             # Calls into compiled mini-C code keep executing under this hook,
             # so their shadows propagate naturally and nothing is cleared.
+            if m in (Mnemonic.CALL, Mnemonic.JMP) and ops \
+                    and isinstance(ops[0], Reg) \
+                    and ops[0].reg in self.register_exprs:
+                # input-dependent control transfer with no recorded
+                # constraint: the prefix no longer pins the path
+                self.constraints_exact = False
             if m is Mnemonic.CALL and ops:
                 from repro.cpu.host import is_host_address
                 from repro.isa.registers import CALLER_SAVED
+
+                # the call implicitly pushes its (concrete, path-determined)
+                # return address: drop any shadow entry aliasing that slot,
+                # or a later state repair would clobber the live return
+                # address with a stale expression
+                if Register.RSP in self.register_exprs:
+                    self.repair_exact = False
+                slot = (emulator.state.read_reg(Register.RSP) - 8) & _MASK64
+                if self.repair_exact and self._overlapping_memory(slot, 8, (slot, 8)):
+                    self.repair_exact = False
+                self._set_memory_expr((slot, 8), None)
 
                 target = None
                 if isinstance(ops[0], Imm):
@@ -409,6 +637,16 @@ class ShadowTracker:
                 elif isinstance(ops[0], Reg):
                     target = emulator.state.read_reg(ops[0].reg)
                 if target is not None and is_host_address(target):
+                    # host side effects (heap cursor, output, return value)
+                    # over symbolic arguments are concretized, and dropping a
+                    # symbolic caller-saved shadow loses a live dependence
+                    if any(reg in self.register_exprs for reg in CALLER_SAVED):
+                        self.repair_exact = False
+                    elif self.memory_exprs and target in _memory_touching_hosts():
+                        # memcpy/memset/strlen/puts read or write guest
+                        # memory directly: symbolic bytes flow through (or
+                        # get clobbered) without any shadow update
+                        self.repair_exact = False
                     for reg in CALLER_SAVED:
                         self.register_exprs.pop(reg, None)
             return

@@ -13,17 +13,15 @@ simplified away without risking over-simplification.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Set, Tuple
 
+from repro.attacks.engine import SnapshotEngine
 from repro.binary.image import BinaryImage
-from repro.binary.loader import LoadedProgram, load_image
-from repro.cpu.emulator import Emulator
-from repro.cpu.host import EXIT_ADDRESS, HostEnvironment
 from repro.cpu.state import EmulationError
 from repro.cpu.tracing import TraceEntry, TraceRecorder
-from repro.isa.instructions import Instruction, Mnemonic
-from repro.isa.operands import Imm, Mem, Reg
+from repro.isa.instructions import Mnemonic
+from repro.isa.operands import Mem, Reg
 from repro.isa.registers import ARG_REGISTERS, Register
 
 _MASK64 = (1 << 64) - 1
@@ -56,35 +54,35 @@ class SimplificationReport:
         return self.simplified_length / self.trace_length
 
 
-class TaintDrivenSimplifier:
-    """Record and simplify a concrete execution of one function."""
+class TaintDrivenSimplifier(SnapshotEngine):
+    """Record and simplify a concrete execution of one function.
+
+    Executions rewind the engine's prepared emulator with
+    :meth:`repro.cpu.Emulator.restore` (see
+    :class:`repro.attacks.engine.SnapshotEngine`) instead of paying a
+    program fork plus a fresh emulator per recorded trace, which is what
+    makes sweeping TDS over a configuration grid tractable.
+    """
 
     def __init__(self, image: BinaryImage, function: str,
-                 max_instructions: int = 2_000_000) -> None:
-        self.image = image
-        self.function = function
-        self.max_instructions = max_instructions
-        self._pristine: Optional[LoadedProgram] = None
+                 max_instructions: int = 2_000_000,
+                 use_snapshots: bool = True) -> None:
+        super().__init__(image, function, max_instructions=max_instructions,
+                         use_snapshots=use_snapshots)
 
     # -- trace recording -----------------------------------------------------------
     def record(self, arguments: Sequence[int]) -> Tuple[List[TraceEntry], int]:
         """Execute the function concretely and return ``(trace, return_value)``."""
-        if self._pristine is None:
-            self._pristine = load_image(self.image)
-        program = self._pristine.fork()
-        emulator = Emulator(program.memory, host=HostEnvironment(),
-                            max_steps=self.max_instructions)
+        emulator = self._fork_emulator()
         recorder = TraceRecorder(capture_registers=True).attach(emulator)
-        emulator.state.write_reg(Register.RSP, program.stack_top)
-        emulator.state.write_reg(Register.RBP, program.stack_top)
         for register, value in zip(ARG_REGISTERS, arguments):
             emulator.state.write_reg(register, value & _MASK64)
-        emulator.push(EXIT_ADDRESS)
-        emulator.state.rip = self.image.function(self.function).address
         try:
             emulator.run()
         except EmulationError:
             pass
+        self.stats.executions += 1
+        self.stats.instructions += emulator.steps
         return recorder.entries, emulator.state.read_reg(Register.RAX)
 
     # -- taint propagation over the trace ----------------------------------------------

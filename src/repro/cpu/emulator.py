@@ -88,17 +88,26 @@ class EmulatorSnapshot:
     :meth:`Emulator.restore`.  Memory is captured copy-on-write, registers,
     flags and host state are shallow-copied, so taking and restoring
     snapshots is O(regions), not O(bytes).
+
+    ``source_memory`` remembers which live :class:`Memory` the snapshot was
+    taken from.  As long as the restoring emulator still runs on that same
+    object, :meth:`Emulator.restore` can rewind the regions *in place* and
+    keep its decode/trace caches warm for every region the execution never
+    wrote — the common case for the attack engines, which rewind thousands
+    of times per second over read-only code.
     """
 
-    __slots__ = ("state", "memory", "host", "steps", "halted")
+    __slots__ = ("state", "memory", "host", "steps", "halted", "source_memory")
 
     def __init__(self, state: CpuState, memory: Memory, host: HostEnvironment,
-                 steps: int, halted: bool) -> None:
+                 steps: int, halted: bool,
+                 source_memory: Optional[Memory] = None) -> None:
         self.state = state
         self.memory = memory
         self.host = host
         self.steps = steps
         self.halted = halted
+        self.source_memory = source_memory
 
 
 class Emulator:
@@ -122,7 +131,7 @@ class Emulator:
         self.memory = memory
         self.state = CpuState()
         self.host = host or HostEnvironment()
-        self.host_handlers = self.host.handlers()
+        self.host_handlers = self.host.DISPATCH
         self.max_steps = max_steps
         self.steps = 0
         self.halted = False
@@ -436,30 +445,44 @@ class Emulator:
         function's entry in O(1) per explored path.
         """
         return EmulatorSnapshot(self.state.fork(), self.memory.snapshot(),
-                                self.host.fork(), self.steps, self.halted)
+                                self.host.fork(), self.steps, self.halted,
+                                source_memory=self.memory)
 
     def restore(self, snap: EmulatorSnapshot) -> None:
         """Rewind this emulator to ``snap``.
 
         Registers, flags, memory and host state all revert to their values at
-        snapshot time; the decode and trace caches are dropped because their
-        entries reference the replaced memory's regions.
+        snapshot time.  When the emulator still runs on the memory object the
+        snapshot was taken from, regions rewind in place: untouched regions
+        are left alone (their cached decodes and traces stay valid) and
+        written regions re-share the snapshot's backing with a generation
+        bump, which invalidates exactly the cache entries that went stale.
+        Otherwise the memory is replaced wholesale and the caches dropped,
+        because their entries reference the replaced memory's regions.
         """
-        self.state = snap.state.fork()
-        self.memory = snap.memory.snapshot()
         self.host = snap.host.fork()
-        self.host_handlers = self.host.handlers()
         self.steps = snap.steps
         self.halted = snap.halted
+        if self.memory is snap.source_memory \
+                and self.memory.restore_from(snap.memory):
+            # keep the CpuState (and its regs dict) identity: compiled trace
+            # closures bind them directly
+            self.state.restore_from(snap.state)
+            return
+        self.state = snap.state.fork()
+        self.memory = snap.memory.snapshot()
         self._decode_cache.clear()
         self._trace_cache.clear()
         self._trace_heat.clear()
 
     def _run_host_function(self, address: int) -> None:
-        handler = self.host_handlers.get(address)
-        if handler is None:
+        name = self.host_handlers.get(address)
+        if name is None:
             raise EmulationError(f"call to unknown host function at {address:#x}")
-        result = handler(self)
+        # the table holds method names so snapshot restores can swap the host
+        # without rebuilding a bound-handler dict, and overrides on host
+        # subclasses resolve normally
+        result = getattr(self.host, name)(self)
         self.state.write_reg(Register.RAX, result & _MASK64)
         if self.halted:
             return

@@ -10,7 +10,7 @@ full stack-switching call protocol.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional
+from typing import Dict, List
 
 from repro.binary.sections import HEAP_BASE, HEAP_SIZE, HOST_FUNCTION_BASE
 from repro.isa.registers import ARG_REGISTERS, Register
@@ -137,25 +137,11 @@ class HostEnvironment:
         self.int_output.append(value)
         return 0
 
-    def handlers(self) -> Dict[int, Callable]:
-        """Return the address -> handler table used by the emulator."""
-        table: Dict[int, Callable] = {}
-        implementations = {
-            "malloc": self._malloc,
-            "free": self._free,
-            "putchar": self._putchar,
-            "print_int": self._print_int,
-            "puts": self._puts,
-            "memcpy": self._memcpy,
-            "memset": self._memset,
-            "strlen": self._strlen,
-            "abort": self._abort,
-            "__probe": self._probe,
-            "__output": self._output,
-        }
-        for name in HOST_FUNCTION_NAMES:
-            table[host_function_address(name)] = implementations[name]
-        return table
+    #: address -> handler method name, shared by every instance.  The
+    #: emulator resolves the name against the *current* host per call, so
+    #: swapping hosts on a snapshot restore costs nothing and subclass
+    #: overrides keep working.
+    DISPATCH: Dict[int, str] = {}
 
     def fork(self) -> "HostEnvironment":
         """Return an independent copy of the host state.
@@ -180,3 +166,21 @@ class HostEnvironment:
         self.int_output = []
         self.probes = []
         self.aborted = False
+
+
+HostEnvironment.DISPATCH = {
+    host_function_address(name): method
+    for name, method in (
+        ("malloc", "_malloc"),
+        ("free", "_free"),
+        ("putchar", "_putchar"),
+        ("print_int", "_print_int"),
+        ("puts", "_puts"),
+        ("memcpy", "_memcpy"),
+        ("memset", "_memset"),
+        ("strlen", "_strlen"),
+        ("abort", "_abort"),
+        ("__probe", "_probe"),
+        ("__output", "_output"),
+    )
+}

@@ -145,6 +145,21 @@ class CpuState:
             raise EmulationError(f"unknown condition code {code!r}")
         return predicate(self.cf, self.zf, self.sf, self.of)
 
+    def restore_from(self, other: "CpuState") -> None:
+        """Overwrite this state with ``other``'s values, in place.
+
+        Keeps the :class:`CpuState` object and its ``regs`` dict identities
+        intact, which compiled trace closures (:mod:`repro.cpu.trace`) and
+        other hot-loop consumers bind directly — the CPU half of the
+        emulator's in-place snapshot restore.
+        """
+        self.regs.update(other.regs)  # both dicts carry every Register key
+        self.cf = other.cf
+        self.zf = other.zf
+        self.sf = other.sf
+        self.of = other.of
+        self.rip = other.rip
+
     def fork(self) -> "CpuState":
         """Return an independent copy of the state.
 

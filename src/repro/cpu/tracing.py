@@ -21,7 +21,7 @@ from repro.isa.instructions import Instruction
 from repro.isa.registers import Register
 
 
-@dataclass
+@dataclass(slots=True)
 class TraceEntry:
     """One executed instruction.
 
@@ -62,15 +62,17 @@ class TraceRecorder:
         return self
 
     def _hook(self, emulator, address: int, instruction: Instruction) -> None:
-        if len(self.entries) >= self.limit:
+        entries = self.entries
+        if len(entries) >= self.limit:
             return
-        regs = dict(emulator.state.regs) if self.capture_registers else None
-        self.entries.append(
+        state_regs = emulator.state.regs
+        regs = dict(state_regs) if self.capture_registers else None
+        entries.append(
             TraceEntry(
-                index=len(self.entries),
+                index=len(entries),
                 address=address,
                 instruction=instruction,
-                rsp=emulator.state.read_reg(Register.RSP),
+                rsp=state_regs[Register.RSP],
                 regs=regs,
             )
         )

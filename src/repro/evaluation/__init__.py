@@ -7,6 +7,7 @@ from repro.evaluation.figure5 import Figure5Bar, run_figure5
 from repro.evaluation.coverage_study import CoverageStudyResult, run_coverage_study
 from repro.evaluation.case_study import CaseStudyResult, run_case_study
 from repro.evaluation.efficacy import EfficacyResult, run_efficacy_study
+from repro.evaluation.grid import run_grid
 from repro.evaluation.reporting import render_table
 
 __all__ = [
@@ -25,5 +26,6 @@ __all__ = [
     "run_case_study",
     "EfficacyResult",
     "run_efficacy_study",
+    "run_grid",
     "render_table",
 ]

@@ -3,10 +3,9 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
-from weakref import WeakKeyDictionary
+from typing import List, Optional, Sequence
 
-from repro.binary import LoadedProgram, load_image
+from repro.attacks.engine import preloaded_fork
 from repro.compiler import compile_program
 from repro.cpu import call_function
 from repro.evaluation.configurations import ROPK_SWEEP, apply_configuration, nvm, ropk
@@ -40,31 +39,17 @@ class Figure5Bar:
         return self.rop_instructions / max(1, self.baseline_instructions)
 
 
-#: image -> pristine ``(memory, stack_top, heap_base)`` triple, so repeated
-#: measurements of the same image (overhead sweeps, benchmark rounds) load it
-#: once and fork COW per run like the attack engines.  Weak keys — and the
-#: cached value deliberately omits the :class:`LoadedProgram` image
-#: back-reference — so a preload never outlives the image it maps.
-_PRELOADED = WeakKeyDictionary()
-
-
 def _run(image, entry: str, argument: int) -> int:
     """Measure one execution against a COW fork of the preloaded ``image``.
 
-    The first measurement of an image pays :func:`load_image`; every later
-    one forks the cached pristine memory in O(regions).  Forks are never
-    mutated back into the preload, so the cache stays pristine.
+    The first measurement of an image pays a load through the attack
+    engines' shared :func:`repro.attacks.engine.preloaded_fork` cache; every
+    later one forks the cached pristine memory in O(regions).  Forks are
+    never mutated back into the preload, so the cache stays pristine.
     """
     from repro.cpu.state import EmulationError
 
-    cached = _PRELOADED.get(image)
-    if cached is None:
-        pristine = load_image(image)
-        cached = (pristine.memory, pristine.stack_top, pristine.heap_base)
-        _PRELOADED[image] = cached
-    memory, stack_top, heap_base = cached
-    fork = LoadedProgram(image=image, memory=memory.snapshot(),
-                         stack_top=stack_top, heap_base=heap_base)
+    fork = preloaded_fork(image)
     try:
         _, emulator = call_function(fork, entry, [argument],
                                     max_steps=_RUN_BUDGET)

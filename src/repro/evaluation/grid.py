@@ -1,0 +1,189 @@
+"""Full-scale evaluation grid driver for the scheduled CI job.
+
+Runs configurable slices of the paper's evaluation grids (Figure 5 run-time
+overhead, Table II secret finding / coverage, Table III gadget statistics)
+and writes each result set as a JSON artifact plus a ``summary.json`` with
+run metadata and aggregate attack-engine statistics (executions,
+instructions, backtracking restores).  The scheduled GitHub Actions workflow
+(``.github/workflows/grid.yml``) runs the ``reduced`` slice nightly and
+archives the artifacts; ``workflow_dispatch`` selects any slice manually.
+
+Usage::
+
+    PYTHONPATH=src python -m repro.evaluation.grid --slice reduced --out grid-results
+
+Slices:
+
+* ``smoke``   — minutes-scale sanity slice (used by PR CI and local runs).
+* ``reduced`` — the recurring job's slice: a representative subset of the
+  ``REPRO_FULL_SCALE`` grids with minute-scale attack budgets.
+* ``full``    — the paper-sized grids (CPU-hours; ``workflow_dispatch``
+  only).
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import os
+import platform
+import time
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.attacks import AttackBudget
+from repro.evaluation.configurations import TABLE2_CONFIGURATIONS, nvm
+from repro.evaluation.figure5 import run_figure5
+from repro.evaluation.table2 import run_table2
+from repro.evaluation.table3 import run_table3
+from repro.workloads.randomfuns import generate_table2_suite
+
+#: Per-slice grid parameters.  ``None`` means "everything the generator
+#: offers" (the paper-sized default).
+SLICES: Dict[str, Dict] = {
+    "smoke": {
+        "structures": ("if(bb4,bb4)",),
+        "input_sizes": (1,),
+        "seeds": (1,),
+        "attack_seconds": 2.0,
+        "attack_executions": 40,
+        "clbg_benchmarks": ("fasta",),
+        "k_values": (0.25, 1.00),
+        "configurations": ("NATIVE", "ROP1.00"),
+        "include_coverage": False,
+        "vm_baseline": nvm(1, "all"),
+    },
+    # sized so the worst case (every attack exhausting its budget) stays
+    # within a nightly runner slot: 8 configs x 6 specs x 2 attacks x 45s
+    # is ~1.2h of attack budget plus the Figure 5 / Table III sweeps
+    "reduced": {
+        "structures": ("if(bb4,bb4)", "for(if(bb4,bb4))", "if(if(if,if),if)"),
+        "input_sizes": (1, 2),
+        "seeds": (1,),
+        "attack_seconds": 45.0,
+        "attack_executions": 5_000,
+        "clbg_benchmarks": ("fasta", "rev-comp", "sp-norm"),
+        "k_values": (0.05, 0.25, 0.50, 1.00),
+        "configurations": ("NATIVE", "ROP0.05", "ROP0.25", "ROP0.50",
+                           "ROP1.00", "2VM", "2VM-IMPlast", "3VM-IMPall"),
+        "include_coverage": True,
+        "vm_baseline": nvm(2, "last"),
+    },
+    "full": {
+        "structures": None,
+        "input_sizes": (1, 2, 4, 8),
+        "seeds": (1, 2, 3),
+        "attack_seconds": 3600.0,
+        "attack_executions": 100_000,
+        "clbg_benchmarks": None,
+        "k_values": None,
+        "configurations": None,
+        "include_coverage": True,
+        "vm_baseline": nvm(2, "last"),
+    },
+}
+
+
+def _configurations(names: Optional[tuple]):
+    if names is None:
+        return list(TABLE2_CONFIGURATIONS)
+    return [c for c in TABLE2_CONFIGURATIONS if c.name in names]
+
+
+def run_grid(slice_name: str = "reduced", seed: int = 1,
+             parts: Optional[List[str]] = None) -> Dict[str, List[dict]]:
+    """Run the selected grid slice and return ``{artifact: rows}``.
+
+    ``parts`` restricts the run to a subset of ``("figure5", "table2",
+    "table3")``; rows are plain dicts ready for JSON serialization.
+    """
+    params = SLICES[slice_name]
+    parts = list(parts or ("figure5", "table2", "table3"))
+    results: Dict[str, List[dict]] = {}
+
+    if "figure5" in parts:
+        bars = run_figure5(benchmarks=params["clbg_benchmarks"],
+                           k_values=params["k_values"],
+                           baseline=params["vm_baseline"], seed=seed)
+        results["figure5"] = [
+            {**dataclasses.asdict(bar),
+             "slowdown_vs_native": bar.slowdown_vs_native,
+             "slowdown_vs_baseline": bar.slowdown_vs_baseline}
+            for bar in bars
+        ]
+
+    if "table2" in parts:
+        specs = generate_table2_suite(point_test=True, seeds=params["seeds"],
+                                      input_sizes=params["input_sizes"],
+                                      structures=params["structures"])
+        budget = AttackBudget(seconds=params["attack_seconds"],
+                              max_executions=params["attack_executions"])
+        rows = run_table2(configurations=_configurations(params["configurations"]),
+                          specs=specs, budget=budget,
+                          include_coverage=params["include_coverage"], seed=seed)
+        results["table2"] = [dataclasses.asdict(row) for row in rows]
+
+    if "table3" in parts:
+        rows3 = run_table3(benchmarks=params["clbg_benchmarks"],
+                           k_values=params["k_values"], seed=seed)
+        results["table3"] = [
+            {**dataclasses.asdict(row), "gadgets_per_point": row.gadgets_per_point}
+            for row in rows3
+        ]
+
+    return results
+
+
+def write_artifacts(results: Dict[str, List[dict]], out_dir: Path,
+                    slice_name: str, elapsed: float) -> Path:
+    """Write one JSON file per grid plus a ``summary.json``; return the dir."""
+    out_dir.mkdir(parents=True, exist_ok=True)
+    for name, rows in results.items():
+        (out_dir / f"{name}.json").write_text(json.dumps(rows, indent=2) + "\n")
+
+    table2 = results.get("table2", [])
+    summary = {
+        "slice": slice_name,
+        "elapsed_sec": round(elapsed, 1),
+        "python": platform.python_version(),
+        "full_scale_env": os.environ.get("REPRO_FULL_SCALE", "0"),
+        "grids": {name: len(rows) for name, rows in results.items()},
+        "attack_engine": {
+            "executions": sum(row["executions"] for row in table2),
+            "instructions": sum(row["instructions"] for row in table2),
+            "branch_restores": sum(row["branch_restores"] for row in table2),
+        },
+    }
+    (out_dir / "summary.json").write_text(json.dumps(summary, indent=2) + "\n")
+    return out_dir
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--slice", choices=sorted(SLICES), default="reduced",
+                        help="grid scale to run (default: reduced)")
+    parser.add_argument("--out", default="grid-results",
+                        help="output directory for the JSON artifacts")
+    parser.add_argument("--parts", nargs="+",
+                        choices=("figure5", "table2", "table3"),
+                        help="restrict to a subset of the grids")
+    parser.add_argument("--seed", type=int, default=1)
+    args = parser.parse_args(argv)
+
+    start = time.monotonic()
+    # run and persist one grid at a time: a budget overrun or runner timeout
+    # mid-run still leaves every completed grid's JSON on disk for upload
+    results: Dict[str, List[dict]] = {}
+    out_dir = Path(args.out)
+    for part in args.parts or ("table3", "figure5", "table2"):
+        part_rows = run_grid(args.slice, seed=args.seed, parts=[part])[part]
+        results[part] = part_rows
+        write_artifacts(results, out_dir, args.slice, time.monotonic() - start)
+        print(f"{part}: {len(part_rows)} rows -> {out_dir / (part + '.json')}")
+    print(f"summary -> {out_dir / 'summary.json'}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -25,6 +25,10 @@ class Table2Row:
         functions: functions attempted.
         average_time: mean time-to-success over the successful attempts.
         full_coverage: functions whose reachable probes were all covered.
+        executions: total concrete executions spent across the attacks.
+        instructions: total emulated instructions across the attacks.
+        branch_restores: executions the backtracking DSE resumed from
+            mid-path snapshots instead of the function entry.
     """
 
     configuration: str
@@ -32,6 +36,9 @@ class Table2Row:
     functions: int
     average_time: float
     full_coverage: int
+    executions: int = 0
+    instructions: int = 0
+    branch_restores: int = 0
 
     def as_cells(self) -> Sequence[object]:
         return (self.configuration, f"{self.secrets_found}/{self.functions}",
@@ -53,9 +60,16 @@ def run_table2(configurations: Optional[Sequence[ObfuscationConfig]] = None,
     budget = budget or AttackBudget()
     rows: List[Table2Row] = []
 
+    # the reachable probe set is a property of the *native* function, so
+    # sample it once per spec instead of once per (configuration, spec) pair
+    reachable_by_spec: dict = {}
+
     for configuration in configurations:
         found = 0
         covered = 0
+        executions = 0
+        instructions = 0
+        branch_restores = 0
         times: List[float] = []
         for spec in specs:
             secret_spec = RandomFunSpec(structure=spec.structure, input_size=spec.input_size,
@@ -66,6 +80,9 @@ def run_table2(configurations: Optional[Sequence[ObfuscationConfig]] = None,
             input_spec = InputSpec(argument_sizes=[spec.input_size])
             outcome = secret_finding_attack(image, secret_spec.name, input_spec, budget,
                                             seed=seed)
+            executions += outcome.executions
+            instructions += outcome.instructions
+            branch_restores += outcome.branch_restores
             if outcome.success:
                 found += 1
                 times.append(outcome.time_to_success)
@@ -78,9 +95,17 @@ def run_table2(configurations: Optional[Sequence[ObfuscationConfig]] = None,
                 cov_program, _, probe_count = generate_random_function(coverage_spec)
                 cov_image = apply_configuration(cov_program, [coverage_spec.name],
                                                 configuration, seed=seed)
-                reachable = _reachable_probes(cov_program, coverage_spec, probe_count)
+                spec_key = (spec.structure, spec.input_size, spec.seed,
+                            spec.loop_iterations)
+                reachable = reachable_by_spec.get(spec_key)
+                if reachable is None:
+                    reachable = _reachable_probes(cov_program, coverage_spec, probe_count)
+                    reachable_by_spec[spec_key] = reachable
                 cov_outcome = coverage_attack(cov_image, coverage_spec.name, reachable,
                                               input_spec, budget, seed=seed)
+                executions += cov_outcome.executions
+                instructions += cov_outcome.instructions
+                branch_restores += cov_outcome.branch_restores
                 if cov_outcome.success:
                     covered += 1
         rows.append(Table2Row(
@@ -89,6 +114,9 @@ def run_table2(configurations: Optional[Sequence[ObfuscationConfig]] = None,
             functions=len(specs),
             average_time=sum(times) / len(times) if times else 0.0,
             full_coverage=covered,
+            executions=executions,
+            instructions=instructions,
+            branch_restores=branch_restores,
         ))
     return rows
 
@@ -99,17 +127,16 @@ def _reachable_probes(program, spec: RandomFunSpec, probe_count: int) -> set:
     Coverage is "all or nothing" against the *reachable* probe set, like the
     paper's use of Tigress's split/join annotations on the native CFG.
     """
-    from repro.binary import load_image
+    from repro.attacks.engine import preloaded_fork
     from repro.compiler import compile_program
     from repro.cpu import call_function
 
     image = compile_program(program)
-    pristine = load_image(image)
     reachable = set()
     mask = (1 << (8 * spec.input_size)) - 1
     samples = list(range(0, min(mask + 1, 64))) + [mask, mask // 2, mask // 3]
     for sample in samples:
-        _, emulator = call_function(pristine.fork(), spec.name, [sample & mask],
+        _, emulator = call_function(preloaded_fork(image), spec.name, [sample & mask],
                                     max_steps=5_000_000)
         reachable.update(emulator.host.probes)
     return reachable

@@ -49,6 +49,22 @@ def test_run_coverage_study_smoke():
     assert 0.0 <= result.coverage <= 1.0
 
 
+def test_grid_driver_writes_artifacts(tmp_path):
+    from repro.evaluation.grid import run_grid, write_artifacts
+    import json
+
+    results = run_grid("smoke", parts=["table3"])
+    assert set(results) == {"table3"} and results["table3"]
+    out = write_artifacts(results, tmp_path / "grid", "smoke", elapsed=1.0)
+    rows = json.loads((out / "table3.json").read_text())
+    assert rows == results["table3"]
+    summary = json.loads((out / "summary.json").read_text())
+    assert summary["slice"] == "smoke"
+    assert summary["grids"] == {"table3": len(rows)}
+    assert set(summary["attack_engine"]) == {"executions", "instructions",
+                                             "branch_restores"}
+
+
 def test_run_case_study_smoke():
     results = run_case_study(configurations=[NATIVE, ropk(0.0)],
                              budget=AttackBudget(seconds=1.0, max_executions=10))
