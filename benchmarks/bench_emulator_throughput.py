@@ -1,14 +1,18 @@
 """Microbenchmark: emulator steady-state throughput and fork/snapshot rates.
 
 This is the perf gate for the fast execution core (decode cache, dispatch
-table, trace-fused superinstructions, memory fast paths, copy-on-write
-forking).  It drives a fully ROP-obfuscated workload (``fasta`` under
-``ROP1.00`` — every instruction dispatched through ret-terminated chains, the
-worst case the paper measures in Figure 5) and reports:
+table, trace-fused superinstructions, the exec-compiled trace tier, memory
+fast paths, copy-on-write forking).  It drives a fully ROP-obfuscated
+workload (``fasta`` under ``ROP1.00`` — every instruction dispatched through
+ret-terminated chains, the worst case the paper measures in Figure 5) and
+reports:
 
-* **instructions/sec** of the hook-free interpreter loop, plus A/B numbers
-  with superinstruction fusion off (``REPRO_TRACE_CACHE``) and with the
-  decode cache also off (``REPRO_DECODE_CACHE``),
+* **instructions/sec** of the hook-free interpreter loop in four
+  configurations: the default three-tier pipeline (exec-compiled traces),
+  the closure tier only (``REPRO_TRACE_COMPILE=0``), single-step dispatch
+  (``REPRO_TRACE_CACHE=0``) and fully uncached (``REPRO_DECODE_CACHE=0``
+  too), plus the JIT pipeline counters (traces compiled, compiled-trace hit
+  rate) of the default run,
 * **forks/sec** of :meth:`repro.memory.Memory.snapshot`-based program
   forking versus the deep ``load_image`` path the attack engines used to
   take per execution,
@@ -51,10 +55,15 @@ RESULT_PATH = REPO_ROOT / "BENCH_emulator.json"
 #: Maximum tolerated interpreter-throughput regression before the gate fails.
 REGRESSION_TOLERANCE = 0.20
 
-#: The decode and trace caches are the two largest wins; flag runs where the
-#: environment has turned either off so the report stays honest about it.
+#: The decode/trace caches and the compiled tier are the largest wins; flag
+#: runs where the environment has turned any off so the report stays honest.
 _CACHE_ENABLED = os.environ.get("REPRO_DECODE_CACHE", "1") != "0"
 _TRACE_ENABLED = os.environ.get("REPRO_TRACE_CACHE", "1") != "0"
+_COMPILE_ENABLED = os.environ.get("REPRO_TRACE_COMPILE", "1") != "0"
+
+#: Compiled-tier throughput must stay at least this multiple of the closure
+#: tier on the same machine (the PR 4 tentpole gate).
+COMPILE_SPEEDUP_FLOOR = 1.5
 
 
 def measure_calibration(rounds=3):
@@ -87,19 +96,26 @@ def _build_workload():
 
 
 def measure_throughput(pristine, entry, argument, rounds=3, decode_cache=None,
-                       trace_cache=None):
-    """Run the workload ``rounds`` times; return best-of instructions/sec."""
+                       trace_cache=None, trace_compile=None):
+    """Run the workload ``rounds`` times; return best-of instructions/sec.
+
+    Each round builds a fresh emulator, so per-round numbers include the
+    warm-up cost of the requested tier (decode, trace fusion and — for the
+    compiled configuration — ``compile()`` of every hot trace).
+    """
     from repro.cpu.emulator import Emulator
     from repro.cpu.host import EXIT_ADDRESS, HostEnvironment
     from repro.isa.registers import ARG_REGISTERS, Register
 
     best_ips = 0.0
     steps = 0
+    jit = None
     for _ in range(rounds):
         program = pristine.fork()
         emulator = Emulator(program.memory, host=HostEnvironment(),
                             max_steps=5_000_000, decode_cache=decode_cache,
-                            trace_cache=trace_cache)
+                            trace_cache=trace_cache,
+                            trace_compile=trace_compile)
         emulator.state.write_reg(Register.RSP, program.stack_top)
         emulator.state.write_reg(Register.RBP, program.stack_top)
         emulator.state.write_reg(ARG_REGISTERS[0], argument)
@@ -109,8 +125,19 @@ def measure_throughput(pristine, entry, argument, rounds=3, decode_cache=None,
         emulator.run()
         elapsed = time.perf_counter() - start
         steps = emulator.steps
+        jit = emulator.jit_stats
         best_ips = max(best_ips, steps / elapsed)
-    return {"instructions": steps, "instructions_per_sec": round(best_ips)}
+    report = {"instructions": steps, "instructions_per_sec": round(best_ips)}
+    if trace_compile:
+        report["jit"] = {
+            "traces_built": jit.traces_built,
+            "traces_compiled": jit.traces_compiled,
+            "compile_declined": jit.compile_declined,
+            "compiled_runs": jit.compiled_runs,
+            "closure_runs": jit.closure_runs,
+            "compiled_hit_rate": round(jit.compiled_hit_rate, 4),
+        }
+    return report
 
 
 def measure_fork_rate(pristine, image, count=300):
@@ -252,12 +279,18 @@ def run_benchmarks():
     """Measure everything and return the report dict."""
     pristine, entry, argument = _build_workload()
     fusion = (_CACHE_ENABLED and _TRACE_ENABLED) or None
+    compiled = (bool(fusion) and _COMPILE_ENABLED) or None
     report = {
         "workload": "clbg/fasta under ROP1.00 (seed=1), hook-free run loop",
         "calibration_sec": round(measure_calibration(), 4),
         "throughput": measure_throughput(pristine, entry, argument,
                                          decode_cache=_CACHE_ENABLED or None,
-                                         trace_cache=fusion),
+                                         trace_cache=fusion,
+                                         trace_compile=compiled),
+        "throughput_compile_off": measure_throughput(
+            pristine, entry, argument, rounds=2,
+            decode_cache=_CACHE_ENABLED or None, trace_cache=fusion,
+            trace_compile=False),
         "throughput_trace_cache_off": measure_throughput(
             pristine, entry, argument, rounds=2,
             decode_cache=_CACHE_ENABLED or None, trace_cache=False),
@@ -289,7 +322,7 @@ def _load_committed():
 
 
 def _persist(report, committed):
-    payload = {"schema": 3}
+    payload = {"schema": 4}
     # the seed measurement is a fixed historical reference; carry it forward
     if committed and "seed" in committed:
         payload["seed"] = committed["seed"]
@@ -319,16 +352,23 @@ def test_emulator_throughput_and_fork_rate():
     CANDIDATE_PATH.write_text(json.dumps(report, indent=2) + "\n")
 
     ips = report["throughput"]["instructions_per_sec"]
+    compile_off_ips = report["throughput_compile_off"]["instructions_per_sec"]
     trace_off_ips = report["throughput_trace_cache_off"]["instructions_per_sec"]
     forking = report["forking"]
     snapshots = report["snapshots"]
     engines = report["engines"]
+    jit = report["throughput"].get("jit")
     print()
     print(f"interpreter throughput : {ips:>12,} instructions/sec")
+    print(f"  compiled tier off    : {compile_off_ips:>12,} instructions/sec")
     print(f"  trace cache off      : {trace_off_ips:>12,} instructions/sec")
     print(f"  decode cache off     : "
           f"{report['throughput_decode_cache_off']['instructions_per_sec']:>12,}"
           " instructions/sec")
+    if jit:
+        print(f"  JIT pipeline         : {jit['traces_compiled']}/"
+              f"{jit['traces_built']} traces compiled, "
+              f"{jit['compiled_hit_rate']:.1%} compiled-trace hit rate")
     print(f"COW fork rate          : {forking['forks_per_sec']:>12,} forks/sec "
           f"({forking['fork_speedup']}x over deep load_image)")
     print(f"emulator snapshot rate : "
@@ -343,11 +383,12 @@ def test_emulator_throughput_and_fork_rate():
 
     caches_on = _CACHE_ENABLED and _TRACE_ENABLED
     if update or committed is None:
-        if not caches_on:
+        if not (caches_on and _COMPILE_ENABLED):
             raise SystemExit(
                 "refusing to (re)write the baseline with REPRO_DECODE_CACHE/"
-                "REPRO_TRACE_CACHE disabled: the committed numbers must be "
-                "the fused configuration CI gates against")
+                "REPRO_TRACE_CACHE/REPRO_TRACE_COMPILE disabled: the "
+                "committed numbers must be the full three-tier configuration "
+                "CI gates against")
         payload = _persist(report, committed)
         print(f"baseline updated: {RESULT_PATH}")
         speedups = payload.get("speedup_vs_seed")
@@ -373,15 +414,28 @@ def test_emulator_throughput_and_fork_rate():
         # same-machine ratio: superinstruction fusion must stay a large
         # multiplier over single-step dispatch.  Nominally ~2.1-2.7x; gated
         # at 1.8x because the single-step leg is noisy on shared runners.
-        fusion_speedup = ips / max(1, trace_off_ips)
+        fusion_speedup = compile_off_ips / max(1, trace_off_ips)
         assert fusion_speedup >= 1.8, (
             f"trace fusion only {fusion_speedup:.2f}x over single-step "
             f"dispatch (expected >= 1.8x)")
 
-    if gate and not caches_on:
-        # the committed baseline is the fused configuration; measuring with
-        # a cache disabled is the A/B debugging mode, not a regression
-        print("absolute throughput gate skipped: decode/trace cache disabled")
+    if caches_on and _COMPILE_ENABLED:
+        # the PR 4 tentpole gate: exec-compiled traces must beat the closure
+        # tier by >= 1.5x on the same machine (nominally ~1.7x)
+        compile_speedup = ips / max(1, compile_off_ips)
+        assert compile_speedup >= COMPILE_SPEEDUP_FLOOR, (
+            f"exec-compiled traces only {compile_speedup:.2f}x over the "
+            f"closure tier (expected >= {COMPILE_SPEEDUP_FLOOR}x)")
+        hit_rate = report["throughput"]["jit"]["compiled_hit_rate"]
+        assert hit_rate >= 0.9, (
+            f"compiled-trace hit rate only {hit_rate:.1%} on the bench "
+            f"workload (expected >= 90%)")
+
+    if gate and not (caches_on and _COMPILE_ENABLED):
+        # the committed baseline is the three-tier configuration; measuring
+        # with a tier disabled is the A/B debugging mode, not a regression
+        print("absolute throughput gate skipped: a cache/compile tier is "
+              "disabled")
     elif gate:
         # scale the baseline host's absolute numbers by the ratio of machine
         # speeds, so slow CI runners don't fail without a code regression

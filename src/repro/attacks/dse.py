@@ -12,7 +12,11 @@ the paper found most effective for both ROP and VM configurations.
 Exploration is *backtracking* by default: while a path executes, the engine
 captures whole-emulator snapshots (:meth:`repro.cpu.Emulator.snapshot`) at
 symbolic branch points into a bounded :class:`repro.attacks.engine.
-SnapshotPool`.  An input derived by negating decision ``p`` of a path then
+SnapshotPool`.  Capture happens through the tracker's ``branch_observer``
+callback, which fires before the hook mutates any shadow state for the
+branching instruction, so every record kind is a capture point — plain
+``jcc`` branches, ``cmov`` selects and pointer-kind (ROP) branch records
+alike.  An input derived by negating decision ``p`` of a path then
 restores the nearest recorded ancestor of its decision prefix instead of
 re-running from the function entry, and the engine *repairs* the restored
 state for the new input assignment by re-evaluating every shadow expression
@@ -41,7 +45,6 @@ from repro.binary.image import BinaryImage
 from repro.cpu.emulator import Emulator
 from repro.cpu.state import EmulationError
 from repro.memory import MemoryError_
-from repro.isa.instructions import Mnemonic
 from repro.isa.registers import ARG_REGISTERS, Register
 
 _MASK64 = (1 << 64) - 1
@@ -167,48 +170,42 @@ class DseEngine(SnapshotEngine):
         self._pool.clear()
 
     # -- mid-path snapshot capture and resume ------------------------------------
-    def _snapshot_hook(self, emulator: Emulator, tracker: ShadowTracker) -> Callable:
-        """Build the pre-hook that captures branch-point snapshots.
+    def _branch_observer(self, emulator: Emulator, tracker: ShadowTracker) -> Callable:
+        """Build the tracker's branch observer that captures snapshots.
 
-        Runs after ``tracker.hook`` in the hook chain, so a freshly appended
-        :class:`~repro.attacks.shadow.BranchRecord` means the *current*
-        instruction is a symbolic branch about to execute.  Only plain
-        ``jcc`` branches are snapshotted: their tracker hook merely appends
-        the record, so popping it off a fork reconstructs the exact
-        pre-branch shadow state (cmov and pointer records also mutate
-        destination shadows in the same hook call, which a fork taken after
-        the fact cannot unwind).
+        The tracker invokes it at the exact point a branch record is about
+        to be appended — before the hook mutates any shadow state for that
+        instruction — so *every* record kind is a capture point: plain
+        ``jcc`` branches, ``cmov`` selects (whose hook updates the
+        destination shadow in the same call) and pointer (ROP) branches
+        (whose hook also rewrites the flag-repair recipe).  The fork taken
+        here therefore needs no unwinding: ``tracker.branches`` is still the
+        pre-branch decision prefix, which doubles as the pool key.
         """
-        state = {"seen": len(tracker.branches), "taken": 0}
+        state = {"taken": 0}
 
-        def hook(emu, address, instruction) -> None:
-            branches = tracker.branches
-            if len(branches) == state["seen"]:
-                return
-            state["seen"] = len(branches)
-            if instruction.mnemonic is not Mnemonic.JCC:
-                return
+        def observer(kind: str, address: int) -> None:
             if state["taken"] >= self.max_snapshots_per_run:
                 return
-            if len(branches) > self.max_snapshot_depth:
+            branches = tracker.branches
+            if len(branches) >= self.max_snapshot_depth:
                 return
             if not (tracker.repair_exact and tracker.constraints_exact):
                 return
-            if tracker.flag_repair is None or tracker.flag_repair[0] == "concrete":
+            if tracker.flag_repair is None:
                 return
-            key = tuple(_decision_key(record) for record in branches[:-1])
+            key = tuple(_decision_key(record) for record in branches)
             if key in self._pool:
                 self._pool.touch(key)
                 return
             fork = tracker.fork()
-            fork.branches.pop()
             evicted = self._pool.evictions
             self._pool.put(key, (emulator.snapshot(), fork))
             state["taken"] += 1
             self.stats.snapshots_taken += 1
             self.stats.snapshots_evicted += self._pool.evictions - evicted
 
-        return hook
+        return observer
 
     def _repair_state(self, emulator: Emulator, tracker: ShadowTracker,
                       assignment: Dict[str, int]) -> None:
@@ -236,9 +233,13 @@ class DseEngine(SnapshotEngine):
             _, left, right, size = repair
             emulator._set_add_flags(left.evaluate(assignment),
                                     right.evaluate(assignment), 0, size)
-        else:  # "logic"
+        elif kind == "logic":
             _, expression, size = repair
             emulator._set_logic_flags(expression.evaluate(assignment), size)
+        # "concrete": the last flag-setting instruction had no symbolic
+        # inputs, so the snapshot's restored flags are input-independent and
+        # already exact — common at pointer (ROP) branch points, whose
+        # decision does not go through the flags at all
 
     def _resume(self, resume_key: Tuple, assignment: Dict[str, int]
                 ) -> Optional[Tuple[Emulator, ShadowTracker, int]]:
@@ -305,10 +306,9 @@ class DseEngine(SnapshotEngine):
             for index, size in enumerate(self.input_spec.argument_sizes):
                 tracker.set_register_symbol(ARG_REGISTERS[index], SymExpr(f"arg{index}", size))
 
-        hooks = [tracker.hook]
         if self.backtracking:
-            hooks.append(self._snapshot_hook(emulator, tracker))
-        emulator.pre_hooks = hooks
+            tracker.branch_observer = self._branch_observer(emulator, tracker)
+        emulator.pre_hooks = [tracker.hook]
         host = emulator.host
 
         faulted = False

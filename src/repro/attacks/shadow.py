@@ -12,7 +12,7 @@ and the SE engines feed to the solver.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.attacks.solver.expr import (
     BinExpr,
@@ -96,8 +96,19 @@ class ShadowTracker:
       assignment that satisfies a prefix provably drives a rerun down it.
     * :attr:`flag_repair` describes how to recompute the concrete CPU flags
       from the current symbolic flag source (``("sub"|"add", left, right,
-      size)`` or ``("logic", expr, size)``), or None when the last
-      flag-setting instruction is not exactly reproducible.
+      size)`` or ``("logic", expr, size)``), ``("concrete",)`` when the last
+      flag-setting instruction had no symbolic inputs (the restored flags
+      are already exact), or None when it is not exactly reproducible.
+    * :attr:`branch_observer`, when set, is invoked as ``observer(kind,
+      address)`` at the exact point a :class:`BranchRecord` is about to be
+      recorded — *before* the record is appended and before the hook mutates
+      any shadow state for that instruction.  This is the capture point the
+      backtracking DSE explorer snapshots at: ``cmov`` and pointer (ROP)
+      records update destination shadows in the same hook call, so a
+      snapshot taken after the hook could not be unwound to the pre-branch
+      state, while the observer sees it directly.  Observers are
+      deliberately not copied by :meth:`fork` (a stored fork must not
+      capture into a dead pool).
     """
 
     def __init__(self, memory_model: str = "concretize", page_size: int = 256,
@@ -120,6 +131,9 @@ class ShadowTracker:
         self.flag_repair: Optional[Tuple] = None
         self.repair_exact = memory_model == "concretize"
         self.constraints_exact = True
+        #: ``observer(kind, address)`` called right before a branch record
+        #: is appended (kinds: "jcc", "cmov", "pointer"); see class docs.
+        self.branch_observer: Optional[Callable[[str, int], None]] = None
 
     def fork(self) -> "ShadowTracker":
         """Return an independent copy of the tracker state.
@@ -270,16 +284,24 @@ class ShadowTracker:
             else:
                 if size < 8:
                     mask = (1 << (8 * size)) - 1
+                    # mask so the stored expression equals the full register
+                    # value after the (zero-extending or merging) write
+                    expression = BinExpr("and", expression, ConstExpr(mask))
                     if size < 4:
                         # 1/2-byte writes merge into the register's upper
-                        # bits; the shadow models the merge only over a
-                        # concretely-zero, concretely-tracked upper half
-                        if self.register_exprs.get(operand.reg) is not None \
-                                or emulator.state.read_reg(operand.reg) & ~mask & _MASK64:
+                        # bits.  A concrete upper half is input-independent
+                        # (anything input-dependent the shadow dropped has
+                        # already cleared repair_exact), so the merge is
+                        # exactly ``upper | (expr & mask)``; only a merge
+                        # into *symbolic* upper bits stays unmodeled.
+                        if self.register_exprs.get(operand.reg) is not None:
                             self.repair_exact = False
-                    # mask so the stored expression equals the full register
-                    # value after the (zero-extending or zero-merging) write
-                    expression = BinExpr("and", expression, ConstExpr(mask))
+                        else:
+                            upper = (emulator.state.read_reg(operand.reg)
+                                     & ~mask & _MASK64)
+                            if upper:
+                                expression = BinExpr("or", ConstExpr(upper),
+                                                     expression)
                 self.register_exprs[operand.reg] = self._bounded(expression)
             return
         if isinstance(operand, Mem):
@@ -431,13 +453,16 @@ class ShadowTracker:
                 self.flag_state = ("result", ConstExpr(0))
                 self.carry_expr = None
                 self.flag_repair = ("concrete",)
-                if isinstance(ops[0], Reg) and ops[0].reg is Register.RSP:
-                    pass
                 return
             left = self._value_or_const(emulator, ops[0], left_expr)
             right = self._value_or_const(emulator, ops[1], right_expr)
             expression = BinExpr(_ALU_OPERATORS[m], left, right)
             size = getattr(ops[0], "size", 8)
+            if self.branch_observer is not None and isinstance(ops[0], Reg) \
+                    and ops[0].reg is Register.RSP:
+                # a pointer (ROP) branch record is imminent: let the observer
+                # capture before this op's flag/shadow bookkeeping lands
+                self.branch_observer("pointer", address)
             if m is Mnemonic.SUB:
                 self.flag_repair = ("sub", left, right, size)
             elif m is Mnemonic.ADD:
@@ -548,6 +573,10 @@ class ShadowTracker:
                 condition = self._condition_expr(instruction.condition)
                 taken = emulator.state.condition(instruction.condition)
                 if condition is not None:
+                    if self.branch_observer is not None:
+                        # capture before the exactness update and before the
+                        # select mutates the destination shadow below
+                        self.branch_observer("cmov", address)
                     if not self._condition_exact(instruction.condition):
                         self.constraints_exact = False
                     self.branches.append(BranchRecord(
@@ -566,6 +595,8 @@ class ShadowTracker:
             if self._flags_symbolic():
                 condition = self._condition_expr(instruction.condition)
                 if condition is not None:
+                    if self.branch_observer is not None:
+                        self.branch_observer("jcc", address)
                     if not self._condition_exact(instruction.condition):
                         self.constraints_exact = False
                     taken = emulator.state.condition(instruction.condition)

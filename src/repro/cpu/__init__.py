@@ -2,7 +2,12 @@
 
 from repro.cpu.state import CpuState, EmulationError
 from repro.cpu.host import HostEnvironment, EXIT_ADDRESS
-from repro.cpu.emulator import Emulator, EmulatorSnapshot, call_function
+from repro.cpu.emulator import (
+    Emulator,
+    EmulatorSnapshot,
+    JitStats,
+    call_function,
+)
 from repro.cpu.tracing import TraceRecorder, TraceEntry
 
 __all__ = [
@@ -12,6 +17,7 @@ __all__ = [
     "EXIT_ADDRESS",
     "Emulator",
     "EmulatorSnapshot",
+    "JitStats",
     "call_function",
     "TraceRecorder",
     "TraceEntry",

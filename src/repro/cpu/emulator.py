@@ -25,6 +25,15 @@ in the evaluation grid bottoms out here):
   code region's write generation like the decode cache and fall back to
   single-step whenever hooks are installed or the step budget is nearly
   exhausted.  Set ``REPRO_TRACE_CACHE=0`` to disable fusion.
+* **Exec-compiled traces** — a trace that stays hot past the closure-tier
+  warm-up is spilled to generated Python source and ``compile``/``exec``'d
+  into one function per trace (see :mod:`repro.cpu.codegen`): registers and
+  flags hoisted into locals, operands and effective addresses constant-
+  folded, ret guards and mid-trace SMC checks inline.  Execution is thus
+  three-tiered — single-step -> closure trace -> compiled trace — with each
+  tier the exact-semantics fallback of the next.  Set
+  ``REPRO_TRACE_COMPILE=0`` to stop at the closure tier;
+  :attr:`Emulator.jit_stats` counts per-tier activity.
 * **Hook-free fast path** — :meth:`run` only takes the slow path (pre-hook
   fan-out per instruction) when hooks are actually installed.
 * **O(1) snapshots** — :meth:`Emulator.snapshot` / :meth:`Emulator.restore`
@@ -36,6 +45,7 @@ in the evaluation grid bottoms out here):
 from __future__ import annotations
 
 import os
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.binary.loader import LoadedProgram
@@ -49,6 +59,7 @@ from repro.cpu.state import (
     SIZE_MASKS,
     to_signed,
 )
+from repro.cpu.codegen import compile_trace
 from repro.cpu.trace import Trace, build_trace
 from repro.isa.encoding import DecodeError, decode_instruction
 from repro.isa.instructions import Instruction, Mnemonic
@@ -76,9 +87,44 @@ _DECODE_CACHE_DEFAULT = os.environ.get("REPRO_DECODE_CACHE", "1") != "0"
 #: fusion globally (debugging aid and the A/B lever the benchmark uses).
 _TRACE_CACHE_DEFAULT = os.environ.get("REPRO_TRACE_CACHE", "1") != "0"
 
+#: Source-compilation default; ``REPRO_TRACE_COMPILE=0`` stops promotion at
+#: the closure tier (the A/B lever for the compiled tier specifically).
+_TRACE_COMPILE_DEFAULT = os.environ.get("REPRO_TRACE_COMPILE", "1") != "0"
+
 #: Number of run-loop visits to an address before it is fused into a trace.
 #: One free visit keeps cold straight-through code out of the compiler.
 _TRACE_HEAT_THRESHOLD = 2
+
+#: Closure-tier executions of a trace before it is promoted to the
+#: exec-compiled tier.  Two warm-up runs keep one-shot traces (and the
+#: attack engines' short-lived explorations) away from ``compile()``.
+_TRACE_COMPILE_THRESHOLD = 2
+
+
+@dataclass
+class JitStats:
+    """Per-emulator counters of the three-tier execution pipeline.
+
+    Attributes:
+        traces_built: traces recorded and closure-compiled (tier 2 entries).
+        traces_compiled: traces promoted to exec-compiled source (tier 3).
+        compile_declined: promotions declined by the codegen (the trace
+            stays on the closure tier for good).
+        compiled_runs: fused executions served by compiled functions.
+        closure_runs: fused executions served by the closure lists.
+    """
+
+    traces_built: int = 0
+    traces_compiled: int = 0
+    compile_declined: int = 0
+    compiled_runs: int = 0
+    closure_runs: int = 0
+
+    @property
+    def compiled_hit_rate(self) -> float:
+        """Fraction of fused executions served by the compiled tier."""
+        total = self.compiled_runs + self.closure_runs
+        return self.compiled_runs / total if total else 0.0
 
 
 class EmulatorSnapshot:
@@ -122,12 +168,16 @@ class Emulator:
             (defaults to the ``REPRO_DECODE_CACHE`` environment knob).
         trace_cache: override the superinstruction-fusion toggle for this
             instance (defaults to the ``REPRO_TRACE_CACHE`` environment knob).
+        trace_compile: override the exec-compiled-tier toggle for this
+            instance (defaults to the ``REPRO_TRACE_COMPILE`` environment
+            knob; has no effect while trace fusion itself is disabled).
     """
 
     def __init__(self, memory: Memory, host: Optional[HostEnvironment] = None,
                  max_steps: int = 2_000_000,
                  decode_cache: Optional[bool] = None,
-                 trace_cache: Optional[bool] = None) -> None:
+                 trace_cache: Optional[bool] = None,
+                 trace_compile: Optional[bool] = None) -> None:
         self.memory = memory
         self.state = CpuState()
         self.host = host or HostEnvironment()
@@ -142,6 +192,13 @@ class Emulator:
                                       if decode_cache is None else decode_cache)
         self._trace_cache_enabled = (_TRACE_CACHE_DEFAULT
                                      if trace_cache is None else trace_cache)
+        self._trace_compile_enabled = self._trace_cache_enabled and (
+            _TRACE_COMPILE_DEFAULT if trace_compile is None else trace_compile)
+        #: closure-tier runs before a trace is promoted to compiled source;
+        #: instance-tunable so tests can force immediate promotion
+        self.trace_compile_threshold = _TRACE_COMPILE_THRESHOLD
+        #: three-tier pipeline counters (builds, promotions, per-tier runs)
+        self.jit_stats = JitStats()
         #: address -> (instruction, length, region, generation, handler)
         self._decode_cache: Dict[int, tuple] = {}
         #: entry address -> compiled superinstruction
@@ -345,6 +402,7 @@ class Emulator:
         trace_get = traces.get
         heat = self._trace_heat
         heat_get = heat.get
+        jit = self.jit_stats
         while not self.halted:
             if self.pre_hooks:
                 # slow path: step() fans out to hooks with identical semantics
@@ -380,7 +438,14 @@ class Emulator:
                         traces[address] = trace
                 if trace is not None:
                     if self.steps + trace.length <= limit:
-                        self._execute_trace(trace)
+                        compiled = trace.compiled
+                        if compiled is not None:
+                            # steady state: call the exec-compiled function
+                            # directly, skipping the promotion bookkeeping
+                            jit.compiled_runs += 1
+                            compiled()
+                        else:
+                            self._execute_trace(trace)
                         continue
                     # budget nearly exhausted: single-step to the exact cap
                 else:
@@ -407,15 +472,46 @@ class Emulator:
             self.steps += 1
 
     def _execute_trace(self, trace: Trace) -> None:
-        """Execute one fused superinstruction.
+        """Execute one fused superinstruction through the fastest ready tier.
 
-        The caller has already verified the region generation and that the
-        remaining step budget covers the full trace.  A False-returning op
-        (failed ret guard, mid-trace self-modification) ends the fused run
-        with the architectural state exactly as single-stepping would have
-        left it; a faulting op repairs ``rip``/``steps`` to match single-step
-        semantics before the error propagates.
+        A trace starts on the closure tier; once it has run
+        :attr:`trace_compile_threshold` times it is promoted to an
+        exec-compiled function (:func:`repro.cpu.codegen.compile_trace`),
+        which handles its own step accounting, ``rip`` installation and
+        fault repair.  The caller has already verified the region generation
+        and that the remaining step budget covers the full trace.  On the
+        closure tier, a False-returning op (failed ret guard, mid-trace
+        self-modification) ends the fused run with the architectural state
+        exactly as single-stepping would have left it; a faulting op repairs
+        ``rip``/``steps`` to match single-step semantics before the error
+        propagates.
         """
+        stats = self.jit_stats
+        compiled = trace.compiled
+        if compiled is not None:
+            stats.compiled_runs += 1
+            compiled()
+            return
+        if self._trace_compile_enabled and not trace.compile_failed:
+            trace.runs += 1
+            if trace.runs > self.trace_compile_threshold:
+                compiled = compile_trace(self, trace)
+                if compiled is None:
+                    trace.compile_failed = True
+                    stats.compile_declined += 1
+                else:
+                    trace.compiled = compiled
+                    # the closure list and step records can never run again
+                    # (invalidation rebuilds the whole trace); free them so
+                    # long-lived emulators keep one form per trace, not two
+                    trace.ops = []
+                    trace.posts = []
+                    trace.steps = []
+                    stats.traces_compiled += 1
+                    stats.compiled_runs += 1
+                    compiled()
+                    return
+        stats.closure_runs += 1
         executed = 0
         try:
             for op in trace.ops:

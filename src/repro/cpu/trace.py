@@ -1,4 +1,4 @@
-"""Trace-fused superinstructions for the concrete emulator.
+"""Trace recording and the closure tier of the fused-trace pipeline.
 
 The interpreter's per-instruction dispatch (address probe, generation check,
 budget check, handler lookup) dominates ROP workloads, where the ret-to-ret
@@ -6,6 +6,13 @@ control flow makes every gadget a fresh dispatch.  This module discovers
 straight-line *traces* at execution time and compiles each one into a flat
 list of zero-argument closures with the operands already bound — a
 superinstruction executed as one unit by :meth:`Emulator._execute_trace`.
+
+Each trace also records its instruction-by-instruction shape as
+:class:`TraceStep` entries; once a trace stays hot past the closure-tier
+warm-up, :mod:`repro.cpu.codegen` consumes those records to emit the trace
+as generated Python source (the exec-compiled third tier).  The closure
+tier remains both the warm-up stage and the permanent home of traces the
+codegen declines.
 
 A trace extends through:
 
@@ -62,6 +69,38 @@ _REG_WRITERS = frozenset(m for m in Mnemonic) - frozenset(
 )
 
 
+class TraceStep:
+    """The recorded form of one fused instruction.
+
+    The closure list executes a trace; the step list *describes* it, which is
+    what the source-compiling backend (:mod:`repro.cpu.codegen`) consumes to
+    emit one Python function per trace.  ``kind`` distinguishes the shapes the
+    builder special-cases:
+
+    * ``"op"`` — straight-line instruction (specialized or generic closure).
+    * ``"ret_guard"`` — fused ``ret`` guarding on the peeked ``target``.
+    * ``"ret_final"`` — terminal ``ret`` (no peeked continuation).
+    * ``"jmp_fused"`` — immediate ``jmp`` swallowed by the trace (``target``
+      is the next fused address).
+    * ``"jmp_imm"`` / ``"jcc_imm"`` / ``"call_fused"`` / ``"call_term"`` —
+      immediate-target control transfers (``target`` holds the destination).
+    * ``"term_generic"`` — non-immediate control transfer executed through
+      the emulator handler (trace-terminal).
+    * ``"hlt"`` — halt.
+    """
+
+    __slots__ = ("kind", "address", "instruction", "post", "target", "handler")
+
+    def __init__(self, kind: str, address: int, instruction, post: int,
+                 target: Optional[int] = None, handler=None) -> None:
+        self.kind = kind
+        self.address = address
+        self.instruction = instruction
+        self.post = post
+        self.target = target
+        self.handler = handler
+
+
 class Trace:
     """One compiled superinstruction.
 
@@ -80,14 +119,25 @@ class Trace:
         final_rip: ``rip`` to install after a complete run when the last
             fused instruction does not set it itself (straight-line tail);
             None when the last instruction is a control transfer.
+        steps: per-instruction :class:`TraceStep` records for the codegen
+            backend.
+        stack_region: the region ``rsp`` pointed into at build time (the
+            pop/ret fast-path target), or None.
+        runs: closure-tier executions so far (promotion counter).
+        compiled: the exec-compiled function once the trace is promoted to
+            the source tier, else None.
+        compile_failed: True once source compilation was attempted and
+            declined, so the closure tier stops retrying.
     """
 
     __slots__ = ("entry", "ops", "posts", "length", "region", "generation",
-                 "final_rip")
+                 "final_rip", "steps", "stack_region", "runs", "compiled",
+                 "compile_failed")
 
     def __init__(self, entry: int, ops: List[Callable[[], bool]],
                  posts: List[int], region, generation: int,
-                 final_rip: Optional[int]) -> None:
+                 final_rip: Optional[int], steps: Optional[List[TraceStep]] = None,
+                 stack_region=None) -> None:
         self.entry = entry
         self.ops = ops
         self.posts = posts
@@ -95,6 +145,11 @@ class Trace:
         self.region = region
         self.generation = generation
         self.final_rip = final_rip
+        self.steps = steps or []
+        self.stack_region = stack_region
+        self.runs = 0
+        self.compiled = None
+        self.compile_failed = False
 
 
 # -- effective address helpers -------------------------------------------------
@@ -753,6 +808,7 @@ def build_trace(emulator, entry: int, cap: int = TRACE_CAP) -> Optional[Trace]:
 
     ops: List[Callable[[], bool]] = []
     posts: List[int] = []
+    steps: List[TraceStep] = []
     final_rip: Optional[int] = None
     delta: Optional[int] = 0
     address = entry
@@ -781,11 +837,14 @@ def build_trace(emulator, entry: int, cap: int = TRACE_CAP) -> Optional[Trace]:
                 ops.append(_ret_guarded(state, regs, memory, target,
                                         stack_region))
                 posts.append(post)
+                steps.append(TraceStep("ret_guard", address, instruction, post,
+                                       target))
                 delta += 8
                 address = target
                 continue
             ops.append(_ret_terminal(state, regs, memory, stack_region))
             posts.append(post)
+            steps.append(TraceStep("ret_final", address, instruction, post))
             break
 
         if mnemonic is Mnemonic.JMP:
@@ -796,14 +855,20 @@ def build_trace(emulator, entry: int, cap: int = TRACE_CAP) -> Optional[Trace]:
                         and len(ops) + 1 < cap:
                     ops.append(_NOOP)
                     posts.append(target)
+                    steps.append(TraceStep("jmp_fused", address, instruction,
+                                           target, target))
                     address = target
                     continue
                 def op(target=target):
                     state.rip = target
                     return True
                 ops.append(op)
+                steps.append(TraceStep("jmp_imm", address, instruction, post,
+                                       target))
             else:
                 ops.append(_generic_terminal(handler, instruction, state, post))
+                steps.append(TraceStep("term_generic", address, instruction,
+                                       post, handler=handler))
             posts.append(post)
             break
 
@@ -812,8 +877,12 @@ def build_trace(emulator, entry: int, cap: int = TRACE_CAP) -> Optional[Trace]:
             if type(operand) is Imm:
                 ops.append(_jcc_terminal(instruction, state, post,
                                          _imm_value(operand)))
+                steps.append(TraceStep("jcc_imm", address, instruction, post,
+                                       _imm_value(operand)))
             else:
                 ops.append(_generic_terminal(handler, instruction, state, post))
+                steps.append(TraceStep("term_generic", address, instruction,
+                                       post, handler=handler))
             posts.append(post)
             break
 
@@ -826,12 +895,18 @@ def build_trace(emulator, entry: int, cap: int = TRACE_CAP) -> Optional[Trace]:
                     ops.append(_call_fused(state, regs, memory, region,
                                            generation, post, target))
                     posts.append(post)
+                    steps.append(TraceStep("call_fused", address, instruction,
+                                           post, target))
                     delta = None if delta is None else delta - 8
                     address = target
                     continue
                 ops.append(_call_terminal(state, regs, memory, post, target))
+                steps.append(TraceStep("call_term", address, instruction, post,
+                                       target))
             else:
                 ops.append(_generic_terminal(handler, instruction, state, post))
+                steps.append(TraceStep("term_generic", address, instruction,
+                                       post, handler=handler))
             posts.append(post)
             break
 
@@ -842,6 +917,7 @@ def build_trace(emulator, entry: int, cap: int = TRACE_CAP) -> Optional[Trace]:
                 return True
             ops.append(op)
             posts.append(post)
+            steps.append(TraceStep("hlt", address, instruction, post))
             break
 
         op = _specialize(instruction, state, regs, memory, region, generation,
@@ -855,6 +931,8 @@ def build_trace(emulator, entry: int, cap: int = TRACE_CAP) -> Optional[Trace]:
                 op = _generic(handler_, instruction)
         ops.append(op)
         posts.append(post)
+        steps.append(TraceStep("op", address, instruction, post,
+                               handler=handler))
         delta = _rsp_delta(instruction, delta)
         address = post
     else:
@@ -863,4 +941,6 @@ def build_trace(emulator, entry: int, cap: int = TRACE_CAP) -> Optional[Trace]:
 
     if not ops:
         return None
-    return Trace(entry, ops, posts, region, generation, final_rip)
+    emulator.jit_stats.traces_built += 1
+    return Trace(entry, ops, posts, region, generation, final_rip,
+                 steps=steps, stack_region=stack_region)

@@ -3,10 +3,11 @@
 Runs configurable slices of the paper's evaluation grids (Figure 5 run-time
 overhead, Table II secret finding / coverage, Table III gadget statistics)
 and writes each result set as a JSON artifact plus a ``summary.json`` with
-run metadata and aggregate attack-engine statistics (executions,
-instructions, backtracking restores).  The scheduled GitHub Actions workflow
-(``.github/workflows/grid.yml``) runs the ``reduced`` slice nightly and
-archives the artifacts; ``workflow_dispatch`` selects any slice manually.
+run metadata, aggregate attack-engine statistics (executions, instructions,
+backtracking restores) and per-configuration efficacy/overhead aggregates.
+The scheduled GitHub Actions workflow (``.github/workflows/grid.yml``) runs
+the ``reduced`` slice nightly and archives the artifacts;
+``workflow_dispatch`` selects any slice manually.
 
 Usage::
 
@@ -19,6 +20,15 @@ Slices:
   ``REPRO_FULL_SCALE`` grids with minute-scale attack budgets.
 * ``full``    — the paper-sized grids (CPU-hours; ``workflow_dispatch``
   only).
+
+Trend reporting compares the ``summary.json`` of two archived runs::
+
+    PYTHONPATH=src python -m repro.evaluation.grid --compare old/summary.json new/summary.json
+
+It prints per-configuration secret-finding/coverage deltas and per-benchmark
+overhead shifts, and exits nonzero when any delta exceeds the thresholds
+(``--efficacy-threshold``, relative ``--overhead-threshold``) — the alarm
+hook for diffing consecutive nightly artifacts.
 """
 
 from __future__ import annotations
@@ -135,6 +145,28 @@ def run_grid(slice_name: str = "reduced", seed: int = 1,
     return results
 
 
+def _config_aggregates(table2: List[dict]) -> Dict[str, Dict[str, float]]:
+    """Per-configuration secret-finding/coverage rates from Table II rows."""
+    aggregates: Dict[str, Dict[str, float]] = {}
+    for row in table2:
+        functions = max(1, row["functions"])
+        aggregates[row["configuration"]] = {
+            "secret_rate": round(row["secrets_found"] / functions, 4),
+            "coverage_rate": round(row["full_coverage"] / functions, 4),
+            "average_time": round(row["average_time"], 3),
+        }
+    return aggregates
+
+
+def _overhead_aggregates(figure5: List[dict]) -> Dict[str, float]:
+    """Per-(benchmark, k) slowdown-vs-baseline from Figure 5 bars."""
+    return {
+        f"{row['benchmark']}@k{row['k']:.2f}": round(
+            row["slowdown_vs_baseline"], 4)
+        for row in figure5
+    }
+
+
 def write_artifacts(results: Dict[str, List[dict]], out_dir: Path,
                     slice_name: str, elapsed: float) -> Path:
     """Write one JSON file per grid plus a ``summary.json``; return the dir."""
@@ -154,9 +186,54 @@ def write_artifacts(results: Dict[str, List[dict]], out_dir: Path,
             "instructions": sum(row["instructions"] for row in table2),
             "branch_restores": sum(row["branch_restores"] for row in table2),
         },
+        # per-config aggregates: what --compare diffs between two runs
+        "table2_configs": _config_aggregates(table2),
+        "figure5_overheads": _overhead_aggregates(results.get("figure5", [])),
     }
     (out_dir / "summary.json").write_text(json.dumps(summary, indent=2) + "\n")
     return out_dir
+
+
+def compare_summaries(old: dict, new: dict, efficacy_threshold: float = 0.1,
+                      overhead_threshold: float = 0.25) -> tuple:
+    """Diff two ``summary.json`` payloads.
+
+    Returns ``(lines, shifted)``: human-readable per-config delta lines, and
+    whether any efficacy rate moved more than ``efficacy_threshold``
+    (absolute) or any overhead ratio moved more than ``overhead_threshold``
+    (relative).  Only configurations present in both runs are compared, so
+    slices of different breadth can still be diffed for their overlap.
+    """
+    lines: List[str] = []
+    shifted = False
+
+    old_configs = old.get("table2_configs", {})
+    new_configs = new.get("table2_configs", {})
+    for name in sorted(set(old_configs) & set(new_configs)):
+        before, after = old_configs[name], new_configs[name]
+        for metric in ("secret_rate", "coverage_rate"):
+            delta = after[metric] - before[metric]
+            flag = abs(delta) > efficacy_threshold
+            shifted = shifted or flag
+            lines.append(
+                f"{'!! ' if flag else '   '}{name:<12} {metric:<13} "
+                f"{before[metric]:6.3f} -> {after[metric]:6.3f}  "
+                f"({delta:+.3f})")
+
+    old_overheads = old.get("figure5_overheads", {})
+    new_overheads = new.get("figure5_overheads", {})
+    for name in sorted(set(old_overheads) & set(new_overheads)):
+        before, after = old_overheads[name], new_overheads[name]
+        relative = (after / before - 1.0) if before else 0.0
+        flag = abs(relative) > overhead_threshold
+        shifted = shifted or flag
+        lines.append(
+            f"{'!! ' if flag else '   '}{name:<20} overhead      "
+            f"{before:6.2f} -> {after:6.2f}  ({relative:+.1%})")
+
+    if not lines:
+        lines.append("no overlapping configurations between the two summaries")
+    return lines, shifted
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -169,7 +246,30 @@ def main(argv: Optional[List[str]] = None) -> int:
                         choices=("figure5", "table2", "table3"),
                         help="restrict to a subset of the grids")
     parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--compare", nargs=2, metavar=("OLD", "NEW"),
+                        help="diff two summary.json files instead of running "
+                             "a grid; exits 1 on shifts beyond the thresholds")
+    parser.add_argument("--efficacy-threshold", type=float, default=0.1,
+                        help="absolute secret/coverage-rate delta that "
+                             "counts as a shift (default: 0.1)")
+    parser.add_argument("--overhead-threshold", type=float, default=0.25,
+                        help="relative overhead delta that counts as a "
+                             "shift (default: 0.25)")
     args = parser.parse_args(argv)
+
+    if args.compare:
+        old_path, new_path = (Path(name) for name in args.compare)
+        old = json.loads(old_path.read_text())
+        new = json.loads(new_path.read_text())
+        lines, shifted = compare_summaries(
+            old, new, efficacy_threshold=args.efficacy_threshold,
+            overhead_threshold=args.overhead_threshold)
+        print(f"comparing {old_path} ({old.get('slice')}) -> "
+              f"{new_path} ({new.get('slice')})")
+        for line in lines:
+            print(line)
+        print("RESULT: shifted beyond thresholds" if shifted else "RESULT: stable")
+        return 1 if shifted else 0
 
     start = time.monotonic()
     # run and persist one grid at a time: a budget overrun or runner timeout

@@ -204,6 +204,41 @@ class Memory:
             (value & _INT_MASKS[size]).to_bytes(size, "little")
         region.generation += 1
 
+    def read_qword(self, address: int) -> int:
+        """Read a little-endian 64-bit unsigned integer.
+
+        The width-specialized sibling of :meth:`read_int`: no size/signed
+        parameters and no mask-table probe, so it is the cheapest mapped
+        load the memory offers.  Stable low-level accessor the exec-compiled
+        trace tier (:mod:`repro.cpu.codegen`) binds for stack traffic.
+        """
+        region = self._hit
+        if region is not None:
+            offset = address - region.start
+            data = region.data
+            if 0 <= offset <= len(data) - 8:
+                return int.from_bytes(data[offset:offset + 8], "little")
+        region = self._region_for(address, 8)
+        offset = address - region.start
+        return int.from_bytes(region.data[offset:offset + 8], "little")
+
+    def write_qword(self, address: int, value: int) -> None:
+        """Write a little-endian 64-bit integer (two's complement).
+
+        Width-specialized sibling of :meth:`write_int`; identical fault and
+        generation semantics.
+        """
+        region = self._hit
+        if region is not None and region.writable and not region.shared:
+            offset = address - region.start
+            data = region.data
+            if 0 <= offset <= len(data) - 8:
+                data[offset:offset + 8] = \
+                    (value & 0xFFFFFFFFFFFFFFFF).to_bytes(8, "little")
+                region.generation += 1
+                return
+        self.write_int(address, value, 8)
+
     def peek_int(self, address: int, size: int = 8) -> Optional[int]:
         """Read a little-endian integer if mapped, else None — never faults.
 

@@ -1,0 +1,441 @@
+"""Differential tests for the three execution tiers.
+
+Every behaviour here is asserted as *equality between tiers*: single-step
+dispatch (the reference semantics), the closure-trace tier
+(``trace_compile=False``) and the exec-compiled tier (``trace_compile=True``
+with promotion forced).  The property-based test drives randomly generated
+instruction sequences — including sub-width operands, flag consumers and
+memory traffic that exercises both the native codegen emitters and the
+generic handler fallback — through all three tiers and requires identical
+registers, flags, memory, step counts and fault outcomes.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.binary import BinaryImage, load_image
+from repro.cpu import Emulator, TraceRecorder
+from repro.cpu.host import EXIT_ADDRESS
+from repro.cpu.state import EmulationError
+from repro.isa import Imm, Mem, Reg, assemble
+from repro.isa.instructions import make
+from repro.isa.operands import Label
+from repro.isa.registers import Register
+
+#: General-purpose registers the generated programs may clobber.  RSP/RBP
+#: hold the stack, R14/R15 are reserved as pinned index/base values so
+#: memory operands stay inside the scratch blob.
+_GP = (Register.RAX, Register.RCX, Register.RDX, Register.RBX,
+       Register.RSI, Register.RDI, Register.R8, Register.R9,
+       Register.R10, Register.R11, Register.R12, Register.R13)
+
+_BLOB = 0x600000
+_BLOB_SIZE = 256
+
+
+def build_program(instructions, data=bytes(_BLOB_SIZE)):
+    image = BinaryImage()
+    code, _ = assemble(instructions, base_address=image.text.address)
+    address = image.text.append(code)
+    image.add_function("f", address, len(code))
+    blob = image.data.append(data)
+    assert blob == _BLOB
+    image.add_object("blob", blob, len(data))
+    return load_image(image)
+
+
+def start_call(emulator, program, seeds=()):
+    emulator.halted = False
+    emulator.state.write_reg(Register.RSP, program.stack_top)
+    emulator.state.write_reg(Register.RBP, program.stack_top)
+    for register, value in seeds:
+        emulator.state.write_reg(register, value)
+    emulator.state.write_reg(Register.R14, 8)
+    emulator.state.write_reg(Register.R15, _BLOB)
+    emulator.push(EXIT_ADDRESS)
+    emulator.state.rip = program.image.function("f").address
+
+
+_TIERS = {
+    "single": dict(trace_cache=False),
+    "closure": dict(trace_cache=True, trace_compile=False),
+    "compiled": dict(trace_cache=True, trace_compile=True),
+}
+
+
+def run_tier(body, seeds, tier, data=bytes(_BLOB_SIZE), rounds=3,
+             max_steps=20_000):
+    """Run ``body`` ``rounds`` times on one tier; return per-round outcomes."""
+    program = build_program(body, data=data)
+    emulator = Emulator(program.memory, max_steps=max_steps, **_TIERS[tier])
+    emulator.trace_compile_threshold = 0  # promote on the second fused run
+    outcomes = []
+    for index in range(rounds):
+        start_call(emulator, program, seeds)
+        fault = None
+        try:
+            emulator.run()
+        except EmulationError as exc:
+            fault = str(exc)
+        outcomes.append({
+            "steps": emulator.steps,
+            "rip": emulator.state.rip,
+            "regs": dict(emulator.state.regs),
+            "flags": emulator.state.flags_tuple(),
+            "fault": fault,
+            "blob": bytes(emulator.memory.read(_BLOB, _BLOB_SIZE)),
+        })
+    return outcomes
+
+
+def assert_tiers_agree(body, seeds, data=bytes(_BLOB_SIZE), rounds=3):
+    single = run_tier(body, seeds, "single", data=data, rounds=rounds)
+    closure = run_tier(body, seeds, "closure", data=data, rounds=rounds)
+    compiled = run_tier(body, seeds, "compiled", data=data, rounds=rounds)
+    assert single == closure
+    assert single == compiled
+
+
+# -- hypothesis strategies -------------------------------------------------------
+
+_reg = st.sampled_from(_GP)
+_imm8 = st.integers(min_value=-128, max_value=127)
+_imm64 = st.integers(min_value=0, max_value=(1 << 64) - 1)
+_cc = st.sampled_from(("e", "ne", "l", "le", "g", "ge", "b", "be", "a",
+                       "ae", "s", "ns"))
+
+
+@st.composite
+def _mem(draw, size):
+    """A memory operand guaranteed to land inside the scratch blob."""
+    form = draw(st.integers(0, 2))
+    offset = draw(st.integers(0, 23)) * 8
+    if form == 0:
+        return Mem(disp=_BLOB + offset, size=size)
+    if form == 1:
+        return Mem(base=Register.R15, disp=offset, size=size)
+    scale = draw(st.sampled_from((1, 2, 4)))
+    # R14 is pinned to 8 by start_call, so index * scale stays <= 32
+    return Mem(base=Register.R15, index=Register.R14, scale=scale,
+               disp=offset, size=size)
+
+
+@st.composite
+def _unit(draw):
+    """One generated instruction (or a short dependent group)."""
+    kind = draw(st.integers(0, 16))
+    if kind == 0:  # mov/movzx/movsx in mixed widths
+        mnemonic = draw(st.sampled_from(("mov", "movzx", "movsx")))
+        dst = Reg(draw(_reg), draw(st.sampled_from((8, 8, 8, 4))))
+        src_size = draw(st.sampled_from((1, 2, 4, 8)))
+        if draw(st.booleans()):
+            src = Reg(draw(_reg), src_size)
+        else:
+            src = draw(_mem(src_size))
+        if mnemonic == "mov" and isinstance(src, Reg) and src.size != dst.size \
+                and src.size > dst.size:
+            src = Reg(src.reg, dst.size)
+        return [make(mnemonic, dst, src)]
+    if kind == 1:  # mov to register from immediate (any width)
+        width = draw(st.sampled_from((8, 4, 2, 1)))
+        return [make("mov", Reg(draw(_reg), width), Imm(draw(_imm64), 8))]
+    if kind == 2:  # store to the blob
+        width = draw(st.sampled_from((8, 4, 2, 1)))
+        destination = draw(_mem(width))
+        if draw(st.booleans()):
+            return [make("mov", destination, Reg(draw(_reg), width))]
+        return [make("mov", destination, Imm(draw(_imm8), 8))]
+    if kind == 3:  # 64-bit ALU, register or immediate source
+        name = draw(st.sampled_from(("add", "sub", "cmp", "and", "or",
+                                     "xor", "test")))
+        dst = Reg(draw(_reg))
+        if draw(st.booleans()):
+            return [make(name, dst, Reg(draw(_reg)))]
+        return [make(name, dst, Imm(draw(_imm64), 8))]
+    if kind == 4:  # sized ALU (generic-handler path in the codegen)
+        name = draw(st.sampled_from(("add", "sub", "cmp", "and", "or", "xor")))
+        width = draw(st.sampled_from((4, 2, 1)))
+        return [make(name, Reg(draw(_reg), width), Reg(draw(_reg), width))]
+    if kind == 5:  # carry chains
+        return [make("add", Reg(draw(_reg)), Imm(draw(_imm64), 8)),
+                make(draw(st.sampled_from(("adc", "sbb"))),
+                     Reg(draw(_reg)), Reg(draw(_reg)))]
+    if kind == 6:
+        return [make(draw(st.sampled_from(("inc", "dec", "neg", "not"))),
+                     Reg(draw(_reg)))]
+    if kind == 7:  # shifts by immediate
+        name = draw(st.sampled_from(("shl", "shr", "sar")))
+        return [make(name, Reg(draw(_reg)), Imm(draw(st.integers(0, 63)), 8))]
+    if kind == 8:
+        source = (Reg(draw(_reg)) if draw(st.booleans())
+                  else Imm(draw(_imm8), 8))
+        return [make("imul", Reg(draw(_reg)), source)]
+    if kind == 9:
+        return [make("xchg", Reg(draw(_reg)), Reg(draw(_reg)))]
+    if kind == 10:
+        return [make("lea", Reg(draw(_reg)), draw(_mem(8)))]
+    if kind == 11:  # push/pop pair (possibly different registers)
+        return [make("push", Reg(draw(_reg))),
+                make("pop", Reg(draw(_reg)))]
+    if kind == 12:
+        return [make("push", Imm(draw(_imm8), 8)),
+                make("pop", Reg(draw(_reg)))]
+    if kind == 13:  # flag consumers
+        cc = draw(_cc)
+        if draw(st.booleans()):
+            return [make(f"cmov{cc}", Reg(draw(_reg)), Reg(draw(_reg)))]
+        return [make(f"set{cc}", Reg(draw(_reg),
+                                     draw(st.sampled_from((1, 4, 8)))))]
+    if kind == 14:
+        return [make("cqo")]
+    if kind == 15:  # load through a register-based address
+        return [make("mov", Reg(draw(_reg)), draw(_mem(8)))]
+    # forward conditional branch over the rest of the body
+    return [make(f"j{draw(_cc)}", Label("end"))]
+
+
+@st.composite
+def _program_case(draw):
+    units = draw(st.lists(_unit(), min_size=1, max_size=14))
+    body = [instruction for unit in units for instruction in unit]
+    body = body + ["end", make("ret")]
+    seeds = [(register, draw(_imm64)) for register in _GP]
+    data = draw(st.binary(min_size=_BLOB_SIZE, max_size=_BLOB_SIZE))
+    return body, seeds, data
+
+
+@settings(max_examples=60, deadline=None)
+@given(case=_program_case())
+def test_random_sequences_agree_across_tiers(case):
+    body, seeds, data = case
+    assert_tiers_agree(body, seeds, data=data)
+
+
+# -- deterministic compiled-tier behaviours --------------------------------------
+
+_LOOP_BODY = [
+    make("xor", Reg(Register.RAX), Reg(Register.RAX)),
+    make("xor", Reg(Register.RCX), Reg(Register.RCX)),
+    "loop",
+    make("cmp", Reg(Register.RCX), Reg(Register.RDI)),
+    make("jge", Label("done")),
+    make("add", Reg(Register.RAX), Imm(2)),
+    make("inc", Reg(Register.RCX)),
+    make("jmp", Label("loop")),
+    "done",
+    make("ret"),
+]
+
+
+def test_promotion_counters_and_cached_functions():
+    """Closure warm-up runs precede promotion; compiled runs dominate after."""
+    program = build_program(_LOOP_BODY)
+    emulator = Emulator(program.memory, trace_cache=True, trace_compile=True)
+    for _ in range(8):
+        start_call(emulator, program, [(Register.RDI, 50)])
+        emulator.run()
+    stats = emulator.jit_stats
+    assert stats.traces_built > 0
+    assert stats.traces_compiled > 0
+    assert stats.closure_runs > 0, "warm-up tier should have served first"
+    assert stats.compiled_runs > stats.closure_runs
+    assert 0.0 < stats.compiled_hit_rate < 1.0
+    assert any(trace.compiled is not None
+               for trace in emulator._trace_cache.values())
+
+
+def test_trace_compile_toggle_stays_on_closures():
+    program = build_program(_LOOP_BODY)
+    emulator = Emulator(program.memory, trace_cache=True, trace_compile=False)
+    emulator.trace_compile_threshold = 0
+    for _ in range(6):
+        start_call(emulator, program, [(Register.RDI, 50)])
+        emulator.run()
+    assert emulator.jit_stats.traces_compiled == 0
+    assert emulator.jit_stats.compiled_runs == 0
+    assert all(trace.compiled is None
+               for trace in emulator._trace_cache.values())
+
+
+def test_compiled_trace_invalidated_by_self_modification():
+    """Patching code under a compiled trace recompiles from the new bytes."""
+    program = build_program(_LOOP_BODY)
+    address = program.image.function("f").address
+    emulator = Emulator(program.memory, trace_cache=True, trace_compile=True)
+    emulator.trace_compile_threshold = 0
+    for _ in range(4):
+        start_call(emulator, program, [(Register.RDI, 5)])
+        emulator.run()
+    assert emulator.state.read_reg(Register.RAX) == 10
+    assert emulator.jit_stats.traces_compiled > 0
+
+    patched, _ = assemble([
+        make("xor", Reg(Register.RAX), Reg(Register.RAX)),
+        make("xor", Reg(Register.RCX), Reg(Register.RCX)),
+        "loop",
+        make("cmp", Reg(Register.RCX), Reg(Register.RDI)),
+        make("jge", Label("done")),
+        make("add", Reg(Register.RAX), Imm(3)),
+        make("inc", Reg(Register.RCX)),
+        make("jmp", Label("loop")),
+        "done",
+        make("ret"),
+    ], base_address=address)
+    program.memory.write(address, patched)
+
+    for _ in range(3):
+        start_call(emulator, program, [(Register.RDI, 5)])
+        emulator.run()
+        assert emulator.state.read_reg(Register.RAX) == 15
+
+
+def test_mid_trace_self_modification_under_compiled_tier():
+    """A store rewriting an upcoming compiled instruction takes effect at once."""
+    image = BinaryImage()
+    base = image.text.address
+
+    def body(patch_address):
+        return [
+            make("mov", Mem(disp=patch_address, size=1), Reg(Register.RDI, 1)),
+            make("mov", Reg(Register.RAX), Imm(0)),
+            make("ret"),
+        ]
+
+    draft, _ = assemble(body(base), base_address=base)
+    store_len = len(assemble([body(base)[0]], base_address=base)[0])
+    variant_a, _ = assemble([make("mov", Reg(Register.RAX), Imm(5))],
+                            base_address=base)
+    variant_b, _ = assemble([make("mov", Reg(Register.RAX), Imm(9))],
+                            base_address=base)
+    (imm_offset,) = [i for i, (a, b) in enumerate(zip(variant_a, variant_b))
+                     if a != b]
+    patch_address = base + store_len + imm_offset
+
+    code, _ = assemble(body(patch_address), base_address=base)
+    address = image.text.append(code)
+    image.add_function("f", address, len(code))
+    program = load_image(image)
+
+    emulator = Emulator(program.memory, trace_cache=True, trace_compile=True)
+    emulator.trace_compile_threshold = 0
+    for value in (5, 9, 13, 21, 33):
+        emulator.halted = False
+        emulator.state.write_reg(Register.RSP, program.stack_top)
+        emulator.state.write_reg(Register.RBP, program.stack_top)
+        emulator.state.write_reg(Register.RDI, value)
+        emulator.push(EXIT_ADDRESS)
+        emulator.state.rip = address
+        emulator.run()
+        assert emulator.state.read_reg(Register.RAX) == value
+
+
+def test_compiled_ret_guard_follows_rewritten_chain():
+    """A compiled ret-chain trace must not replay a stale successor gadget."""
+    image = BinaryImage()
+    gadget1, _ = assemble([make("pop", Reg(Register.RDI)), make("ret")],
+                          base_address=image.text.address)
+    g1 = image.text.append(gadget1)
+    gadget2, _ = assemble([make("add", Reg(Register.RDI), Imm(1)),
+                           make("mov", Reg(Register.RAX), Reg(Register.RDI)),
+                           make("ret")], base_address=image.text.end)
+    g2 = image.text.append(gadget2)
+    gadget3, _ = assemble([make("add", Reg(Register.RDI), Imm(2)),
+                           make("mov", Reg(Register.RAX), Reg(Register.RDI)),
+                           make("ret")], base_address=image.text.end)
+    g3 = image.text.append(gadget3)
+    program = load_image(image)
+    emulator = Emulator(program.memory, trace_cache=True, trace_compile=True)
+    emulator.trace_compile_threshold = 0
+
+    def run_chain(chain):
+        emulator.halted = False
+        rsp = program.stack_top - 0x100
+        for offset, value in enumerate(chain):
+            emulator.memory.write_int(rsp + 8 * offset, value, 8)
+        emulator.state.write_reg(Register.RSP, rsp + 8)
+        emulator.state.rip = chain[0]
+        emulator.run()
+        return emulator.state.read_reg(Register.RAX)
+
+    for _ in range(3):
+        assert run_chain([g1, 41, g2, EXIT_ADDRESS]) == 42
+    assert emulator.jit_stats.traces_compiled > 0
+    assert run_chain([g1, 10, g3, EXIT_ADDRESS]) == 12
+
+
+def test_hooks_bypass_compiled_traces_entirely():
+    """With hot compiled traces cached, a hook still sees every instruction."""
+    program = build_program(_LOOP_BODY)
+    emulator = Emulator(program.memory, trace_cache=True, trace_compile=True)
+    emulator.trace_compile_threshold = 0
+    for _ in range(4):
+        start_call(emulator, program, [(Register.RDI, 10)])
+        emulator.run()
+    assert emulator.jit_stats.traces_compiled > 0
+
+    recorder = TraceRecorder().attach(emulator)
+    steps_before = emulator.steps
+    start_call(emulator, program, [(Register.RDI, 10)])
+    emulator.run()
+    assert len(recorder.entries) == emulator.steps - steps_before
+
+    reference = Emulator(load_image(program.image).memory, trace_cache=False)
+    ref_recorder = TraceRecorder().attach(reference)
+    start_call(reference, program, [(Register.RDI, 10)])
+    reference.run()
+    assert recorder.addresses() == ref_recorder.addresses()
+
+
+def test_budget_exact_with_compiled_traces():
+    program = build_program(["spin", make("jmp", Label("spin")), "end",
+                             make("ret")])
+    emulator = Emulator(program.memory, max_steps=10_000, trace_cache=True,
+                        trace_compile=True)
+    emulator.trace_compile_threshold = 0
+    start_call(emulator, program)
+    with pytest.raises(EmulationError):
+        emulator.run(max_steps=997)
+    assert emulator.steps == 997
+    with pytest.raises(EmulationError):
+        emulator.run()
+    assert emulator.steps == 10_000
+
+
+def test_compiled_fault_repair_matches_single_step():
+    """Faults inside compiled traces leave rip/steps/flags as single-step."""
+    body = [
+        make("xor", Reg(Register.RAX), Reg(Register.RAX)),
+        make("add", Reg(Register.RAX), Imm(7)),
+        make("push", Reg(Register.RAX)),
+        make("pop", Reg(Register.RBX)),
+        make("mov", Reg(Register.RDX), Mem(base=Register.RSI)),  # faults
+        make("ret"),
+    ]
+    seeds = [(Register.RSI, 0x123456789)]
+    assert_tiers_agree(body, seeds)
+
+
+def test_generic_fallback_ops_agree_across_tiers():
+    """Sub-width ALU and handler-path ops interleaved with native ones."""
+    body = [
+        make("mov", Reg(Register.RAX), Imm(0x1234_5678_9ABC_DEF0)),
+        make("add", Reg(Register.RAX, 4), Reg(Register.RCX, 4)),  # generic
+        make("sub", Reg(Register.RBX, 2), Reg(Register.RDX, 2)),  # generic
+        make("movsx", Reg(Register.RSI), Reg(Register.RAX, 1)),
+        make("imul", Reg(Register.RDI), Imm(-3)),
+        make("sar", Reg(Register.RDI), Imm(5)),
+        make("adc", Reg(Register.R8), Reg(Register.R9)),
+        make("sbb", Reg(Register.R10), Imm(11)),
+        make("xchg", Reg(Register.RAX), Reg(Register.RBX)),
+        make("cqo"),
+        make("setle", Reg(Register.R11, 1)),
+        make("cmovne", Reg(Register.RCX), Reg(Register.RDX)),
+        make("mov", Mem(disp=_BLOB + 16, size=2), Reg(Register.RAX, 2)),
+        make("mov", Reg(Register.R12, 2), Mem(disp=_BLOB + 16, size=2)),  # generic
+        make("ret"),
+    ]
+    seeds = [(Register.RCX, 0xFFFF_FFFF), (Register.RDX, 3),
+             (Register.RBX, 0x8000), (Register.RDI, 1 << 62),
+             (Register.R8, (1 << 64) - 2), (Register.R9, 5),
+             (Register.R10, 7)]
+    assert_tiers_agree(body, seeds)

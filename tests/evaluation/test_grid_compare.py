@@ -1,0 +1,87 @@
+"""Trend reporting: summary aggregation and --compare behaviour."""
+
+import json
+
+from repro.evaluation.grid import (
+    _config_aggregates,
+    _overhead_aggregates,
+    compare_summaries,
+    main,
+    write_artifacts,
+)
+
+_TABLE2 = [
+    {"configuration": "NATIVE", "secrets_found": 6, "functions": 6,
+     "full_coverage": 5, "average_time": 0.01, "executions": 30,
+     "instructions": 1000, "branch_restores": 0},
+    {"configuration": "ROP1.00", "secrets_found": 1, "functions": 6,
+     "full_coverage": 0, "average_time": 4.0, "executions": 900,
+     "instructions": 90000, "branch_restores": 12},
+]
+
+_FIGURE5 = [
+    {"benchmark": "fasta", "k": 1.0, "slowdown_vs_baseline": 6.4},
+    {"benchmark": "rev-comp", "k": 0.25, "slowdown_vs_baseline": 3.1},
+]
+
+
+def _summary(tmp_path, name, table2=_TABLE2, figure5=_FIGURE5):
+    out = write_artifacts({"table2": table2, "figure5": figure5},
+                          tmp_path / name, "reduced", elapsed=1.0)
+    return out / "summary.json"
+
+
+def test_summary_carries_per_config_aggregates(tmp_path):
+    payload = json.loads(_summary(tmp_path, "run").read_text())
+    assert payload["table2_configs"]["NATIVE"]["secret_rate"] == 1.0
+    assert payload["table2_configs"]["ROP1.00"]["secret_rate"] == round(1 / 6, 4)
+    assert payload["figure5_overheads"]["fasta@k1.00"] == 6.4
+    assert payload["attack_engine"]["branch_restores"] == 12
+
+
+def test_compare_stable_and_shifted():
+    old = {"table2_configs": _config_aggregates(_TABLE2),
+           "figure5_overheads": _overhead_aggregates(_FIGURE5)}
+    same_lines, same_shifted = compare_summaries(old, old)
+    assert not same_shifted
+    assert any("NATIVE" in line for line in same_lines)
+
+    new_table2 = [dict(row) for row in _TABLE2]
+    new_table2[1]["secrets_found"] = 4  # 1/6 -> 4/6: beyond the 0.1 threshold
+    new = {"table2_configs": _config_aggregates(new_table2),
+           "figure5_overheads": _overhead_aggregates(_FIGURE5)}
+    lines, shifted = compare_summaries(old, new)
+    assert shifted
+    assert any(line.startswith("!! ") and "ROP1.00" in line for line in lines)
+
+    # overhead shifts gate on the relative threshold
+    new_figure5 = [dict(row) for row in _FIGURE5]
+    new_figure5[0]["slowdown_vs_baseline"] = 9.0  # +40% > 25%
+    new = {"table2_configs": _config_aggregates(_TABLE2),
+           "figure5_overheads": _overhead_aggregates(new_figure5)}
+    _, shifted = compare_summaries(old, new)
+    assert shifted
+    _, tolerant = compare_summaries(old, new, overhead_threshold=0.5)
+    assert not tolerant
+
+
+def test_compare_cli_exit_codes(tmp_path, capsys):
+    old = _summary(tmp_path, "old")
+    assert main(["--compare", str(old), str(old)]) == 0
+    assert "RESULT: stable" in capsys.readouterr().out
+
+    shifted_rows = [dict(row) for row in _TABLE2]
+    shifted_rows[1]["secrets_found"] = 5
+    new = _summary(tmp_path, "new", table2=shifted_rows)
+    assert main(["--compare", str(old), str(new)]) == 1
+    out = capsys.readouterr().out
+    assert "RESULT: shifted beyond thresholds" in out
+
+
+def test_compare_disjoint_summaries_is_stable():
+    lines, shifted = compare_summaries({"table2_configs": {"A": {
+        "secret_rate": 1.0, "coverage_rate": 1.0, "average_time": 0.1}}},
+        {"table2_configs": {"B": {
+            "secret_rate": 0.0, "coverage_rate": 0.0, "average_time": 0.1}}})
+    assert not shifted
+    assert "no overlapping configurations" in lines[0]
