@@ -446,6 +446,21 @@ class ShadowTracker:
             return
 
         if m in _ALU_OPERATORS and len(ops) == 2:
+            if m in (Mnemonic.SHL, Mnemonic.SHR, Mnemonic.SAR):
+                # x86 masks the count by the operand width, and a masked
+                # count of zero modifies neither the destination nor any
+                # flag — mirror the emulator's (fixed) semantics exactly
+                size = getattr(ops[0], "size", 8)
+                count = emulator.read_operand(ops[1]) & (
+                    0x3F if size == 8 else 0x1F)
+                if count == 0:
+                    if self._operand_expr(emulator, ops[1]) is not None:
+                        # a different assignment may shift by a nonzero
+                        # count, changing flags and destination in ways the
+                        # (skipped) shadow update cannot model
+                        self.repair_exact = False
+                        self.constraints_exact = False
+                    return
             left_expr = self._operand_expr(emulator, ops[0])
             right_expr = self._operand_expr(emulator, ops[1])
             if left_expr is None and right_expr is None:
@@ -456,6 +471,13 @@ class ShadowTracker:
                 return
             left = self._value_or_const(emulator, ops[0], left_expr)
             right = self._value_or_const(emulator, ops[1], right_expr)
+            if m in (Mnemonic.SHL, Mnemonic.SHR, Mnemonic.SAR) \
+                    and right_expr is None:
+                # bake the *width-masked* concrete count into the
+                # expression: its fixed 6-bit shift mask would otherwise
+                # diverge from the machine's width-dependent one for
+                # counts 32-63 on sub-width operands
+                right = ConstExpr(count)
             expression = BinExpr(_ALU_OPERATORS[m], left, right)
             size = getattr(ops[0], "size", 8)
             if self.branch_observer is not None and isinstance(ops[0], Reg) \
@@ -473,6 +495,17 @@ class ShadowTracker:
                 # imul/shifts set carry/overflow the repair recipes do not
                 # model
                 self.flag_repair = None
+                if m is not Mnemonic.IMUL:
+                    if right_expr is not None:
+                        # the expressions' fixed 6-bit count mask models
+                        # neither the width-dependent mask nor a count
+                        # reassigned to (or away from) zero
+                        self.repair_exact = False
+                    if m is Mnemonic.SAR and size < 8 \
+                            and left_expr is not None:
+                        # the expression sign-extends at 64 bits, the
+                        # machine at the operand width
+                        self.repair_exact = False
             self.symbolic_instruction_count += 1
             # symbolic values flowing into the stack pointer are ROP branches:
             # concretize and record the decision (§III-B, S2E-style)

@@ -34,7 +34,11 @@ once-per-trace cost of well under a millisecond.
 Semantics are bit-for-bit those of the closure tier (which in turn mirrors
 single-step dispatch): fused ``ret`` guards, mid-trace self-modification
 checks after every store, and fault repair (``rip`` and ``steps`` exactly as
-single-stepping would have left them) are all emitted inline.  Ops the
+single-stepping would have left them) are all emitted inline.  Native
+coverage spans sized (1/2/4/8-byte) ALU and MOV destinations, shifts of any
+width by immediate or count register (with the width-dependent count mask,
+zero-count flag preservation and the defined 1-bit OF), memory-operand
+``cmp``/``test`` and memory-destination read-modify-write ALU.  Ops the
 codegen does not cover natively run through the emulator's own handler with
 the hoisted state flushed before and reloaded after the call, so coverage
 here is a pure optimization — any recorded trace compiles, though
@@ -52,7 +56,7 @@ from __future__ import annotations
 import struct
 from typing import Dict, List, Optional, Set
 
-from repro.cpu.state import EmulationError, SIZE_MASKS
+from repro.cpu.state import BIT_WIDTHS, EmulationError, SIGN_BITS, SIZE_MASKS
 from repro.cpu.trace import _writes_memory
 from repro.isa.instructions import Mnemonic
 from repro.isa.operands import Imm, Mem, Reg
@@ -170,9 +174,29 @@ class _Codegen:
         self.emit("else:")
         self.emit(f"    {result_var} = _RQ({address_var})")
 
-    def flags_zs(self) -> None:
+    def flags_zs(self, size: int = 8) -> None:
         self.emit("zf = 1 if res == 0 else 0")
-        self.emit(f"sf = 1 if res & {_H_LIT} else 0")
+        sign = _H_LIT if size == 8 else hex(SIGN_BITS[size])
+        self.emit(f"sf = 1 if res & {sign} else 0")
+
+    def reg_value(self, operand: Reg) -> str:
+        """Expression of a register operand's unsigned value at its width."""
+        name = self.reg(operand.reg)
+        if operand.size == 8:
+            return name
+        return f"({name} & {SIZE_MASKS[operand.size]})"
+
+    def write_reg_result(self, operand: Reg, expr: str = "res") -> None:
+        """Store ``expr`` (already masked to the operand width) into a
+        register following the sized-write convention: 8/4-byte writes
+        replace the whole register (4-byte zero-extends), 1/2-byte writes
+        merge into the low bytes."""
+        name = self.reg(operand.reg)
+        if operand.size >= 4:
+            self.emit(f"{name} = {expr}")
+        else:
+            keep = ~SIZE_MASKS[operand.size] & _M
+            self.emit(f"{name} = ({name} & {keep}) | {expr}")
 
     # -- native emitters for straight-line ops ----------------------------------
     def emit_op(self, index: int, step) -> bool:
@@ -186,7 +210,8 @@ class _Codegen:
             if mnemonic in (Mnemonic.ADD, Mnemonic.SUB, Mnemonic.CMP,
                             Mnemonic.AND, Mnemonic.OR, Mnemonic.XOR,
                             Mnemonic.TEST):
-                return self._op_alu(index, step)
+                return (self._op_alu(index, step)
+                        or self._op_alu_mem(index, step))
             if mnemonic in (Mnemonic.ADC, Mnemonic.SBB):
                 return self._op_adc_sbb(index, step)
             if mnemonic is Mnemonic.POP:
@@ -252,13 +277,36 @@ class _Codegen:
             if scls is Imm:
                 self.emit(f"{d} = {src.value & SIZE_MASKS[src.size] & _M32}")
                 return True
-            if scls is Reg and src.size in (4, 8):
-                self.emit(f"{d} = {self.reg(src.reg)} & {_M32}")
+            if scls is Reg:
+                smask = SIZE_MASKS[min(src.size, 4)]
+                self.emit(f"{d} = {self.reg(src.reg)} & {smask:#x}")
                 return True
             if scls is Mem:
                 ea = self.ea(src)
                 self.emit(f"n = {index}")
                 self.emit(f"{d} = _RD({ea}, {src.size}) & {_M32}")
+                return True
+            return False
+        if dcls is Reg and dst.size in (1, 2):
+            # sized writes merge into the register's low bytes
+            mask = SIZE_MASKS[dst.size]
+            keep = ~mask & _M
+            d = self.reg(dst.reg)
+            if scls is Imm:
+                value = src.value & SIZE_MASKS[src.size] & mask
+                self.emit(f"{d} = ({d} & {keep}) | {value}")
+                return True
+            if scls is Reg:
+                smask = SIZE_MASKS[min(src.size, dst.size)]
+                self.emit(f"{d} = ({d} & {keep}) | "
+                          f"({self.reg(src.reg)} & {smask:#x})")
+                return True
+            if scls is Mem:
+                self.emit(f"n = {index}")
+                load = f"_RD({self.ea(src)}, {src.size})"
+                if src.size > dst.size:
+                    load = f"({load}) & {mask:#x}"
+                self.emit(f"{d} = ({d} & {keep}) | ({load})")
                 return True
             return False
         if dcls is Mem:
@@ -309,63 +357,117 @@ class _Codegen:
             self.emit(f"{d} = ({extended}) & {_M32}")
         return True
 
-    def _alu_source(self, src) -> Optional[tuple]:
-        """``(expr, signed_expr)`` of a 64-bit ALU source, or None."""
+    def _op_alu(self, index: int, step) -> bool:
+        """Register destinations of every width (1/2/4/8 bytes) with
+        register or immediate sources — sized flags, masks and the merge
+        write convention all come from the shared ALU core."""
+        dst, src = step.instruction.operands
+        if type(dst) is not Reg:
+            return False
+        size = dst.size
+        rhs = self._alu_rhs(src, size)
+        if rhs is None:
+            return False
+        b, sb = rhs
+        self.emit(f"a = {self.reg_value(dst)}")
+        mnemonic = step.instruction.mnemonic
+        self._emit_alu_core(mnemonic, size, b, sb)
+        if mnemonic not in (Mnemonic.CMP, Mnemonic.TEST):
+            self.write_reg_result(dst)
+        return True
+
+    def _emit_alu_core(self, mnemonic: Mnemonic, size: int, b: str,
+                       sb: str) -> None:
+        """Emit ``res``/``cf``/``of``/``zf``/``sf`` for ``a <op> b`` at
+        ``size`` bytes.  ``a`` must already hold the masked left value;
+        ``b``/``sb`` are the masked unsigned and signed right-hand
+        expressions (constant-folded literals for immediates)."""
+        mlit = _M_LIT if size == 8 else hex(SIZE_MASKS[size])
+        slit = _H_LIT if size == 8 else hex(SIGN_BITS[size])
+        if mnemonic is Mnemonic.ADD:
+            self.emit(f"t = a + {b}")
+            self.emit(f"res = t & {mlit}")
+            self.emit(f"cf = 1 if t > {mlit} else 0")
+            self.emit(f"st = (a - ((a & {slit}) << 1)) + {sb}")
+            self.emit(f"of = 1 if st < -{slit} or st >= {slit} else 0")
+        elif mnemonic in (Mnemonic.SUB, Mnemonic.CMP):
+            self.emit(f"res = (a - {b}) & {mlit}")
+            self.emit(f"cf = 1 if a < {b} else 0")
+            self.emit(f"st = (a - ((a & {slit}) << 1)) - {sb}")
+            self.emit(f"of = 1 if st < -{slit} or st >= {slit} else 0")
+        else:
+            symbol = _ALU_SYMBOL[mnemonic]
+            self.emit(f"res = a {symbol} {b}")
+            self.emit("cf = 0")
+            self.emit("of = 0")
+        self.flags_zs(size)
+
+    def _alu_rhs(self, src, size: int) -> Optional[tuple]:
+        """``(b, sb)`` expressions of a register/immediate ALU source at
+        ``size`` bytes; emits a ``b = ...`` line for register sources."""
         if type(src) is Imm:
-            value = src.value & SIZE_MASKS[src.size]
-            return str(value), str(_signed64(value))
-        if type(src) is Reg and src.size == 8:
-            s = self.reg(src.reg)
-            return s, f"({s} - (({s} & {_H_LIT}) << 1))"
+            value = src.value & SIZE_MASKS[src.size] & SIZE_MASKS[size]
+            return str(value), str(value - ((value & SIGN_BITS[size]) << 1))
+        if type(src) is Reg:
+            smask = SIZE_MASKS[min(src.size, size)]
+            source = self.reg(src.reg)
+            if smask == SIZE_MASKS[8]:
+                self.emit(f"b = {source}")
+            else:
+                self.emit(f"b = {source} & {smask:#x}")
+            slit = _H_LIT if size == 8 else hex(SIGN_BITS[size])
+            return "b", f"(b - ((b & {slit}) << 1))"
         return None
 
-    def _op_alu(self, index: int, step) -> bool:
+    def _op_alu_mem(self, index: int, step) -> bool:
+        """Memory-operand ALU: ``cmp``/``test`` with a memory operand on
+        either side, memory-source ALU into a register, and memory-
+        destination ADD/SUB/AND/OR/XOR read-modify-writes (with the
+        mid-trace SMC check after the store, like every other fused
+        memory-writing op)."""
         dst, src = step.instruction.operands
-        if type(dst) is not Reg or dst.size != 8:
-            return False
-        source = self._alu_source(src)
-        if source is None:
-            return False
-        b, sb = source
-        d = self.reg(dst.reg)
         mnemonic = step.instruction.mnemonic
-        if mnemonic is Mnemonic.ADD:
-            self.emit(f"a = {d}")
-            self.emit(f"t = a + {b}")
-            self.emit(f"res = t & {_M_LIT}")
-            self.emit(f"{d} = res")
-            self.emit(f"cf = 1 if t > {_M_LIT} else 0")
-            self.emit(f"st = (a - ((a & {_H_LIT}) << 1)) + {sb}")
-            self.emit(f"of = 1 if st < -{_H_LIT} or st >= {_H_LIT} else 0")
-            self.flags_zs()
+        dcls, scls = type(dst), type(src)
+        if dcls is Reg and scls is Mem:
+            size = dst.size
+            slit = _H_LIT if size == 8 else hex(SIGN_BITS[size])
+            self.emit(f"n = {index}")
+            load = (f"_RQ({self.ea(src)})" if src.size == 8
+                    else f"_RD({self.ea(src)}, {src.size})")
+            if src.size > size:
+                load = f"({load}) & {SIZE_MASKS[size]:#x}"
+            self.emit(f"b = {load}")
+            self.emit(f"a = {self.reg_value(dst)}")
+            self._emit_alu_core(mnemonic, size, "b",
+                                f"(b - ((b & {slit}) << 1))")
+            if mnemonic not in (Mnemonic.CMP, Mnemonic.TEST):
+                self.write_reg_result(dst)
             return True
-        if mnemonic in (Mnemonic.SUB, Mnemonic.CMP):
-            self.emit(f"a = {d}")
-            self.emit(f"res = (a - {b}) & {_M_LIT}")
-            if mnemonic is Mnemonic.SUB:
-                self.emit(f"{d} = res")
-            self.emit(f"cf = 1 if a < {b} else 0")
-            self.emit(f"st = (a - ((a & {_H_LIT}) << 1)) - {sb}")
-            self.emit(f"of = 1 if st < -{_H_LIT} or st >= {_H_LIT} else 0")
-            self.flags_zs()
-            return True
-        symbol = _ALU_SYMBOL[mnemonic]
-        self.emit(f"res = {d} {symbol} {b}")
-        if mnemonic is not Mnemonic.TEST:
-            self.emit(f"{d} = res")
-        self.emit("cf = 0")
-        self.emit("of = 0")
-        self.flags_zs()
+        if dcls is not Mem:
+            return False
+        size = dst.size
+        rhs = self._alu_rhs(src, size)
+        if rhs is None:
+            return False
+        b, sb = rhs
+        self.emit(f"p = {self.ea(dst)}")
+        self.emit(f"n = {index}")
+        self.emit("a = _RQ(p)" if size == 8 else f"a = _RD(p, {size})")
+        self._emit_alu_core(mnemonic, size, b, sb)
+        if mnemonic not in (Mnemonic.CMP, Mnemonic.TEST):
+            self.emit("_WQ(p, res)" if size == 8
+                      else f"_WR(p, res, {size})")
+            self.gen_check(index, step.post)
         return True
 
     def _op_adc_sbb(self, index: int, step) -> bool:
         dst, src = step.instruction.operands
         if type(dst) is not Reg or dst.size != 8:
             return False
-        source = self._alu_source(src)
-        if source is None:
+        rhs = self._alu_rhs(src, 8)
+        if rhs is None:
             return False
-        b, sb = source
+        b, sb = rhs
         d = self.reg(dst.reg)
         self.emit(f"a = {d}")
         self.emit("c = cf")  # carry-in, read before cf is overwritten
@@ -460,27 +562,88 @@ class _Codegen:
         return True
 
     def _op_shift(self, index: int, step) -> bool:
+        """Shifts with register destinations of every width, by immediate or
+        by a count register (the ``shl reg, cl`` shape ROP chains lean on).
+
+        x86 semantics emitted inline: the count is masked by the operand
+        width (6 bits for 64-bit operands, 5 otherwise), a masked count of
+        zero touches neither flags nor destination, and OF is defined for
+        1-bit shifts only (SHL: CF ^ MSB(result); SHR: MSB(original);
+        SAR: 0) with wider counts pinned at 0 in every tier.
+        """
         dst, src = step.instruction.operands
-        if type(dst) is not Reg or dst.size != 8 or type(src) is not Imm:
+        if type(dst) is not Reg:
             return False
-        amount = (src.value & SIZE_MASKS[src.size]) & 0x3F
-        d = self.reg(dst.reg)
+        size = dst.size
+        bits = BIT_WIDTHS[size]
+        mask = SIZE_MASKS[size]
+        sign = SIGN_BITS[size]
+        wmask = 0x3F if size == 8 else 0x1F
         mnemonic = step.instruction.mnemonic
-        self.emit(f"v = {d}")
+        scls = type(src)
+        if scls is Imm:
+            amount = (src.value & SIZE_MASKS[src.size]) & wmask
+            if amount == 0:
+                # masked zero count: the whole instruction folds away
+                return True
+            self.emit(f"v = {self.reg_value(dst)}")
+            one = amount == 1
+            if mnemonic is Mnemonic.SHL:
+                if amount <= bits:
+                    self.emit(f"res = (v << {amount}) & {mask:#x}")
+                    self.emit(f"cf = (v >> {bits - amount}) & 1")
+                else:  # every bit (and the last carry) shifted out
+                    self.emit("res = 0")
+                    self.emit("cf = 0")
+                self.emit(f"of = cf ^ (res >> {bits - 1})" if one else "of = 0")
+            elif mnemonic is Mnemonic.SHR:
+                self.emit(f"res = v >> {amount}")
+                self.emit(f"cf = (v >> {amount - 1}) & 1")
+                self.emit(f"of = v >> {bits - 1}" if one else "of = 0")
+            else:  # SAR: shift the signed value (sign bits fill from above)
+                self.emit(f"s = v - ((v & {sign:#x}) << 1)")
+                self.emit(f"res = (s >> {amount}) & {mask:#x}")
+                self.emit(f"cf = (s >> {amount - 1}) & 1")
+                self.emit("of = 0")
+            self.flags_zs(size)
+            self.write_reg_result(dst)
+            return True
+        if scls is not Reg:
+            return False
+        # dynamic count: read the count register first (it may also be the
+        # destination), then guard the whole update on a nonzero count
+        self.emit(f"c = {self.reg(src.reg)} & {wmask}")
+        self.emit("if c:")
+        self.emit(f"    v = {self.reg_value(dst)}")
         if mnemonic is Mnemonic.SHL:
-            self.emit(f"res = (v << {amount}) & {_M_LIT}")
-            carry = f"(v >> {64 - amount}) & 1" if amount else "0"
+            if wmask >= bits:  # 1/2-byte operands: counts can exceed width
+                self.emit(f"    if c <= {bits}:")
+                self.emit(f"        res = (v << c) & {mask:#x}")
+                self.emit(f"        cf = (v >> ({bits} - c)) & 1")
+                self.emit("    else:")
+                self.emit("        res = 0")
+                self.emit("        cf = 0")
+            else:
+                self.emit(f"    res = (v << c) & {mask:#x}")
+                self.emit(f"    cf = (v >> ({bits} - c)) & 1")
+            self.emit(f"    of = cf ^ (res >> {bits - 1}) if c == 1 else 0")
         elif mnemonic is Mnemonic.SHR:
-            self.emit(f"res = v >> {amount}")
-            carry = f"(v >> {amount - 1}) & 1" if amount else "0"
-        else:  # SAR: arithmetic shift of the signed value, re-masked
-            self.emit(f"res = ((v - ((v & {_H_LIT}) << 1)) >> {amount})"
-                      f" & {_M_LIT}")
-            carry = f"(v >> {amount - 1}) & 1" if amount else "0"
-        self.emit(f"{d} = res")
-        self.emit(f"cf = {carry}")
-        self.emit("of = 0")
-        self.flags_zs()
+            self.emit("    res = v >> c")
+            self.emit("    cf = (v >> (c - 1)) & 1")
+            self.emit(f"    of = v >> {bits - 1} if c == 1 else 0")
+        else:
+            self.emit(f"    s = v - ((v & {sign:#x}) << 1)")
+            self.emit(f"    res = (s >> c) & {mask:#x}")
+            self.emit("    cf = (s >> (c - 1)) & 1")
+            self.emit("    of = 0")
+        self.emit("    zf = 1 if res == 0 else 0")
+        self.emit(f"    sf = 1 if res & {sign:#x} else 0")
+        name = self.reg(dst.reg)
+        if size >= 4:
+            self.emit(f"    {name} = res")
+        else:
+            keep = ~mask & _M
+            self.emit(f"    {name} = ({name} & {keep}) | res")
         return True
 
     def _op_imul(self, index: int, step) -> bool:
@@ -752,6 +915,9 @@ def compile_trace(emulator, trace) -> Optional[object]:
         exec(code, namespace)
     except SyntaxError:  # codegen bug: fall back to the closure tier
         return None
+    stats = emulator.jit_stats
+    stats.native_steps += generator.native_steps
+    stats.generic_steps += generator.generic_steps
     function = namespace["_trace"]
     function.__source__ = source  # debugging: dump what actually runs
     return function

@@ -133,20 +133,12 @@ class CpuState:
     def flags_tuple(self) -> tuple:
         """The four condition flags as a ``(cf, zf, sf, of)`` tuple.
 
-        Stable low-level accessor for consumers that hoist the flags into
-        local variables — the exec-compiled trace tier
-        (:mod:`repro.cpu.codegen`) loads flags through this once per trace
-        execution instead of four attribute reads per flag-writing op.
+        A stable snapshot accessor for differential tests and other
+        consumers that compare whole flag states at once.  (The
+        exec-compiled trace tier hoists flags through the plain
+        ``cf``/``zf``/``sf``/``of`` attributes directly.)
         """
         return (self.cf, self.zf, self.sf, self.of)
-
-    def set_flags(self, cf: int, zf: int, sf: int, of: int) -> None:
-        """Store all four condition flags at once (the writeback half of
-        :meth:`flags_tuple`)."""
-        self.cf = cf
-        self.zf = zf
-        self.sf = sf
-        self.of = of
 
     def read_flag(self, flag: Flag) -> int:
         """Read a condition flag (0 or 1)."""

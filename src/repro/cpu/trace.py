@@ -55,6 +55,13 @@ _H = 1 << 63
 #: loop's ``steps + length <= limit`` pre-check rarely forces single-step.
 TRACE_CAP = 64
 
+#: Upper bound on fused instructions per *superblock* (a tail-to-head link
+#: of hot compiled traces, see :func:`compose_traces`).  Superblocks grow by
+#: appending further traces, so this caps the effective fused length well
+#: past :data:`TRACE_CAP` without letting the run loop's budget pre-check
+#: (``steps + length <= limit``) fragment long runs near the cap.
+SUPERBLOCK_CAP = 512
+
 _RSP = Register.RSP
 
 #: Shared closure for instructions that vanish entirely when fused
@@ -128,11 +135,28 @@ class Trace:
             the source tier, else None.
         compile_failed: True once source compilation was attempted and
             declined, so the closure tier stops retrying.
+        parts: constituent :class:`Trace` objects when this trace is a
+            superblock (tail-to-head link via :func:`compose_traces`); empty
+            for ordinary traces, so truthiness doubles as an is-superblock
+            test.
+        sb_watch: True while the emulator is tracking this compiled trace's
+            exits for superblock link opportunities.
+        sb_counts: per-exit-address transition counters while watched.
+        sb_tail: True when the trace's exit shape is linkable (anything but
+            a halt); captured at promotion time, before the step records are
+            freed, and immutable thereafter (``sb_watch`` is the mutable
+            "still being tracked" state).
+        sb_stale: superblocks only — set by the dispatcher when a seam
+            guard failed on its *generation* check (a constituent's code
+            region was rewritten).  Such a seam can never pass again, so
+            the run loop demotes the composite back to its head
+            constituent on the next dispatch.
     """
 
     __slots__ = ("entry", "ops", "posts", "length", "region", "generation",
                  "final_rip", "steps", "stack_region", "runs", "compiled",
-                 "compile_failed")
+                 "compile_failed", "parts", "sb_watch", "sb_counts",
+                 "sb_tail", "sb_stale")
 
     def __init__(self, entry: int, ops: List[Callable[[], bool]],
                  posts: List[int], region, generation: int,
@@ -150,6 +174,11 @@ class Trace:
         self.runs = 0
         self.compiled = None
         self.compile_failed = False
+        self.parts: tuple = ()
+        self.sb_watch = False
+        self.sb_counts: Optional[dict] = None
+        self.sb_tail = False
+        self.sb_stale = False
 
 
 # -- effective address helpers -------------------------------------------------
@@ -429,27 +458,42 @@ def _fuse_shift(instruction: Instruction, state, regs):
     dst, src = instruction.operands
     if type(dst) is not Reg or dst.size != 8 or type(src) is not Imm:
         return None
-    if instruction.mnemonic not in (Mnemonic.SHL, Mnemonic.SHR):
-        return None
+    mnemonic = instruction.mnemonic
     d = dst.reg
     amount = _imm_value(src) & 0x3F
-    left = instruction.mnemonic is Mnemonic.SHL
-    if left:
+    if amount == 0:
+        # x86: a masked count of zero modifies neither flags nor the
+        # destination — the whole instruction folds away
+        return _NOOP
+    one = amount == 1  # OF is defined only for 1-bit shifts
+    if mnemonic is Mnemonic.SHL:
         def op():
             value = regs[d]
             result = (value << amount) & _M
             regs[d] = result
-            state.cf = (value >> (64 - amount)) & 1 if amount else 0
-            state.of = 0
+            carry = (value >> (64 - amount)) & 1
+            state.cf = carry
+            state.of = carry ^ (result >> 63) if one else 0
             state.zf = 1 if result == 0 else 0
             state.sf = 1 if result & _H else 0
             return True
-    else:
+    elif mnemonic is Mnemonic.SHR:
         def op():
             value = regs[d]
             result = value >> amount
             regs[d] = result
-            state.cf = (value >> (amount - 1)) & 1 if amount else 0
+            state.cf = (value >> (amount - 1)) & 1
+            state.of = value >> 63 if one else 0
+            state.zf = 1 if result == 0 else 0
+            state.sf = 1 if result & _H else 0
+            return True
+    else:  # SAR: arithmetic shift of the signed value; OF always 0
+        def op():
+            value = regs[d]
+            signed = value - ((value & _H) << 1)
+            result = (signed >> amount) & _M
+            regs[d] = result
+            state.cf = (signed >> (amount - 1)) & 1
             state.of = 0
             state.zf = 1 if result == 0 else 0
             state.sf = 1 if result & _H else 0
@@ -737,7 +781,7 @@ def _specialize(instruction: Instruction, state, regs, memory, region,
             return _fuse_lea(instruction, state, regs)
         if mnemonic in (Mnemonic.INC, Mnemonic.DEC):
             return _fuse_incdec(instruction, state, regs)
-        if mnemonic in (Mnemonic.SHL, Mnemonic.SHR):
+        if mnemonic in (Mnemonic.SHL, Mnemonic.SHR, Mnemonic.SAR):
             return _fuse_shift(instruction, state, regs)
         if mnemonic is Mnemonic.CMOV:
             return _fuse_cmov(instruction, state, regs)
@@ -944,3 +988,61 @@ def build_trace(emulator, entry: int, cap: int = TRACE_CAP) -> Optional[Trace]:
     emulator.jit_stats.traces_built += 1
     return Trace(entry, ops, posts, region, generation, final_rip,
                  steps=steps, stack_region=stack_region)
+
+
+def compose_traces(emulator, parts: List[Trace]) -> Trace:
+    """Link compiled traces tail-to-head into one superblock.
+
+    The common ROP-chain shape: a compiled trace's exit (a popped ``ret``
+    target, an immediate branch, or the fall-through of a trace capped at
+    :data:`TRACE_CAP`) keeps landing on another hot compiled trace's entry.
+    The superblock dispatches the constituent compiled functions in
+    sequence without returning to the run loop: after each constituent, a
+    *seam guard* re-checks exactly what the run loop would have checked —
+    that execution actually continued at the next constituent's entry, that
+    the emulator has not halted, and that the next constituent's code
+    region still carries its build-time write generation.  A failing guard
+    simply returns with the architectural state the constituents left, and
+    the run loop carries on from the real ``rip``; no seam is ever
+    speculative.
+
+    Because every seam keys on its *own* constituent's ``(region,
+    generation)`` pair, constituents may span different code regions and
+    SMC invalidation stays exactly as precise as it is for the constituent
+    traces: rewriting any constituent's code makes precisely the seams (and
+    run-loop dispatches) that depend on it fall back.  The composite itself
+    advertises the first constituent's region/generation, which is what the
+    run loop checks before dispatching it.
+
+    ``parts`` already being superblocks is fine — their constituents are
+    flattened, so growth by appending stays one level deep.
+    """
+    flat: List[Trace] = []
+    for part in parts:
+        flat.extend(part.parts or (part,))
+    first = flat[0]
+    state = emulator.state
+    head = first.compiled
+    seams = tuple((part.entry, part.generation, part.region, part.compiled)
+                  for part in flat[1:])
+
+    def run() -> None:
+        head()
+        for entry, generation, region, fn in seams:
+            if state.rip != entry or emulator.halted:
+                return
+            if region.generation != generation:
+                # this seam can never pass again: tell the run loop to
+                # demote the composite back to its head constituent
+                composite.sb_stale = True
+                return
+            fn()
+
+    composite = Trace(first.entry, [], [], first.region, first.generation,
+                      None, stack_region=first.stack_region)
+    composite.length = sum(part.length for part in flat)
+    composite.parts = tuple(flat)
+    composite.compiled = run
+    composite.sb_tail = flat[-1].sb_tail
+    composite.sb_watch = composite.sb_tail
+    return composite

@@ -120,10 +120,16 @@ def _mem(draw, size):
                disp=offset, size=size)
 
 
+#: Shift counts around the width-mask edges (0/1/31/32/33/63/64 exercise the
+#: zero-count flag-preservation, the defined 1-bit OF, and both mask widths).
+_shift_count = st.one_of(st.sampled_from((0, 1, 31, 32, 33, 63, 64)),
+                         st.integers(0, 63))
+
+
 @st.composite
 def _unit(draw):
     """One generated instruction (or a short dependent group)."""
-    kind = draw(st.integers(0, 16))
+    kind = draw(st.integers(0, 19))
     if kind == 0:  # mov/movzx/movsx in mixed widths
         mnemonic = draw(st.sampled_from(("mov", "movzx", "movsx")))
         dst = Reg(draw(_reg), draw(st.sampled_from((8, 8, 8, 4))))
@@ -152,10 +158,13 @@ def _unit(draw):
         if draw(st.booleans()):
             return [make(name, dst, Reg(draw(_reg)))]
         return [make(name, dst, Imm(draw(_imm64), 8))]
-    if kind == 4:  # sized ALU (generic-handler path in the codegen)
+    if kind == 4:  # sized ALU (native sized emitters in the codegen)
         name = draw(st.sampled_from(("add", "sub", "cmp", "and", "or", "xor")))
         width = draw(st.sampled_from((4, 2, 1)))
-        return [make(name, Reg(draw(_reg), width), Reg(draw(_reg), width))]
+        dst = Reg(draw(_reg), width)
+        if draw(st.booleans()):
+            return [make(name, dst, Reg(draw(_reg), width))]
+        return [make(name, dst, Imm(draw(_imm64), 8))]
     if kind == 5:  # carry chains
         return [make("add", Reg(draw(_reg)), Imm(draw(_imm64), 8)),
                 make(draw(st.sampled_from(("adc", "sbb"))),
@@ -163,9 +172,10 @@ def _unit(draw):
     if kind == 6:
         return [make(draw(st.sampled_from(("inc", "dec", "neg", "not"))),
                      Reg(draw(_reg)))]
-    if kind == 7:  # shifts by immediate
+    if kind == 7:  # shifts by immediate, any destination width
         name = draw(st.sampled_from(("shl", "shr", "sar")))
-        return [make(name, Reg(draw(_reg)), Imm(draw(st.integers(0, 63)), 8))]
+        width = draw(st.sampled_from((8, 8, 4, 2, 1)))
+        return [make(name, Reg(draw(_reg), width), Imm(draw(_shift_count), 8))]
     if kind == 8:
         source = (Reg(draw(_reg)) if draw(st.booleans())
                   else Imm(draw(_imm8), 8))
@@ -190,6 +200,31 @@ def _unit(draw):
         return [make("cqo")]
     if kind == 15:  # load through a register-based address
         return [make("mov", Reg(draw(_reg)), draw(_mem(8)))]
+    if kind == 16:  # shift by CL (dynamic count), any destination width
+        name = draw(st.sampled_from(("shl", "shr", "sar")))
+        width = draw(st.sampled_from((8, 4, 2, 1)))
+        unit = []
+        if draw(st.booleans()):  # pin the count to a width-mask edge
+            unit.append(make("mov", Reg(Register.RCX, 1),
+                             Imm(draw(_shift_count), 8)))
+        unit.append(make(name, Reg(draw(_reg), width),
+                         Reg(Register.RCX, 1)))
+        return unit
+    if kind == 17:  # cmp/test with a memory operand on either side
+        width = draw(st.sampled_from((8, 4, 2, 1)))
+        memory = draw(_mem(width))
+        name = draw(st.sampled_from(("cmp", "test")))
+        if draw(st.booleans()):
+            source = (Reg(draw(_reg), width) if draw(st.booleans())
+                      else Imm(draw(_imm8), 8))
+            return [make(name, memory, source)]
+        return [make(name, Reg(draw(_reg), width), memory)]
+    if kind == 18:  # memory-destination read-modify-write ALU
+        name = draw(st.sampled_from(("add", "sub", "and", "or", "xor")))
+        width = draw(st.sampled_from((8, 4, 2, 1)))
+        source = (Reg(draw(_reg), width) if draw(st.booleans())
+                  else Imm(draw(_imm8), 8))
+        return [make(name, draw(_mem(width)), source)]
     # forward conditional branch over the rest of the body
     return [make(f"j{draw(_cc)}", Label("end"))]
 
@@ -413,6 +448,118 @@ def test_compiled_fault_repair_matches_single_step():
     ]
     seeds = [(Register.RSI, 0x123456789)]
     assert_tiers_agree(body, seeds)
+
+
+def _single_step_flags(body, seeds=()):
+    """Registers and flags after a single-step (reference semantics) run."""
+    program = build_program(body)
+    emulator = Emulator(program.memory, trace_cache=False)
+    start_call(emulator, program, seeds)
+    emulator.run()
+    return dict(emulator.state.regs), emulator.state.flags_tuple()
+
+
+#: cmp rax, rbx with rax=1 < rbx=2 yields this reference flag state
+#: (cf=1 borrow, zf=0, sf=1 negative result, of=0).
+_CMP_FLAGS = (1, 0, 1, 0)
+_CMP_SEED = [(Register.RAX, 1), (Register.RBX, 2)]
+_CMP = make("cmp", Reg(Register.RAX), Reg(Register.RBX))
+
+
+@pytest.mark.parametrize("name", ["shl", "shr", "sar"])
+@pytest.mark.parametrize("count", [
+    # (destination width, count operand) pairs whose masked count is zero
+    (8, Imm(0, 8)), (8, Imm(64, 8)), (8, Imm(128, 8)),
+    (4, Imm(32, 8)), (2, Imm(64, 8)), (1, Imm(96, 8)),
+])
+def test_zero_count_shifts_leave_flags_and_destination(name, count):
+    """x86: a masked shift count of 0 modifies neither flags nor the
+    destination — in every tier."""
+    width, operand = count
+    body = [_CMP, make(name, Reg(Register.RDX, width), operand), make("ret")]
+    seeds = _CMP_SEED + [(Register.RDX, 0xDEAD_BEEF_CAFE_F00D)]
+    regs, flags = _single_step_flags(body, seeds)
+    assert flags == _CMP_FLAGS
+    assert regs[Register.RDX] == 0xDEAD_BEEF_CAFE_F00D
+    assert_tiers_agree(body, seeds)
+
+
+@pytest.mark.parametrize("name,cl", [
+    ("shl", 0), ("shr", 64), ("sar", 0),   # masked to zero via CL
+    ("shl", 32), ("shr", 32),              # 32-bit width mask edge
+])
+def test_zero_count_shift_by_cl_leaves_flags(name, cl):
+    width = 4 if cl == 32 else 8
+    body = [_CMP, make(name, Reg(Register.RDX, width), Reg(Register.RCX, 1)),
+            make("ret")]
+    seeds = _CMP_SEED + [(Register.RCX, cl), (Register.RDX, 0x1234_5678)]
+    _, flags = _single_step_flags(body, seeds)
+    assert flags == _CMP_FLAGS
+    assert_tiers_agree(body, seeds)
+
+
+@pytest.mark.parametrize("name,value,expected", [
+    # count-1 OF: SHL -> CF ^ MSB(result), SHR -> MSB(original), SAR -> 0
+    ("shl", 0x4000_0000_0000_0000, (0, 0, 1, 1)),  # cf=0, msb(res)=1 -> of=1
+    ("shl", 0xC000_0000_0000_0000, (1, 0, 1, 0)),  # cf=1, msb(res)=1 -> of=0
+    ("shl", 0x8000_0000_0000_0000, (1, 1, 0, 1)),  # cf=1, res=0 -> of=1
+    ("shr", 0x8000_0000_0000_0001, (1, 0, 0, 1)),  # of = msb(original) = 1
+    ("shr", 0x0000_0000_0000_0003, (1, 0, 0, 0)),  # of = msb(original) = 0
+    ("sar", 0x8000_0000_0000_0000, (0, 0, 1, 0)),  # sign preserved, of = 0
+])
+def test_count_one_shift_overflow_flag(name, value, expected):
+    body = [make(name, Reg(Register.RDX), Imm(1, 8)), make("ret")]
+    seeds = [(Register.RDX, value)]
+    _, flags = _single_step_flags(body, seeds)
+    assert flags == expected
+    assert_tiers_agree(body, seeds)
+    # the dynamic-count emitters must agree with the immediate ones
+    cl_body = [make(name, Reg(Register.RDX), Reg(Register.RCX, 1)),
+               make("ret")]
+    cl_seeds = seeds + [(Register.RCX, 1)]
+    _, cl_flags = _single_step_flags(cl_body, cl_seeds)
+    assert cl_flags == expected
+    assert_tiers_agree(cl_body, cl_seeds)
+
+
+def test_wide_count_shifts_keep_overflow_clear():
+    """Counts past 1 pin OF at 0 (this emulator's convention) in all tiers."""
+    body = [make("shl", Reg(Register.RDX), Imm(3)),
+            make("shr", Reg(Register.RSI), Imm(7)),
+            make("sar", Reg(Register.RDI), Imm(2)),
+            make("ret")]
+    seeds = [(Register.RDX, 0x7FFF_FFFF_FFFF_FFFF),
+             (Register.RSI, 0xFFFF_FFFF_0000_0000),
+             (Register.RDI, 0x8000_0000_0000_0000)]
+    _, flags = _single_step_flags(body, seeds)
+    assert flags[3] == 0
+    assert_tiers_agree(body, seeds)
+
+
+def test_sized_and_mem_alu_native_coverage_counted():
+    """The widened emitters compile without generic-handler round-trips."""
+    body = [
+        make("add", Reg(Register.RAX, 4), Reg(Register.RCX, 4)),
+        make("sub", Reg(Register.RBX, 2), Imm(7)),
+        make("and", Reg(Register.RSI, 1), Imm(0x5A)),
+        make("shl", Reg(Register.RDI), Reg(Register.RCX, 1)),
+        make("cmp", Mem(disp=_BLOB, size=8), Reg(Register.RAX)),
+        make("test", Reg(Register.RDX, 2), Mem(disp=_BLOB + 8, size=2)),
+        make("xor", Mem(disp=_BLOB + 16, size=4), Reg(Register.RDX, 4)),
+        make("mov", Reg(Register.R8, 1), Reg(Register.RAX, 1)),
+        make("ret"),
+    ]
+    program = build_program(body)
+    emulator = Emulator(program.memory, trace_cache=True, trace_compile=True)
+    emulator.trace_compile_threshold = 0
+    for _ in range(4):
+        start_call(emulator, program, [(Register.RCX, 3)])
+        emulator.run()
+    stats = emulator.jit_stats
+    assert stats.traces_compiled > 0
+    assert stats.generic_steps == 0, "every shape should have a native emitter"
+    assert stats.native_steps > 0
+    assert stats.native_coverage == 1.0
 
 
 def test_generic_fallback_ops_agree_across_tiers():

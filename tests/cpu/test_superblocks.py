@@ -1,0 +1,268 @@
+"""Cross-trace superblock tests.
+
+Superblocks link hot compiled traces tail-to-head (through guarded rets,
+immediate branches, and the fall-through of traces capped at ``TRACE_CAP``)
+into one dispatch unit whose seams re-check exactly what the run loop would
+have checked, letting the effective fused length grow past ``TRACE_CAP``.
+These tests assert the linking actually engages on chain shapes, that every
+differential outcome (registers, flags, steps, memory) matches single-step
+and superblock-off execution, and that the per-constituent generation keys
+invalidate superblocks exactly like ordinary traces under self-modifying
+code and rewritten ret chains.
+"""
+
+import pytest
+
+from repro.binary import BinaryImage, load_image
+from repro.cpu import Emulator
+from repro.cpu.host import EXIT_ADDRESS
+from repro.cpu.state import EmulationError
+from repro.cpu.trace import TRACE_CAP
+from repro.isa import Imm, Reg, assemble
+from repro.isa.instructions import make
+from repro.isa.operands import Label
+from repro.isa.registers import Register
+
+
+def _chain_program(gadget_count=40):
+    """A gadget pool whose full chain is well past ``TRACE_CAP``."""
+    image = BinaryImage()
+    gadgets = []
+    for index in range(gadget_count):
+        code, _ = assemble([make("add", Reg(Register.RAX), Imm(index + 1)),
+                            make("xor", Reg(Register.RAX), Imm(index)),
+                            make("ret")], base_address=image.text.end)
+        gadgets.append(image.text.append(code))
+    return load_image(image), gadgets
+
+
+def _run_chain(emulator, program, chain, rax=7):
+    emulator.halted = False
+    rsp = program.stack_top - 0x1000
+    for offset, value in enumerate(chain):
+        emulator.memory.write_int(rsp + 8 * offset, value, 8)
+    emulator.state.write_reg(Register.RSP, rsp + 8)
+    emulator.state.write_reg(Register.RAX, rax)
+    emulator.state.rip = chain[0]
+    emulator.run()
+    return (emulator.state.read_reg(Register.RAX),
+            emulator.state.flags_tuple(), emulator.steps)
+
+
+def _emulator(program, **kwargs):
+    emulator = Emulator(program.memory, **kwargs)
+    emulator.trace_compile_threshold = 0
+    return emulator
+
+
+_MODES = {
+    "single": dict(trace_cache=False),
+    "sb_off": dict(trace_cache=True, trace_compile=True,
+                   trace_superblock=False),
+    "sb_on": dict(trace_cache=True, trace_compile=True,
+                  trace_superblock=True),
+}
+
+
+def test_superblocks_fuse_past_trace_cap_and_agree():
+    program, gadgets = _chain_program()
+    chain = gadgets + [EXIT_ADDRESS]
+    assert len(gadgets) * 3 > TRACE_CAP
+    outcomes = {}
+    for mode, kwargs in _MODES.items():
+        fresh = load_image(program.image)
+        emulator = _emulator(fresh, **kwargs)
+        outcomes[mode] = [_run_chain(emulator, fresh, chain)
+                         for _ in range(25)]
+        if mode == "sb_on":
+            stats = emulator.jit_stats
+            assert stats.superblocks_built > 0
+            assert stats.superblock_runs > 0
+            assert any(trace.parts and trace.length > TRACE_CAP
+                       for trace in emulator._trace_cache.values())
+        if mode == "sb_off":
+            assert emulator.jit_stats.superblocks_built == 0
+            assert emulator.jit_stats.superblock_runs == 0
+    assert outcomes["single"] == outcomes["sb_off"]
+    assert outcomes["single"] == outcomes["sb_on"]
+
+
+def test_superblock_ret_guard_follows_rewritten_chain():
+    """A rewritten chain slot must divert out of a fused superblock."""
+    program, gadgets = _chain_program()
+    emulator = _emulator(program, trace_cache=True, trace_compile=True,
+                         trace_superblock=True)
+    chain = gadgets + [EXIT_ADDRESS]
+    reference = None
+    for _ in range(25):
+        reference = _run_chain(emulator, program, chain)
+    assert emulator.jit_stats.superblocks_built > 0
+
+    # divert the chain at a slot in the middle of the fused region: drop
+    # every gadget past the first five
+    short_chain = gadgets[:5] + [EXIT_ADDRESS]
+    single = _emulator(load_image(program.image), trace_cache=False)
+    expected = _run_chain(single, program, short_chain)
+    actual = _run_chain(emulator, program, short_chain)
+    assert actual[:2] == expected[:2]
+    assert actual[0] != reference[0]
+
+
+def test_superblock_invalidated_by_self_modification():
+    """Patching a gadget under a fused superblock takes effect at once."""
+    program, gadgets = _chain_program(gadget_count=30)
+    emulator = _emulator(program, trace_cache=True, trace_compile=True,
+                         trace_superblock=True)
+    chain = gadgets + [EXIT_ADDRESS]
+    for _ in range(25):
+        baseline = _run_chain(emulator, program, chain)
+    assert emulator.jit_stats.superblocks_built > 0
+
+    # rewrite gadget 10's add immediate (add rax, 11 -> add rax, 100)
+    patched, _ = assemble([make("add", Reg(Register.RAX), Imm(100)),
+                           make("xor", Reg(Register.RAX), Imm(10)),
+                           make("ret")], base_address=gadgets[10])
+    program.memory.write(gadgets[10], patched)
+
+    single = _emulator(load_image(program.image), trace_cache=False)
+    single.memory.write(gadgets[10], patched)
+    expected = _run_chain(single, program, chain)
+    for _ in range(3):
+        actual = _run_chain(emulator, program, chain)
+        assert actual[:2] == expected[:2]
+    assert actual[:2] != baseline[:2]
+
+
+def test_superblock_demotes_when_interior_seam_goes_stale():
+    """Rewriting one constituent's (separate) region must not wedge the
+    composite into head-only dispatch: it demotes, then re-links the
+    rebuilt chain."""
+    image = BinaryImage()
+    g1, _ = assemble([make("add", Reg(Register.RAX), Imm(1)), make("ret")],
+                     base_address=image.text.address)
+    a1 = image.text.append(g1)
+    # the second gadget lives in the DATA region, so rewriting it bumps
+    # only that region's generation: the composite head's region stays
+    # fresh and the run loop keeps dispatching the (degraded) composite
+    g2, _ = assemble([make("add", Reg(Register.RAX), Imm(2)), make("ret")],
+                     base_address=image.data.address)
+    a2 = image.data.append(g2)
+    program = load_image(image)
+    emulator = _emulator(program, trace_cache=True, trace_compile=True,
+                         trace_superblock=True)
+    chain = [a1, a2, EXIT_ADDRESS]
+    for _ in range(25):
+        assert _run_chain(emulator, program, chain, rax=0)[0] == 3
+    built_before = emulator.jit_stats.superblocks_built
+    assert built_before > 0
+    assert emulator._trace_cache[a1].parts, "chain should have linked"
+
+    patched, _ = assemble([make("add", Reg(Register.RAX), Imm(50)),
+                           make("ret")], base_address=a2)
+    program.memory.write(a2, patched)
+    for _ in range(30):
+        assert _run_chain(emulator, program, chain, rax=0)[0] == 51
+    # the stale composite was demoted and the live chain re-linked: no
+    # cached superblock may carry a stale constituent
+    after = emulator._trace_cache[a1]
+    if after.parts:
+        assert emulator.jit_stats.superblocks_built > built_before
+        assert all(part.generation == part.region.generation
+                   for part in after.parts)
+
+
+def test_superblock_budget_stays_exact():
+    program, gadgets = _chain_program()
+    chain = gadgets + [EXIT_ADDRESS]
+    emulator = _emulator(program, max_steps=10_000, trace_cache=True,
+                         trace_compile=True, trace_superblock=True)
+    for _ in range(25):
+        _run_chain(emulator, program, chain)
+    assert emulator.jit_stats.superblocks_built > 0
+    # a budget landing mid-superblock must stop at exactly that step
+    steps_before = emulator.steps
+    emulator.halted = False
+    rsp = program.stack_top - 0x1000
+    for offset, value in enumerate(chain):
+        emulator.memory.write_int(rsp + 8 * offset, value, 8)
+    emulator.state.write_reg(Register.RSP, rsp + 8)
+    emulator.state.rip = chain[0]
+    with pytest.raises(EmulationError):
+        emulator.run(max_steps=TRACE_CAP + 7)
+    assert emulator.steps == steps_before + TRACE_CAP + 7
+
+
+def test_jcc_seam_superblock_exits_on_the_other_side():
+    """A conditional-branch seam guards the non-linked side correctly."""
+    image = BinaryImage()
+    body = [
+        "head",
+        make("add", Reg(Register.RAX), Imm(1)),
+        make("cmp", Reg(Register.RAX), Reg(Register.RDI)),
+        make("jge", Label("done")),
+        make("jmp", Label("head")),
+        "done",
+        make("add", Reg(Register.RAX), Imm(1000)),
+        make("ret"),
+    ]
+    code, _ = assemble(body, base_address=image.text.address)
+    address = image.text.append(code)
+    image.add_function("f", address, len(code))
+    program = load_image(image)
+
+    def call(emulator, bound):
+        emulator.halted = False
+        emulator.state.write_reg(Register.RSP, program.stack_top)
+        emulator.state.write_reg(Register.RAX, 0)
+        emulator.state.write_reg(Register.RDI, bound)
+        emulator.push(EXIT_ADDRESS)
+        emulator.state.rip = address
+        emulator.run()
+        return (emulator.state.read_reg(Register.RAX),
+                emulator.state.flags_tuple())
+
+    results = {}
+    for mode, kwargs in _MODES.items():
+        emulator = _emulator(load_image(program.image), **kwargs)
+        # long runs make the loop's jcc->head transition hot, then short
+        # runs exercise the guard exit on the other side
+        results[mode] = [call(emulator, bound)
+                        for bound in [200] * 20 + [1, 2, 3, 0]]
+    assert results["single"] == results["sb_off"]
+    assert results["single"] == results["sb_on"]
+
+
+def test_superblock_toggle_off_keeps_traces_independent():
+    program, gadgets = _chain_program()
+    chain = gadgets + [EXIT_ADDRESS]
+    emulator = _emulator(program, trace_cache=True, trace_compile=True,
+                         trace_superblock=False)
+    for _ in range(25):
+        _run_chain(emulator, program, chain)
+    stats = emulator.jit_stats
+    assert stats.traces_compiled > 0
+    assert stats.superblocks_built == 0
+    assert all(not trace.parts for trace in emulator._trace_cache.values())
+
+
+def test_hooks_bypass_superblocks():
+    """Hooks force single-step even with fused superblocks cached."""
+    from repro.cpu import TraceRecorder
+
+    program, gadgets = _chain_program(gadget_count=30)
+    chain = gadgets + [EXIT_ADDRESS]
+    emulator = _emulator(program, trace_cache=True, trace_compile=True,
+                         trace_superblock=True)
+    for _ in range(25):
+        _run_chain(emulator, program, chain)
+    assert emulator.jit_stats.superblocks_built > 0
+
+    recorder = TraceRecorder().attach(emulator)
+    steps_before = emulator.steps
+    _run_chain(emulator, program, chain)
+    assert len(recorder.entries) == emulator.steps - steps_before
+
+    reference = _emulator(load_image(program.image), trace_cache=False)
+    ref_recorder = TraceRecorder().attach(reference)
+    _run_chain(reference, program, chain)
+    assert recorder.addresses() == ref_recorder.addresses()
