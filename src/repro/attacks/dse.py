@@ -136,6 +136,9 @@ class DseEngine(SnapshotEngine):
         max_snapshots_per_run: cap on snapshots captured per execution, so
             loop-heavy paths do not monopolize the pool.
         max_snapshot_depth: deepest branch decision worth snapshotting.
+        pool_capacity: override for the mid-path snapshot pool size.  Defaults
+            to the full ``REPRO_SNAPSHOT_POOL`` budget; parallel explorers
+            pass each worker its share of that global budget instead.
     """
 
     def __init__(self, image: BinaryImage, function: str,
@@ -145,7 +148,8 @@ class DseEngine(SnapshotEngine):
                  use_snapshots: bool = True,
                  backtracking: Optional[bool] = None,
                  max_snapshots_per_run: int = 24,
-                 max_snapshot_depth: int = 48) -> None:
+                 max_snapshot_depth: int = 48,
+                 pool_capacity: Optional[int] = None) -> None:
         if strategy not in ("cupa", "bfs", "dfs"):
             raise ValueError(f"unknown strategy {strategy!r}")
         super().__init__(image, function, max_instructions=max_instructions,
@@ -156,7 +160,7 @@ class DseEngine(SnapshotEngine):
         self.random = random.Random(seed)
         self.symbols = self.input_spec.symbol_table()
         self.solver = ConstraintSolver(self.symbols, seed=seed)
-        self._pool = SnapshotPool()
+        self._pool = SnapshotPool(pool_capacity)
         if backtracking is None:
             backtracking = _BACKTRACK_DEFAULT
         self.backtracking = (backtracking and use_snapshots
@@ -334,8 +338,15 @@ class DseEngine(SnapshotEngine):
     # -- exploration ------------------------------------------------------------------
     def explore(self, time_budget: float = 10.0, max_executions: int = 200,
                 stop_condition: Optional[Callable[[ExecutionResult], bool]] = None,
+                max_solver_queries: Optional[int] = None,
                 ) -> Tuple[List[ExecutionResult], ExplorationStats]:
         """Explore paths until the budget runs out or ``stop_condition`` holds.
+
+        ``max_solver_queries`` bounds generational expansion: once that many
+        solver queries have been spent, no further branch negations are
+        attempted (already-pending inputs still run).  Unlike the wall-clock
+        budget it is *deterministic*, which is what lets a grid slice produce
+        identical rows on any machine and any worker count.
 
         Returns the list of execution results (one per explored input) and the
         aggregate statistics.
@@ -370,6 +381,9 @@ class DseEngine(SnapshotEngine):
 
             # generational expansion: negate each branch decision of this path
             for position, constraint in enumerate(result.constraints):
+                if max_solver_queries is not None \
+                        and self.stats.solver_queries >= max_solver_queries:
+                    break
                 if time.monotonic() - start > time_budget:
                     break
                 # dedupe on the decision *in its path context*: the same branch

@@ -46,11 +46,30 @@ _MASK64 = (1 << 64) - 1
 
 
 def snapshot_pool_capacity() -> int:
-    """Resolve the ``REPRO_SNAPSHOT_POOL`` knob (mid-path snapshot budget)."""
+    """Resolve the ``REPRO_SNAPSHOT_POOL`` knob (mid-path snapshot budget).
+
+    The knob is a *global* budget: a parallel run divides it across its
+    workers with :func:`sharded_pool_capacity` so the sum of all workers'
+    pools never exceeds what a serial run would have kept resident.
+    """
     try:
         return max(0, int(os.environ.get("REPRO_SNAPSHOT_POOL", "32")))
     except ValueError:
         return 32
+
+
+def sharded_pool_capacity(workers: int, total: Optional[int] = None) -> int:
+    """Each worker's share of the global mid-path snapshot budget.
+
+    ``total`` defaults to :func:`snapshot_pool_capacity`.  A disabled budget
+    (0) stays disabled for every worker; any positive budget grants each
+    worker at least one slot so backtracking never silently turns off just
+    because the worker count exceeds the budget.
+    """
+    total = snapshot_pool_capacity() if total is None else total
+    if total <= 0:
+        return 0
+    return max(1, total // max(1, workers))
 
 
 @dataclass

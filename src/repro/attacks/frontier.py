@@ -1,0 +1,300 @@
+"""Distributed DSE snapshot frontier: work-sharing concolic exploration.
+
+:class:`FrontierExplorer` parallelizes one attack's generational exploration
+across worker processes.  The division of labor keeps the explored path set
+equal to the serial :meth:`repro.attacks.dse.DseEngine.explore` loop's:
+
+* The **coordinator** (the calling process) owns everything whose order or
+  sharing determines the path set — the pending frontier, the
+  ``seen_decisions`` decision-prefix dedupe set, the ``seen_inputs`` set,
+  the path-signature registry, the constraint solver and the CUPA strategy
+  RNG.  Branch negation, solving and dedup all happen here, exactly as in
+  the serial loop; workers never expand paths on their own.
+* **Workers** each own a full :class:`~repro.attacks.dse.DseEngine` (built
+  after fork, so the binary image is inherited, not pickled) and do only
+  the expensive part: claim a pending ``(assignment, resume_key)`` from the
+  shared task queue, execute it concretely under the shadow tracker on
+  their private rewound emulator, and stream the
+  :class:`~repro.attacks.dse.ExecutionResult` back.
+
+Mid-path snapshot pools are worker-local: a worker resuming a decision
+prefix whose snapshot lives in *another* worker's pool simply falls back to
+the entry rewind, which changes cost but never the executed path — so
+backtracking remains an optimization, invisible in the path set.  Each
+worker's pool gets an equal share of the global ``REPRO_SNAPSHOT_POOL``
+budget (:func:`repro.attacks.engine.sharded_pool_capacity`), bounding
+resident snapshot memory at the serial run's level regardless of the
+worker count.
+
+When the constraint solver is deterministic for the workload (e.g. its
+exhaustive-enumeration phase covers the input space, as with the byte-sized
+inputs of the RandomFuns suite), an exhaustive frontier run explores
+*exactly* the serial explorer's path set in any execution order — the
+differential property ``tests/attacks/test_frontier.py`` asserts.
+
+``workers <= 1`` — or a platform without the fork start method — delegates
+to the serial engine outright.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import multiprocessing
+import queue as queue_module
+import random
+import sys
+import time
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from repro.attacks.dse import DseEngine, ExecutionResult, InputSpec
+from repro.attacks.engine import EngineStats, sharded_pool_capacity
+from repro.attacks.solver.solver import ConstraintSolver
+from repro.binary.image import BinaryImage
+
+#: Seconds between liveness checks while waiting on worker results.
+_POLL_SECONDS = 0.5
+
+
+def fork_available() -> bool:
+    """Whether the fork start method (required by the worker pool) exists."""
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+_STAT_FIELDS = tuple(field.name for field in dataclasses.fields(EngineStats)
+                     if field.name != "elapsed")
+
+
+def _worker_main(worker_index: int, engine_factory: Callable[[], DseEngine],
+                 task_queue, result_queue) -> None:
+    """Worker loop: execute claimed inputs until the ``None`` sentinel.
+
+    Results carry the engine's per-execution stat deltas so the coordinator
+    can aggregate instructions/restores without a second message exchange.
+    Deep shadow-expression DAGs can out-recurse pickle's default limit, so
+    it is raised before any result is serialized.
+    """
+    sys.setrecursionlimit(max(sys.getrecursionlimit(), 100_000))
+    engine = engine_factory()
+    while True:
+        task = task_queue.get()
+        if task is None:
+            break
+        assignment, resume_key = task
+        before = {name: getattr(engine.stats, name) for name in _STAT_FIELDS}
+        try:
+            result = engine.execute(assignment, resume_key=resume_key)
+            delta = {name: getattr(engine.stats, name) - before[name]
+                     for name in _STAT_FIELDS}
+            result_queue.put((worker_index, "ok", result, delta))
+        except BaseException as exc:  # surface, don't hang the coordinator
+            result_queue.put((worker_index, "error",
+                              f"{type(exc).__name__}: {exc}", None))
+
+
+class FrontierExplorer:
+    """Coordinator of a distributed DSE exploration of one function.
+
+    Constructor arguments mirror :class:`~repro.attacks.dse.DseEngine`, plus
+    ``workers`` (process count) and ``pool_capacity`` reinterpreted as the
+    *global* mid-path snapshot budget to divide across workers (default:
+    the ``REPRO_SNAPSHOT_POOL`` environment budget).
+    """
+
+    def __init__(self, image: BinaryImage, function: str,
+                 input_spec: Optional[InputSpec] = None,
+                 strategy: str = "cupa", memory_model: str = "concretize",
+                 seed: int = 0, max_instructions: int = 2_000_000,
+                 workers: int = 2, use_snapshots: bool = True,
+                 backtracking: Optional[bool] = None,
+                 pool_capacity: Optional[int] = None) -> None:
+        if strategy not in ("cupa", "bfs", "dfs"):
+            raise ValueError(f"unknown strategy {strategy!r}")
+        self.image = image
+        self.function = function
+        self.input_spec = input_spec or InputSpec()
+        self.strategy = strategy
+        self.memory_model = memory_model
+        self.seed = seed
+        self.max_instructions = max_instructions
+        self.workers = max(1, workers)
+        self.use_snapshots = use_snapshots
+        self.backtracking = backtracking
+        self.worker_pool_capacity = sharded_pool_capacity(
+            self.workers, total=pool_capacity)
+        self.random = random.Random(seed)
+        self.symbols = self.input_spec.symbol_table()
+        self.solver = ConstraintSolver(self.symbols, seed=seed)
+        self.stats = EngineStats()
+        #: worker index -> concrete executions it performed (serial
+        #: delegation reports everything under worker 0).
+        self.executions_by_worker: Dict[int, int] = {}
+
+    # -- serial delegation ---------------------------------------------------
+    def _make_engine(self, pool_capacity: Optional[int]) -> DseEngine:
+        return DseEngine(self.image, self.function, self.input_spec,
+                         strategy=self.strategy,
+                         memory_model=self.memory_model, seed=self.seed,
+                         max_instructions=self.max_instructions,
+                         use_snapshots=self.use_snapshots,
+                         backtracking=self.backtracking,
+                         pool_capacity=pool_capacity)
+
+    @property
+    def distributed(self) -> bool:
+        return self.workers > 1 and fork_available()
+
+    # -- exploration ---------------------------------------------------------
+    def explore(self, time_budget: float = 10.0, max_executions: int = 200,
+                stop_condition: Optional[Callable[[ExecutionResult], bool]] = None,
+                max_solver_queries: Optional[int] = None,
+                ) -> Tuple[List[ExecutionResult], EngineStats]:
+        """Explore paths until the budget runs out or ``stop_condition`` holds.
+
+        Same contract as :meth:`DseEngine.explore`; ``stop_condition`` runs
+        in the coordinator process, so closures over caller state work
+        unchanged.  Results that were already in flight when the stop fired
+        are still drained and counted (they did execute).
+        """
+        if not self.distributed:
+            engine = self._make_engine(None)
+            results, stats = engine.explore(
+                time_budget=time_budget, max_executions=max_executions,
+                stop_condition=stop_condition,
+                max_solver_queries=max_solver_queries)
+            self.stats = stats
+            self.executions_by_worker = {0: stats.executions}
+            return results, stats
+        return self._explore_distributed(time_budget, max_executions,
+                                         stop_condition, max_solver_queries)
+
+    def _explore_distributed(self, time_budget, max_executions,
+                             stop_condition, max_solver_queries):
+        start = time.monotonic()
+        stats = self.stats
+        initial = {name: 0 for name in self.symbols}
+        pending: List[Tuple[int, Dict[str, int], Optional[Tuple]]] = \
+            [(0, initial, None)]
+        seen_inputs: Set[Tuple] = {tuple(sorted(initial.items()))}
+        seen_decisions: Set[Tuple] = set()
+        results: List[ExecutionResult] = []
+        path_signatures: Set[Tuple] = set()
+        self.executions_by_worker = {index: 0 for index in range(self.workers)}
+
+        context = multiprocessing.get_context("fork")
+        task_queue = context.Queue()
+        result_queue = context.Queue()
+        factory = lambda: self._make_engine(self.worker_pool_capacity)  # noqa: E731
+        processes = [
+            context.Process(target=_worker_main,
+                            args=(index, factory, task_queue, result_queue),
+                            daemon=True)
+            for index in range(self.workers)
+        ]
+        for process in processes:
+            process.start()
+
+        inflight = 0
+        stopped = False
+        try:
+            while True:
+                # dispatch while there is pending work, free workers and budget
+                while (pending and not stopped and inflight < self.workers
+                       and stats.executions + inflight < max_executions
+                       and time.monotonic() - start <= time_budget):
+                    index = self._pick(pending)
+                    _, assignment, resume_key = pending.pop(index)
+                    task_queue.put((assignment, resume_key))
+                    inflight += 1
+                if inflight == 0:
+                    break
+
+                try:
+                    worker_index, status, payload, delta = \
+                        result_queue.get(timeout=_POLL_SECONDS)
+                except queue_module.Empty:
+                    dead = [p for p in processes
+                            if not p.is_alive() and p.exitcode not in (0, None)]
+                    if dead:
+                        raise RuntimeError(
+                            f"frontier worker died with exit code "
+                            f"{dead[0].exitcode}")
+                    continue
+                inflight -= 1
+                if status == "error":
+                    raise RuntimeError(
+                        f"frontier worker {worker_index} failed: {payload}")
+                result: ExecutionResult = payload
+                results.append(result)
+                self.executions_by_worker[worker_index] += 1
+                for name, value in delta.items():
+                    setattr(stats, name, getattr(stats, name) + value)
+
+                signature = tuple(
+                    (address, constraint.expected)
+                    for address, constraint in zip(result.branch_addresses,
+                                                   result.constraints))
+                if signature not in path_signatures:
+                    path_signatures.add(signature)
+                    stats.paths_seen += 1
+
+                if stopped:
+                    continue  # draining in-flight results after a stop
+                if stop_condition is not None and stop_condition(result):
+                    stopped = True
+                    continue
+
+                # generational expansion — identical to the serial loop;
+                # the shared dedupe sets live here, so no two workers ever
+                # chase the same negated decision
+                for position, constraint in enumerate(result.constraints):
+                    if max_solver_queries is not None \
+                            and stats.solver_queries >= max_solver_queries:
+                        break
+                    if time.monotonic() - start > time_budget:
+                        break
+                    decision_key = (
+                        signature[:position],
+                        result.branch_addresses[position],
+                        not constraint.expected,
+                    )
+                    if decision_key in seen_decisions:
+                        continue
+                    seen_decisions.add(decision_key)
+                    prefix = result.constraints[:position] + [constraint.negated()]
+                    stats.solver_queries += 1
+                    solution = self.solver.solve(
+                        prefix, seed_assignment=result.assignment)
+                    if solution is None:
+                        continue
+                    key = tuple(sorted(solution.items()))
+                    if key in seen_inputs:
+                        continue
+                    seen_inputs.add(key)
+                    pending.append((result.branch_addresses[position], solution,
+                                    result.decision_keys[:position]))
+        finally:
+            for _ in processes:
+                try:
+                    task_queue.put(None)
+                except (OSError, ValueError):
+                    break
+            for process in processes:
+                process.join(timeout=5.0)
+                if process.is_alive():
+                    process.terminate()
+                    process.join(timeout=5.0)
+
+        stats.elapsed = time.monotonic() - start
+        return results, stats
+
+    def _pick(self, pending: List[Tuple]) -> int:
+        """Strategy-driven frontier pick (same policy as the serial engine)."""
+        if self.strategy == "dfs":
+            return len(pending) - 1
+        if self.strategy == "bfs":
+            return 0
+        classes: Dict[int, List[int]] = {}
+        for index, entry in enumerate(pending):
+            classes.setdefault(entry[0], []).append(index)
+        chosen_class = self.random.choice(list(classes))
+        return self.random.choice(classes[chosen_class])

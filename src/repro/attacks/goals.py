@@ -8,12 +8,26 @@ much work (executions, instructions, solver queries) was spent.
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, Optional, Sequence, Set
 
 from repro.attacks.dse import DseEngine, ExecutionResult, InputSpec
 from repro.binary.image import BinaryImage
+
+
+def dse_workers() -> int:
+    """Resolve ``REPRO_DSE_WORKERS``: worker processes per DSE attack.
+
+    Values above 1 route the ``dse`` engine through the distributed
+    snapshot frontier (:class:`repro.attacks.frontier.FrontierExplorer`);
+    the default 1 keeps today's serial engine.
+    """
+    try:
+        return max(1, int(os.environ.get("REPRO_DSE_WORKERS", "1")))
+    except ValueError:
+        return 1
 
 
 @dataclass
@@ -28,6 +42,11 @@ class AttackBudget:
     seconds: float = 5.0
     max_executions: int = 150
     max_instructions_per_run: int = 2_000_000
+    #: optional deterministic cap on generational-expansion solver queries;
+    #: when it (rather than the wall clock) is what binds, an attack's
+    #: executions/instructions counters are identical on every machine —
+    #: the property the grid's serial-vs-parallel determinism tests rely on
+    max_solver_queries: Optional[int] = None
 
 
 @dataclass
@@ -67,6 +86,15 @@ def _make_engine(image: BinaryImage, function: str, input_spec: InputSpec,
                  budget: AttackBudget, engine: str, seed: int,
                  memory_model: str) -> DseEngine:
     if engine == "dse":
+        workers = dse_workers()
+        if workers > 1:
+            from repro.attacks.frontier import FrontierExplorer
+
+            return FrontierExplorer(image, function, input_spec,
+                                    strategy="cupa",
+                                    memory_model=memory_model, seed=seed,
+                                    max_instructions=budget.max_instructions_per_run,
+                                    workers=workers)
         return DseEngine(image, function, input_spec, strategy="cupa",
                          memory_model=memory_model, seed=seed,
                          max_instructions=budget.max_instructions_per_run)
@@ -100,7 +128,8 @@ def secret_finding_attack(image: BinaryImage, function: str,
 
     results, stats = driver.explore(time_budget=budget.seconds,
                                     max_executions=budget.max_executions,
-                                    stop_condition=stop)
+                                    stop_condition=stop,
+                                    max_solver_queries=budget.max_solver_queries)
     elapsed = time.monotonic() - start
     success = bool(found)
     return AttackOutcome(
@@ -140,7 +169,8 @@ def coverage_attack(image: BinaryImage, function: str, target_probes: Iterable[i
 
     _, stats = driver.explore(time_budget=budget.seconds,
                               max_executions=budget.max_executions,
-                              stop_condition=stop)
+                              stop_condition=stop,
+                              max_solver_queries=budget.max_solver_queries)
     success = bool(target) and covered >= target
     return AttackOutcome(
         success=success,

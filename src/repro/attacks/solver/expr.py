@@ -3,14 +3,28 @@
 Expressions are immutable trees over 64-bit values.  They support evaluation
 under a concrete assignment of the input symbols, which is what both the
 constraint solver (search-based) and the concolic engine (shadow values) need.
+
+Shadow state makes heavy *sharing* inevitable: one register expression feeds
+the next instruction's operands, so the live expression set is a DAG whose
+unfolded tree is exponentially larger than its node count.  Every structural
+query therefore memoizes per node (``depth``/``symbols`` cache on the
+immutable node itself) or per call (``evaluate``/``simplify`` carry an
+id-keyed memo engaged once an expression is deep enough for sharing to
+matter), keeping all of them O(unique nodes) instead of O(tree paths).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Tuple, Union
+from typing import Dict, FrozenSet, Optional, Tuple, Union
 
 _MASK64 = (1 << 64) - 1
+
+#: Expressions at most this deep evaluate by plain recursion: below the
+#: threshold the tree cannot hide enough sharing to matter, and skipping the
+#: memo keeps the solver's hot loop (thousands of shallow evaluations per
+#: query) free of dict traffic.
+_MEMO_DEPTH = 8
 
 
 def _signed(value: int) -> int:
@@ -25,7 +39,7 @@ class SymExpr:
     name: str
     size: int = 8  # in bytes
 
-    def evaluate(self, assignment: Dict[str, int]) -> int:
+    def evaluate(self, assignment: Dict[str, int], _memo: Optional[dict] = None) -> int:
         return assignment.get(self.name, 0) & ((1 << (8 * self.size)) - 1)
 
     def symbols(self) -> FrozenSet[str]:
@@ -44,7 +58,7 @@ class ConstExpr:
 
     value: int
 
-    def evaluate(self, assignment: Dict[str, int]) -> int:
+    def evaluate(self, assignment: Dict[str, int], _memo: Optional[dict] = None) -> int:
         return self.value & _MASK64
 
     def symbols(self) -> FrozenSet[str]:
@@ -72,9 +86,22 @@ class BinExpr:
     left: "Expression"
     right: "Expression"
 
-    def evaluate(self, assignment: Dict[str, int]) -> int:
-        a = self.left.evaluate(assignment) & _MASK64
-        b = self.right.evaluate(assignment) & _MASK64
+    def evaluate(self, assignment: Dict[str, int], _memo: Optional[dict] = None) -> int:
+        if _memo is None and self.depth() > _MEMO_DEPTH:
+            _memo = {}
+        if _memo is not None:
+            key = id(self)
+            cached = _memo.get(key)
+            if cached is not None:
+                return cached
+        a = self.left.evaluate(assignment, _memo) & _MASK64
+        b = self.right.evaluate(assignment, _memo) & _MASK64
+        value = self._apply(a, b)
+        if _memo is not None:
+            _memo[key] = value
+        return value
+
+    def _apply(self, a: int, b: int) -> int:
         op = self.op
         if op == "add":
             return (a + b) & _MASK64
@@ -124,10 +151,18 @@ class BinExpr:
         raise ValueError(f"unknown operator {op!r}")
 
     def symbols(self) -> FrozenSet[str]:
-        return self.left.symbols() | self.right.symbols()
+        cached = self.__dict__.get("_symbols")
+        if cached is None:
+            cached = self.left.symbols() | self.right.symbols()
+            object.__setattr__(self, "_symbols", cached)
+        return cached
 
     def depth(self) -> int:
-        return 1 + max(self.left.depth(), self.right.depth())
+        cached = self.__dict__.get("_depth")
+        if cached is None:
+            cached = 1 + max(self.left.depth(), self.right.depth())
+            object.__setattr__(self, "_depth", cached)
+        return cached
 
     def __str__(self) -> str:
         return f"({self.left} {self.op} {self.right})"
@@ -140,21 +175,40 @@ class UnExpr:
     op: str
     operand: "Expression"
 
-    def evaluate(self, assignment: Dict[str, int]) -> int:
-        value = self.operand.evaluate(assignment) & _MASK64
+    def evaluate(self, assignment: Dict[str, int], _memo: Optional[dict] = None) -> int:
+        if _memo is None and self.depth() > _MEMO_DEPTH:
+            _memo = {}
+        if _memo is not None:
+            key = id(self)
+            cached = _memo.get(key)
+            if cached is not None:
+                return cached
+        value = self.operand.evaluate(assignment, _memo) & _MASK64
         if self.op == "neg":
-            return (-value) & _MASK64
-        if self.op == "not":
-            return (~value) & _MASK64
-        if self.op == "lnot":
-            return int(value == 0)
-        raise ValueError(f"unknown operator {self.op!r}")
+            value = (-value) & _MASK64
+        elif self.op == "not":
+            value = (~value) & _MASK64
+        elif self.op == "lnot":
+            value = int(value == 0)
+        else:
+            raise ValueError(f"unknown operator {self.op!r}")
+        if _memo is not None:
+            _memo[key] = value
+        return value
 
     def symbols(self) -> FrozenSet[str]:
-        return self.operand.symbols()
+        cached = self.__dict__.get("_symbols")
+        if cached is None:
+            cached = self.operand.symbols()
+            object.__setattr__(self, "_symbols", cached)
+        return cached
 
     def depth(self) -> int:
-        return 1 + self.operand.depth()
+        cached = self.__dict__.get("_depth")
+        if cached is None:
+            cached = 1 + self.operand.depth()
+            object.__setattr__(self, "_depth", cached)
+        return cached
 
     def __str__(self) -> str:
         return f"{self.op}({self.operand})"
@@ -174,8 +228,8 @@ class SelectExpr:
     index: "Expression"
     size: int = 1
 
-    def evaluate(self, assignment: Dict[str, int]) -> int:
-        offset = (self.index.evaluate(assignment) - self.base_address) & _MASK64
+    def evaluate(self, assignment: Dict[str, int], _memo: Optional[dict] = None) -> int:
+        offset = (self.index.evaluate(assignment, _memo) - self.base_address) & _MASK64
         if offset + self.size > len(self.snapshot):
             return 0
         value = 0
@@ -184,10 +238,18 @@ class SelectExpr:
         return value
 
     def symbols(self) -> FrozenSet[str]:
-        return self.index.symbols()
+        cached = self.__dict__.get("_symbols")
+        if cached is None:
+            cached = self.index.symbols()
+            object.__setattr__(self, "_symbols", cached)
+        return cached
 
     def depth(self) -> int:
-        return 1 + self.index.depth()
+        cached = self.__dict__.get("_depth")
+        if cached is None:
+            cached = 1 + self.index.depth()
+            object.__setattr__(self, "_depth", cached)
+        return cached
 
     def __str__(self) -> str:
         return f"select[{self.base_address:#x}+{len(self.snapshot)}]({self.index})"
@@ -211,21 +273,35 @@ def is_concrete(expression: Expression) -> bool:
     return not expression.symbols()
 
 
-def simplify(expression: Expression) -> Expression:
-    """Lightweight constant folding."""
+def simplify(expression: Expression, _memo: Optional[dict] = None) -> Expression:
+    """Lightweight constant folding.
+
+    The per-call memo keeps shared subtrees simplified once and — just as
+    important — *re-shared* in the result, so simplifying a DAG cannot
+    explode it into a tree.
+    """
+    if _memo is None:
+        _memo = {}
+    cached = _memo.get(id(expression))
+    if cached is not None:
+        return cached
+    result = expression
     if isinstance(expression, BinExpr):
-        left = simplify(expression.left)
-        right = simplify(expression.right)
+        left = simplify(expression.left, _memo)
+        right = simplify(expression.right, _memo)
         if isinstance(left, ConstExpr) and isinstance(right, ConstExpr):
-            return ConstExpr(BinExpr(expression.op, left, right).evaluate({}))
-        if expression.op in ("add", "or", "xor") and isinstance(right, ConstExpr) and right.value == 0:
-            return left
-        if expression.op == "mul" and isinstance(right, ConstExpr) and right.value == 1:
-            return left
-        return BinExpr(expression.op, left, right)
-    if isinstance(expression, UnExpr):
-        operand = simplify(expression.operand)
+            result = ConstExpr(BinExpr(expression.op, left, right).evaluate({}))
+        elif expression.op in ("add", "or", "xor") and isinstance(right, ConstExpr) and right.value == 0:
+            result = left
+        elif expression.op == "mul" and isinstance(right, ConstExpr) and right.value == 1:
+            result = left
+        elif left is not expression.left or right is not expression.right:
+            result = BinExpr(expression.op, left, right)
+    elif isinstance(expression, UnExpr):
+        operand = simplify(expression.operand, _memo)
         if isinstance(operand, ConstExpr):
-            return ConstExpr(UnExpr(expression.op, operand).evaluate({}))
-        return UnExpr(expression.op, operand)
-    return expression
+            result = ConstExpr(UnExpr(expression.op, operand).evaluate({}))
+        elif operand is not expression.operand:
+            result = UnExpr(expression.op, operand)
+    _memo[id(expression)] = result
+    return result

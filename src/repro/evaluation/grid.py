@@ -43,6 +43,7 @@ from pathlib import Path
 from typing import Dict, List, Optional
 
 from repro.attacks import AttackBudget
+from repro.evaluation import parallel
 from repro.evaluation.configurations import TABLE2_CONFIGURATIONS, nvm
 from repro.evaluation.figure5 import run_figure5
 from repro.evaluation.table2 import run_table2
@@ -52,12 +53,19 @@ from repro.workloads.randomfuns import generate_table2_suite
 #: Per-slice grid parameters.  ``None`` means "everything the generator
 #: offers" (the paper-sized default).
 SLICES: Dict[str, Dict] = {
+    # smoke is fully deterministic: the wall-clock budget is generous enough
+    # to never bind, so the deterministic caps (executions, solver queries,
+    # instructions) are what stop each attack — identical rows on any
+    # machine and at any --workers count (the serial-vs-parallel tests
+    # assert exactly this)
     "smoke": {
         "structures": ("if(bb4,bb4)",),
         "input_sizes": (1,),
         "seeds": (1,),
-        "attack_seconds": 2.0,
-        "attack_executions": 40,
+        "attack_seconds": 60.0,
+        "attack_executions": 6,
+        "attack_instructions": 150_000,
+        "attack_solver_queries": 48,
         "clbg_benchmarks": ("fasta",),
         "k_values": (0.25, 1.00),
         "configurations": ("NATIVE", "ROP1.00"),
@@ -73,6 +81,8 @@ SLICES: Dict[str, Dict] = {
         "seeds": (1,),
         "attack_seconds": 45.0,
         "attack_executions": 5_000,
+        "attack_instructions": 2_000_000,
+        "attack_solver_queries": None,
         "clbg_benchmarks": ("fasta", "rev-comp", "sp-norm"),
         "k_values": (0.05, 0.25, 0.50, 1.00),
         "configurations": ("NATIVE", "ROP0.05", "ROP0.25", "ROP0.50",
@@ -86,6 +96,8 @@ SLICES: Dict[str, Dict] = {
         "seeds": (1, 2, 3),
         "attack_seconds": 3600.0,
         "attack_executions": 100_000,
+        "attack_instructions": 2_000_000,
+        "attack_solver_queries": None,
         "clbg_benchmarks": None,
         "k_values": None,
         "configurations": None,
@@ -101,59 +113,134 @@ def _configurations(names: Optional[tuple]):
     return [c for c in TABLE2_CONFIGURATIONS if c.name in names]
 
 
+def _slice_budget(params: Dict) -> AttackBudget:
+    return AttackBudget(
+        seconds=params["attack_seconds"],
+        max_executions=params["attack_executions"],
+        max_instructions_per_run=params.get("attack_instructions", 2_000_000),
+        max_solver_queries=params.get("attack_solver_queries"))
+
+
 def run_grid(slice_name: str = "reduced", seed: int = 1,
-             parts: Optional[List[str]] = None) -> Dict[str, List[dict]]:
+             parts: Optional[List[str]] = None,
+             workers: Optional[int] = None,
+             pool: Optional[parallel.WorkerPool] = None,
+             meta: Optional[Dict] = None) -> Dict[str, List[dict]]:
     """Run the selected grid slice and return ``{artifact: rows}``.
 
     ``parts`` restricts the run to a subset of ``("figure5", "table2",
     "table3")``; rows are plain dicts ready for JSON serialization.
+
+    ``workers`` > 1 shards each grid into work units dispatched across a
+    fork-based worker pool (``repro.evaluation.parallel``); it defaults to
+    the ``REPRO_GRID_WORKERS`` environment knob.  Rows are identical to a
+    serial run at the same seed (wall-clock fields aside).  Pass ``pool`` to
+    reuse one persistent pool across several calls (the CLI does this so
+    worker-local caches survive across the three parts); ``meta``, when
+    given, collects side-channel statistics (``executions_by_worker``).
     """
     params = SLICES[slice_name]
     parts = list(parts or ("figure5", "table2", "table3"))
+    if workers is None:
+        workers = pool.workers if pool is not None else parallel.grid_workers()
     results: Dict[str, List[dict]] = {}
 
-    if "figure5" in parts:
-        bars = run_figure5(benchmarks=params["clbg_benchmarks"],
-                           k_values=params["k_values"],
-                           baseline=params["vm_baseline"], seed=seed)
-        results["figure5"] = [
-            {**dataclasses.asdict(bar),
-             "slowdown_vs_native": bar.slowdown_vs_native,
-             "slowdown_vs_baseline": bar.slowdown_vs_baseline}
-            for bar in bars
-        ]
+    own_pool: Optional[parallel.WorkerPool] = None
+    if workers > 1 and pool is None:
+        pool = own_pool = parallel.WorkerPool(workers)
+    sharded = pool is not None and pool.parallel
 
-    if "table2" in parts:
-        specs = generate_table2_suite(point_test=True, seeds=params["seeds"],
-                                      input_sizes=params["input_sizes"],
-                                      structures=params["structures"])
-        budget = AttackBudget(seconds=params["attack_seconds"],
-                              max_executions=params["attack_executions"])
-        rows = run_table2(configurations=_configurations(params["configurations"]),
-                          specs=specs, budget=budget,
-                          include_coverage=params["include_coverage"], seed=seed)
-        results["table2"] = [dataclasses.asdict(row) for row in rows]
+    try:
+        if "figure5" in parts:
+            if sharded:
+                units = parallel.figure5_units(
+                    benchmarks=params["clbg_benchmarks"],
+                    k_values=params["k_values"],
+                    baseline=params["vm_baseline"], seed=seed)
+                results["figure5"], _ = pool.map(units)
+            else:
+                bars = run_figure5(benchmarks=params["clbg_benchmarks"],
+                                   k_values=params["k_values"],
+                                   baseline=params["vm_baseline"], seed=seed)
+                results["figure5"] = [
+                    {**dataclasses.asdict(bar),
+                     "slowdown_vs_native": bar.slowdown_vs_native,
+                     "slowdown_vs_baseline": bar.slowdown_vs_baseline}
+                    for bar in bars
+                ]
 
-    if "table3" in parts:
-        rows3 = run_table3(benchmarks=params["clbg_benchmarks"],
-                           k_values=params["k_values"], seed=seed)
-        results["table3"] = [
-            {**dataclasses.asdict(row), "gadgets_per_point": row.gadgets_per_point}
-            for row in rows3
-        ]
+        if "table2" in parts:
+            specs = generate_table2_suite(point_test=True, seeds=params["seeds"],
+                                          input_sizes=params["input_sizes"],
+                                          structures=params["structures"])
+            budget = _slice_budget(params)
+            configurations = _configurations(params["configurations"])
+            if sharded:
+                units = parallel.table2_units(
+                    configurations, specs, budget,
+                    include_coverage=params["include_coverage"], seed=seed)
+                cells, worker_ids = pool.map(units)
+                results["table2"] = parallel.merge_table2(units, cells)
+                if meta is not None:
+                    meta["executions_by_worker"] = \
+                        parallel.executions_by_worker(worker_ids, cells)
+            else:
+                rows = run_table2(configurations=configurations,
+                                  specs=specs, budget=budget,
+                                  include_coverage=params["include_coverage"],
+                                  seed=seed)
+                results["table2"] = [dataclasses.asdict(row) for row in rows]
+                if meta is not None:
+                    meta["executions_by_worker"] = {
+                        "0": sum(row["executions"] for row in results["table2"])}
+
+        if "table3" in parts:
+            if sharded:
+                units = parallel.table3_units(
+                    benchmarks=params["clbg_benchmarks"],
+                    k_values=params["k_values"], seed=seed)
+                results["table3"], _ = pool.map(units)
+            else:
+                rows3 = run_table3(benchmarks=params["clbg_benchmarks"],
+                                   k_values=params["k_values"], seed=seed)
+                results["table3"] = [
+                    {**dataclasses.asdict(row),
+                     "gadgets_per_point": row.gadgets_per_point}
+                    for row in rows3
+                ]
+    finally:
+        if own_pool is not None:
+            own_pool.close()
 
     return results
 
 
 def _config_aggregates(table2: List[dict]) -> Dict[str, Dict[str, float]]:
-    """Per-configuration secret-finding/coverage rates from Table II rows."""
-    aggregates: Dict[str, Dict[str, float]] = {}
+    """Per-configuration secret-finding/coverage rates from Table II rows.
+
+    Multi-seed/multi-structure runs produce several rows per configuration;
+    counts are summed across them and ``average_time`` is weighted by each
+    row's success count (a plain last-row-wins comprehension here silently
+    dropped all but one row per configuration).
+    """
+    totals: Dict[str, Dict[str, float]] = {}
     for row in table2:
-        functions = max(1, row["functions"])
-        aggregates[row["configuration"]] = {
-            "secret_rate": round(row["secrets_found"] / functions, 4),
-            "coverage_rate": round(row["full_coverage"] / functions, 4),
-            "average_time": round(row["average_time"], 3),
+        entry = totals.setdefault(row["configuration"], {
+            "functions": 0, "secrets_found": 0, "full_coverage": 0,
+            "time_weight": 0.0})
+        entry["functions"] += row["functions"]
+        entry["secrets_found"] += row["secrets_found"]
+        entry["full_coverage"] += row["full_coverage"]
+        entry["time_weight"] += row["average_time"] * row["secrets_found"]
+    aggregates: Dict[str, Dict[str, float]] = {}
+    for name, entry in totals.items():
+        functions = max(1, entry["functions"])
+        found = entry["secrets_found"]
+        aggregates[name] = {
+            "secret_rate": round(entry["secrets_found"] / functions, 4),
+            "coverage_rate": round(entry["full_coverage"] / functions, 4),
+            "average_time": round(
+                entry["time_weight"] / found if found else 0.0, 3),
         }
     return aggregates
 
@@ -168,8 +255,16 @@ def _overhead_aggregates(figure5: List[dict]) -> Dict[str, float]:
 
 
 def write_artifacts(results: Dict[str, List[dict]], out_dir: Path,
-                    slice_name: str, elapsed: float) -> Path:
-    """Write one JSON file per grid plus a ``summary.json``; return the dir."""
+                    slice_name: str, elapsed: float,
+                    elapsed_by_part: Optional[Dict[str, float]] = None,
+                    executions_by_worker: Optional[Dict[str, int]] = None,
+                    workers: int = 1) -> Path:
+    """Write one JSON file per grid plus a ``summary.json``; return the dir.
+
+    ``elapsed_by_part`` attributes wall time to individual grids and
+    ``executions_by_worker`` attributes attack work to pool workers, so
+    ``--compare`` and the nightly job can localize runtime shifts.
+    """
     out_dir.mkdir(parents=True, exist_ok=True)
     for name, rows in results.items():
         (out_dir / f"{name}.json").write_text(json.dumps(rows, indent=2) + "\n")
@@ -178,6 +273,9 @@ def write_artifacts(results: Dict[str, List[dict]], out_dir: Path,
     summary = {
         "slice": slice_name,
         "elapsed_sec": round(elapsed, 1),
+        "elapsed_by_part": {name: round(seconds, 1) for name, seconds
+                            in (elapsed_by_part or {}).items()},
+        "workers": workers,
         "python": platform.python_version(),
         "full_scale_env": os.environ.get("REPRO_FULL_SCALE", "0"),
         "grids": {name: len(rows) for name, rows in results.items()},
@@ -185,6 +283,7 @@ def write_artifacts(results: Dict[str, List[dict]], out_dir: Path,
             "executions": sum(row["executions"] for row in table2),
             "instructions": sum(row["instructions"] for row in table2),
             "branch_restores": sum(row["branch_restores"] for row in table2),
+            "executions_by_worker": executions_by_worker or {},
         },
         # per-config aggregates: what --compare diffs between two runs
         "table2_configs": _config_aggregates(table2),
@@ -192,6 +291,15 @@ def write_artifacts(results: Dict[str, List[dict]], out_dir: Path,
     }
     (out_dir / "summary.json").write_text(json.dumps(summary, indent=2) + "\n")
     return out_dir
+
+
+#: Top-level summary.json keys --compare understands; anything else is a
+#: later schema's addition and is ignored with a notice.
+_KNOWN_SUMMARY_KEYS = frozenset({
+    "slice", "elapsed_sec", "elapsed_by_part", "workers", "python",
+    "full_scale_env", "grids", "attack_engine", "table2_configs",
+    "figure5_overheads",
+})
 
 
 def compare_summaries(old: dict, new: dict, efficacy_threshold: float = 0.1,
@@ -203,15 +311,30 @@ def compare_summaries(old: dict, new: dict, efficacy_threshold: float = 0.1,
     (absolute) or any overhead ratio moved more than ``overhead_threshold``
     (relative).  Only configurations present in both runs are compared, so
     slices of different breadth can still be diffed for their overlap.
+
+    Tolerant of schema growth in either direction: unknown top-level keys
+    and metrics missing from one side are noted and skipped, never a
+    ``KeyError`` — consecutive nightly artifacts straddling a schema change
+    still diff cleanly.
     """
     lines: List[str] = []
     shifted = False
+
+    for label, payload in (("old", old), ("new", new)):
+        unknown = sorted(set(payload) - _KNOWN_SUMMARY_KEYS)
+        if unknown:
+            lines.append(f"   note: ignoring unknown {label} summary "
+                         f"key(s): {', '.join(unknown)}")
 
     old_configs = old.get("table2_configs", {})
     new_configs = new.get("table2_configs", {})
     for name in sorted(set(old_configs) & set(new_configs)):
         before, after = old_configs[name], new_configs[name]
         for metric in ("secret_rate", "coverage_rate"):
+            if metric not in before or metric not in after:
+                lines.append(f"   note: {name} {metric} missing from one "
+                             f"summary; skipped")
+                continue
             delta = after[metric] - before[metric]
             flag = abs(delta) > efficacy_threshold
             shifted = shifted or flag
@@ -246,6 +369,9 @@ def main(argv: Optional[List[str]] = None) -> int:
                         choices=("figure5", "table2", "table3"),
                         help="restrict to a subset of the grids")
     parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--workers", type=int, default=None,
+                        help="worker processes for sharded execution "
+                             "(default: REPRO_GRID_WORKERS or 1 = serial)")
     parser.add_argument("--compare", nargs=2, metavar=("OLD", "NEW"),
                         help="diff two summary.json files instead of running "
                              "a grid; exits 1 on shifts beyond the thresholds")
@@ -272,15 +398,31 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 1 if shifted else 0
 
     start = time.monotonic()
+    workers = args.workers if args.workers is not None else parallel.grid_workers()
     # run and persist one grid at a time: a budget overrun or runner timeout
-    # mid-run still leaves every completed grid's JSON on disk for upload
+    # mid-run still leaves every completed grid's JSON on disk for upload.
+    # One pool persists across the parts so worker-local caches keep paying.
     results: Dict[str, List[dict]] = {}
+    elapsed_by_part: Dict[str, float] = {}
+    meta: Dict = {}
     out_dir = Path(args.out)
-    for part in args.parts or ("table3", "figure5", "table2"):
-        part_rows = run_grid(args.slice, seed=args.seed, parts=[part])[part]
-        results[part] = part_rows
-        write_artifacts(results, out_dir, args.slice, time.monotonic() - start)
-        print(f"{part}: {len(part_rows)} rows -> {out_dir / (part + '.json')}")
+    with parallel.WorkerPool(workers) as pool:
+        if workers > 1:
+            print(f"workers: {workers} "
+                  f"({'fork pool' if pool.parallel else 'fork unavailable, serial'}, "
+                  f"snapshot pool share {pool.snapshot_share})")
+        for part in args.parts or ("table3", "figure5", "table2"):
+            part_start = time.monotonic()
+            part_rows = run_grid(args.slice, seed=args.seed, parts=[part],
+                                 pool=pool, meta=meta)[part]
+            elapsed_by_part[part] = time.monotonic() - part_start
+            results[part] = part_rows
+            write_artifacts(results, out_dir, args.slice,
+                            time.monotonic() - start,
+                            elapsed_by_part=elapsed_by_part,
+                            executions_by_worker=meta.get("executions_by_worker"),
+                            workers=workers)
+            print(f"{part}: {len(part_rows)} rows -> {out_dir / (part + '.json')}")
     print(f"summary -> {out_dir / 'summary.json'}")
     return 0
 

@@ -1,0 +1,454 @@
+"""Multiprocessing execution layer for the evaluation grids.
+
+The three evaluation grids (Figure 5 overhead bars, Table II attack cells,
+Table III gadget statistics) decompose into independent work units — one
+Figure 5 bar, one Table II ``(configuration, spec)`` cell, one Table III
+``(benchmark, k)`` cell.  This module defines those units, a persistent
+fork-based :class:`WorkerPool` that dispatches them with dynamic load
+balancing, and merge helpers that reassemble the streamed unit results into
+exactly the rows the serial drivers produce.
+
+Determinism: every unit measures in deterministic quantities (instruction
+counts, execution counts bounded by deterministic caps, gadget statistics),
+so a parallel run merges to *row-identical* JSON against a serial run at the
+same seed — the property ``tests/evaluation/test_parallel_grid.py`` asserts.
+The only nondeterministic fields are wall-clock times (``average_time``),
+which are nondeterministic in serial runs too.
+
+Worker-local caches keep shared preparation work amortized: a worker
+computing several Figure 5 bars of one benchmark measures the native and
+baseline runs once; a worker attacking several Table II configurations of
+one spec samples the reachable probe set once.  Because those cached values
+are themselves deterministic, two workers recomputing them independently
+agree with the serial run.
+
+Memory bounding: ``REPRO_SNAPSHOT_POOL`` is a *global* mid-path snapshot
+budget; each worker gets its share via
+:func:`repro.attacks.engine.sharded_pool_capacity` (exported to the worker
+through its environment before any engine is built).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import multiprocessing
+import os
+import queue as queue_module
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.attacks import AttackBudget
+from repro.evaluation.configurations import ObfuscationConfig
+from repro.workloads.randomfuns import RandomFunSpec
+
+#: Seconds between liveness checks while waiting on worker results.
+_POLL_SECONDS = 1.0
+
+
+def grid_workers() -> int:
+    """Resolve the ``REPRO_GRID_WORKERS`` knob (default 1 = serial)."""
+    try:
+        return max(1, int(os.environ.get("REPRO_GRID_WORKERS", "1")))
+    except ValueError:
+        return 1
+
+
+def fork_available() -> bool:
+    """Whether the platform supports the fork start method the pool needs.
+
+    Fork lets workers inherit compiled programs and images without pickling
+    them; platforms without it (Windows, some macOS configurations) fall
+    back to in-process execution.
+    """
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+# -- work units ---------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Figure5Unit:
+    """One Figure 5 bar: benchmark ``benchmark`` at ROP fraction ``k``."""
+
+    benchmark: str
+    k: float
+    baseline: ObfuscationConfig
+    seed: int
+
+
+@dataclass(frozen=True)
+class Table2Unit:
+    """One Table II cell: attack one generated function under one config."""
+
+    configuration: ObfuscationConfig
+    spec: RandomFunSpec
+    budget: AttackBudget
+    include_coverage: bool
+    seed: int
+
+
+@dataclass(frozen=True)
+class Table3Unit:
+    """One Table III cell: gadget statistics of one benchmark at one ``k``."""
+
+    benchmark: str
+    k: float
+    seed: int
+
+
+GridUnit = object  # any of the three unit dataclasses
+
+
+def figure5_units(benchmarks: Optional[Sequence[str]],
+                  k_values: Optional[Sequence[float]],
+                  baseline, seed: int) -> List[Figure5Unit]:
+    """Decompose a Figure 5 sweep, resolving the serial driver's defaults."""
+    from repro.evaluation.configurations import nvm, ROPK_SWEEP
+    from repro.workloads.clbg import CLBG_BENCHMARKS
+
+    benchmarks = list(benchmarks or sorted(CLBG_BENCHMARKS))
+    k_values = list(k_values if k_values is not None
+                    else [k for k in ROPK_SWEEP if k > 0])
+    baseline = baseline or nvm(2, "last")
+    return [Figure5Unit(benchmark=name, k=k, baseline=baseline, seed=seed)
+            for name in benchmarks for k in k_values]
+
+
+def table2_units(configurations, specs, budget: AttackBudget,
+                 include_coverage: bool, seed: int) -> List[Table2Unit]:
+    """Decompose a Table II grid in the serial config-outer/spec-inner order."""
+    return [Table2Unit(configuration=configuration, spec=spec, budget=budget,
+                       include_coverage=include_coverage, seed=seed)
+            for configuration in configurations for spec in specs]
+
+
+def table3_units(benchmarks: Optional[Sequence[str]],
+                 k_values: Optional[Sequence[float]],
+                 seed: int) -> List[Table3Unit]:
+    """Decompose a Table III sweep, resolving the serial driver's defaults."""
+    from repro.evaluation.configurations import ROPK_SWEEP
+    from repro.workloads.clbg import CLBG_BENCHMARKS
+
+    benchmarks = list(benchmarks or sorted(CLBG_BENCHMARKS))
+    k_values = list(k_values if k_values is not None else ROPK_SWEEP)
+    return [Table3Unit(benchmark=name, k=k, seed=seed)
+            for name in benchmarks for k in k_values]
+
+
+# -- unit execution (runs inside a worker) ------------------------------------
+
+#: benchmark-level measurements shared by several Figure 5 bars:
+#: (benchmark, baseline, seed) -> (program, entry, argument, targets,
+#: native_steps, baseline_steps).  Worker-local; the cached values are
+#: deterministic, so independent workers agree with each other and with the
+#: serial driver.
+_FIGURE5_CACHE: Dict[Tuple, Tuple] = {}
+
+#: spec-level reachable-probe samples shared by several Table II cells
+#: (the reachable set is a property of the *native* function).
+_REACHABLE_CACHE: Dict[Tuple, set] = {}
+
+#: benchmark-level compiled images shared by several Table III cells.
+_TABLE3_CACHE: Dict[str, Tuple] = {}
+
+
+def _figure5_measurements(unit: Figure5Unit) -> Tuple:
+    from repro.compiler import compile_program
+    from repro.evaluation.configurations import apply_configuration
+    from repro.evaluation.figure5 import _run
+    from repro.workloads.clbg import build_clbg_program
+
+    key = (unit.benchmark, unit.baseline, unit.seed)
+    cached = _FIGURE5_CACHE.get(key)
+    if cached is None:
+        program, entry, argument, targets = build_clbg_program(unit.benchmark)
+        native_steps = _run(compile_program(program), entry, argument)
+        baseline_image = apply_configuration(program, targets, unit.baseline,
+                                             seed=unit.seed)
+        baseline_steps = _run(baseline_image, entry, argument)
+        cached = (program, entry, argument, targets, native_steps, baseline_steps)
+        _FIGURE5_CACHE[key] = cached
+    return cached
+
+
+def _execute_figure5(unit: Figure5Unit) -> dict:
+    from repro.evaluation.configurations import apply_configuration, ropk
+    from repro.evaluation.figure5 import Figure5Bar, _run
+
+    program, entry, argument, targets, native_steps, baseline_steps = \
+        _figure5_measurements(unit)
+    rop_image = apply_configuration(program, targets, ropk(unit.k),
+                                    seed=unit.seed)
+    bar = Figure5Bar(benchmark=unit.benchmark, k=unit.k,
+                     native_instructions=native_steps,
+                     rop_instructions=_run(rop_image, entry, argument),
+                     baseline_instructions=baseline_steps)
+    return {**dataclasses.asdict(bar),
+            "slowdown_vs_native": bar.slowdown_vs_native,
+            "slowdown_vs_baseline": bar.slowdown_vs_baseline}
+
+
+def _execute_table2(unit: Table2Unit) -> dict:
+    from repro.attacks import coverage_attack, secret_finding_attack
+    from repro.attacks.dse import InputSpec
+    from repro.evaluation.configurations import apply_configuration
+    from repro.evaluation.table2 import _reachable_probes
+    from repro.workloads.randomfuns import generate_random_function
+
+    spec = unit.spec
+    secret_spec = RandomFunSpec(structure=spec.structure,
+                                input_size=spec.input_size, seed=spec.seed,
+                                point_test=True,
+                                loop_iterations=spec.loop_iterations)
+    program, _, _ = generate_random_function(secret_spec)
+    image = apply_configuration(program, [secret_spec.name],
+                                unit.configuration, seed=unit.seed)
+    input_spec = InputSpec(argument_sizes=[spec.input_size])
+    outcome = secret_finding_attack(image, secret_spec.name, input_spec,
+                                    unit.budget, seed=unit.seed)
+    cell = {
+        "configuration": unit.configuration.name,
+        "secret_found": outcome.success,
+        "time_to_success": outcome.time_to_success,
+        "coverage_full": False,
+        "executions": outcome.executions,
+        "instructions": outcome.instructions,
+        "branch_restores": outcome.branch_restores,
+    }
+
+    if unit.include_coverage:
+        coverage_spec = RandomFunSpec(structure=spec.structure,
+                                      input_size=spec.input_size,
+                                      seed=spec.seed, point_test=False,
+                                      loop_iterations=spec.loop_iterations)
+        cov_program, _, probe_count = generate_random_function(coverage_spec)
+        cov_image = apply_configuration(cov_program, [coverage_spec.name],
+                                        unit.configuration, seed=unit.seed)
+        spec_key = (spec.structure, spec.input_size, spec.seed,
+                    spec.loop_iterations)
+        reachable = _REACHABLE_CACHE.get(spec_key)
+        if reachable is None:
+            reachable = _reachable_probes(cov_program, coverage_spec,
+                                          probe_count)
+            _REACHABLE_CACHE[spec_key] = reachable
+        cov_outcome = coverage_attack(cov_image, coverage_spec.name,
+                                      reachable, input_spec, unit.budget,
+                                      seed=unit.seed)
+        cell["coverage_full"] = cov_outcome.success
+        cell["executions"] += cov_outcome.executions
+        cell["instructions"] += cov_outcome.instructions
+        cell["branch_restores"] += cov_outcome.branch_restores
+    return cell
+
+
+def _execute_table3(unit: Table3Unit) -> dict:
+    from repro.compiler import compile_program
+    from repro.core import RopConfig, rop_obfuscate
+    from repro.evaluation.table3 import Table3Row
+    from repro.workloads.clbg import build_clbg_program
+
+    cached = _TABLE3_CACHE.get(unit.benchmark)
+    if cached is None:
+        program, _, _, targets = build_clbg_program(unit.benchmark)
+        cached = (compile_program(program), targets)
+        _TABLE3_CACHE[unit.benchmark] = cached
+    image, targets = cached
+    _, report = rop_obfuscate(image, targets,
+                              RopConfig.ropk(unit.k, seed=unit.seed))
+    totals = report.totals()
+    row = Table3Row(benchmark=unit.benchmark, k=unit.k,
+                    program_points=int(totals["program_points"]),
+                    total_gadgets=int(totals["total_gadgets"]),
+                    unique_gadgets=int(totals["unique_gadgets"]))
+    return {**dataclasses.asdict(row), "gadgets_per_point": row.gadgets_per_point}
+
+
+def execute_unit(unit: GridUnit) -> dict:
+    """Execute one work unit; dispatch point shared by serial and workers."""
+    if isinstance(unit, Figure5Unit):
+        return _execute_figure5(unit)
+    if isinstance(unit, Table2Unit):
+        return _execute_table2(unit)
+    if isinstance(unit, Table3Unit):
+        return _execute_table3(unit)
+    raise TypeError(f"unknown work unit {type(unit).__name__}")
+
+
+# -- the worker pool ----------------------------------------------------------
+
+def _worker_main(worker_index: int, snapshot_share: int, task_queue,
+                 result_queue) -> None:
+    """Worker loop: claim units until the ``None`` sentinel arrives.
+
+    The snapshot-pool share is exported *before* any attack engine is built,
+    so every engine the unit executions construct sizes its mid-path pool to
+    this worker's slice of the global budget.
+    """
+    os.environ["REPRO_SNAPSHOT_POOL"] = str(snapshot_share)
+    while True:
+        task = task_queue.get()
+        if task is None:
+            break
+        index, unit = task
+        try:
+            result_queue.put((index, worker_index, "ok", execute_unit(unit)))
+        except BaseException as exc:  # surface, don't hang the parent
+            result_queue.put((index, worker_index, "error",
+                              f"{type(exc).__name__}: {exc}"))
+
+
+class WorkerPool:
+    """Persistent pool of forked grid workers with dynamic load balancing.
+
+    Workers are spawned lazily on the first :meth:`map` call and stay alive
+    across calls (and hence across the three grid parts), so benchmark
+    programs, preloaded images and reachable-probe samples cached inside a
+    worker keep paying off for later units.  ``workers <= 1`` — or a
+    platform without the fork start method — degrades to in-process
+    execution with identical results.
+    """
+
+    def __init__(self, workers: int,
+                 snapshot_share: Optional[int] = None) -> None:
+        from repro.attacks.engine import sharded_pool_capacity
+
+        self.workers = max(1, workers)
+        self.snapshot_share = (sharded_pool_capacity(self.workers)
+                               if snapshot_share is None else snapshot_share)
+        self._processes: List = []
+        self._task_queue = None
+        self._result_queue = None
+
+    @property
+    def parallel(self) -> bool:
+        return self.workers > 1 and fork_available()
+
+    def _ensure_started(self) -> None:
+        if self._processes:
+            return
+        context = multiprocessing.get_context("fork")
+        self._task_queue = context.Queue()
+        self._result_queue = context.Queue()
+        for worker_index in range(self.workers):
+            process = context.Process(
+                target=_worker_main,
+                args=(worker_index, self.snapshot_share, self._task_queue,
+                      self._result_queue),
+                daemon=True)
+            process.start()
+            self._processes.append(process)
+
+    def map(self, units: Sequence[GridUnit]) -> Tuple[List[dict], List[int]]:
+        """Execute every unit; return ``(results, worker_ids)`` unit-ordered.
+
+        Units are claimed dynamically, so expensive cells (Table II attacks)
+        and cheap ones (Table III statistics) balance across workers; the
+        returned lists are nevertheless in input order, which is what makes
+        the downstream merge order-independent of the execution schedule.
+        """
+        if not units:
+            return [], []
+        if not self.parallel:
+            return [execute_unit(unit) for unit in units], [0] * len(units)
+
+        self._ensure_started()
+        for index, unit in enumerate(units):
+            self._task_queue.put((index, unit))
+
+        results: List[Optional[dict]] = [None] * len(units)
+        worker_ids: List[int] = [0] * len(units)
+        received = 0
+        while received < len(units):
+            try:
+                index, worker_index, status, payload = \
+                    self._result_queue.get(timeout=_POLL_SECONDS)
+            except queue_module.Empty:
+                dead = [p for p in self._processes
+                        if not p.is_alive() and p.exitcode not in (0, None)]
+                if dead:
+                    self.close()
+                    raise RuntimeError(
+                        f"grid worker died with exit code {dead[0].exitcode} "
+                        f"({received}/{len(units)} units completed)")
+                continue
+            if status == "error":
+                self.close()
+                raise RuntimeError(f"grid unit {index} failed in worker "
+                                   f"{worker_index}: {payload}")
+            results[index] = payload
+            worker_ids[index] = worker_index
+            received += 1
+        return results, worker_ids
+
+    def close(self) -> None:
+        """Stop the workers; safe to call twice."""
+        if not self._processes:
+            return
+        for _ in self._processes:
+            try:
+                self._task_queue.put(None)
+            except (OSError, ValueError):
+                break
+        for process in self._processes:
+            process.join(timeout=5.0)
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=5.0)
+        self._processes = []
+        self._task_queue = None
+        self._result_queue = None
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+# -- deterministic merges -----------------------------------------------------
+
+def merge_table2(units: Sequence[Table2Unit],
+                 cells: Sequence[dict]) -> List[dict]:
+    """Reassemble Table II rows from per-cell results.
+
+    ``units`` must be in the serial config-outer/spec-inner order (what
+    :func:`table2_units` produces); accumulating cells in that order makes
+    each output row identical to the serial driver's — including
+    ``average_time``, which averages time-to-success over successful cells
+    in spec order.
+    """
+    rows: List[dict] = []
+    by_config: Dict[str, dict] = {}
+    spec_counts: Dict[str, int] = {}
+    for unit, cell in zip(units, cells):
+        name = unit.configuration.name
+        spec_counts[name] = spec_counts.get(name, 0) + 1
+        row = by_config.get(name)
+        if row is None:
+            row = {"configuration": name, "secrets_found": 0, "functions": 0,
+                   "average_time": 0.0, "full_coverage": 0, "executions": 0,
+                   "instructions": 0, "branch_restores": 0, "_times": []}
+            by_config[name] = row
+            rows.append(row)
+        if cell["secret_found"]:
+            row["secrets_found"] += 1
+            row["_times"].append(cell["time_to_success"])
+        if cell["coverage_full"]:
+            row["full_coverage"] += 1
+        row["executions"] += cell["executions"]
+        row["instructions"] += cell["instructions"]
+        row["branch_restores"] += cell["branch_restores"]
+    for row in rows:
+        times = row.pop("_times")
+        row["functions"] = spec_counts[row["configuration"]]
+        row["average_time"] = sum(times) / len(times) if times else 0.0
+    return rows
+
+
+def executions_by_worker(worker_ids: Sequence[int],
+                         cells: Sequence[dict]) -> Dict[str, int]:
+    """Per-worker concrete-execution totals for the summary's attack_engine."""
+    totals: Dict[str, int] = {}
+    for worker_index, cell in zip(worker_ids, cells):
+        key = str(worker_index)
+        totals[key] = totals.get(key, 0) + cell["executions"]
+    return totals

@@ -1,0 +1,141 @@
+"""Distributed DSE snapshot frontier: path-set identity and wiring."""
+
+import pytest
+
+from repro.attacks.dse import DseEngine, InputSpec
+from repro.attacks.frontier import FrontierExplorer, fork_available
+from repro.attacks.goals import AttackBudget, dse_workers, secret_finding_attack
+from repro.compiler import compile_program
+from repro.core import RopConfig, rop_obfuscate
+from repro.lang import Assign, BinOp, Const, Function, If, Probe, Program, Return, Var
+from repro.workloads.randomfuns import RandomFunSpec, generate_random_function
+
+needs_fork = pytest.mark.skipif(not fork_available(),
+                                reason="fork start method required")
+
+
+def _branchy_image():
+    """A multi-path RandomFuns workload (11 feasible paths at 1 input byte)."""
+    spec = RandomFunSpec(structure="for(if(bb4,bb4))", input_size=1, seed=2,
+                         point_test=False)
+    program, _, _ = generate_random_function(spec)
+    return compile_program(program), spec.name
+
+
+def _rop_license_image():
+    """A ROP-obfuscated license check: pointer-kind branch records."""
+    check = Program([Function("f", ["x"], [
+        Probe(1),
+        Assign("h", BinOp("^", BinOp("*", Var("x"), Const(13)), Const(0x27))),
+        If(BinOp("==", BinOp("&", Var("h"), Const(0xFF)), Const(0x5A)),
+           [Probe(2), Return(Const(1))],
+           [Probe(3), Return(Const(0))]),
+    ])])
+    ropped, _ = rop_obfuscate(compile_program(check), ["f"], RopConfig.plain())
+    return ropped, "f"
+
+
+def _path_set(results):
+    """Path identity via decision keys (unambiguous for pointer records)."""
+    return {result.decision_keys for result in results}
+
+
+@needs_fork
+@pytest.mark.parametrize("workers", [2, 4])
+def test_frontier_path_set_equals_serial_entry_rewind(workers):
+    """The tentpole property: the distributed explorer's exhausted path set
+    is identical to serial ``REPRO_DSE_BACKTRACK=0`` exploration.
+
+    Byte-sized inputs keep the solver in its exhaustive-enumeration phase,
+    which is order-independent — so the equality is exact, not statistical.
+    """
+    image, function = _branchy_image()
+    input_spec = InputSpec(argument_sizes=[1])
+
+    serial = DseEngine(image, function, input_spec, seed=5, backtracking=False)
+    serial_results, serial_stats = serial.explore(time_budget=60.0,
+                                                  max_executions=500)
+    assert serial_stats.paths_seen >= 5  # the workload must stay branchy
+
+    frontier = FrontierExplorer(image, function, input_spec, seed=5,
+                                workers=workers)
+    assert frontier.distributed
+    frontier_results, frontier_stats = frontier.explore(time_budget=60.0,
+                                                        max_executions=500)
+    assert _path_set(frontier_results) == _path_set(serial_results)
+    assert frontier_stats.paths_seen == serial_stats.paths_seen
+    assert frontier_stats.executions == serial_stats.executions
+    assert sum(frontier.executions_by_worker.values()) == \
+        frontier_stats.executions
+
+
+@needs_fork
+def test_frontier_matches_serial_on_rop_chain():
+    image, function = _rop_license_image()
+    input_spec = InputSpec(argument_sizes=[1])
+    serial = DseEngine(image, function, input_spec, seed=3, backtracking=False)
+    serial_results, _ = serial.explore(time_budget=60.0, max_executions=100)
+    frontier = FrontierExplorer(image, function, input_spec, seed=3, workers=2)
+    frontier_results, _ = frontier.explore(time_budget=60.0, max_executions=100)
+    assert _path_set(frontier_results) == _path_set(serial_results)
+    # both must have recovered the accepting input
+    assert any(r.return_value == 1 and not r.faulted for r in serial_results)
+    assert any(r.return_value == 1 and not r.faulted for r in frontier_results)
+
+
+@needs_fork
+def test_frontier_backtracking_off_still_matches():
+    image, function = _branchy_image()
+    input_spec = InputSpec(argument_sizes=[1])
+    serial = DseEngine(image, function, input_spec, seed=5, backtracking=False)
+    serial_results, _ = serial.explore(time_budget=60.0, max_executions=500)
+    frontier = FrontierExplorer(image, function, input_spec, seed=5, workers=2,
+                                backtracking=False)
+    frontier_results, _ = frontier.explore(time_budget=60.0, max_executions=500)
+    assert _path_set(frontier_results) == _path_set(serial_results)
+
+
+def test_workers_1_delegates_to_serial_engine():
+    image, function = _branchy_image()
+    input_spec = InputSpec(argument_sizes=[1])
+    frontier = FrontierExplorer(image, function, input_spec, seed=5, workers=1)
+    assert not frontier.distributed
+    results, stats = frontier.explore(time_budget=60.0, max_executions=500)
+    reference = DseEngine(image, function, input_spec, seed=5)
+    ref_results, ref_stats = reference.explore(time_budget=60.0,
+                                               max_executions=500)
+    assert _path_set(results) == _path_set(ref_results)
+    assert frontier.executions_by_worker == {0: stats.executions}
+
+
+@needs_fork
+def test_frontier_respects_max_executions():
+    image, function = _branchy_image()
+    frontier = FrontierExplorer(image, function, InputSpec(argument_sizes=[1]),
+                                seed=5, workers=2)
+    _, stats = frontier.explore(time_budget=60.0, max_executions=3)
+    assert stats.executions <= 3
+
+
+def test_dse_workers_knob(monkeypatch):
+    monkeypatch.delenv("REPRO_DSE_WORKERS", raising=False)
+    assert dse_workers() == 1
+    monkeypatch.setenv("REPRO_DSE_WORKERS", "4")
+    assert dse_workers() == 4
+    monkeypatch.setenv("REPRO_DSE_WORKERS", "junk")
+    assert dse_workers() == 1
+
+
+@needs_fork
+def test_secret_finding_attack_through_frontier(monkeypatch):
+    """`REPRO_DSE_WORKERS>1` routes the goal drivers through the frontier;
+    the stop condition runs coordinator-side, so the witness closure works."""
+    monkeypatch.setenv("REPRO_DSE_WORKERS", "2")
+    image, function = _rop_license_image()
+    outcome = secret_finding_attack(
+        image, function, InputSpec(argument_sizes=[1]),
+        AttackBudget(seconds=60.0, max_executions=50), seed=3)
+    assert outcome.success
+    assert outcome.witness is not None
+    value = outcome.witness["arg0"]
+    assert ((value * 13) ^ 0x27) & 0xFF == 0x5A

@@ -62,7 +62,9 @@ def test_grid_driver_writes_artifacts(tmp_path):
     assert summary["slice"] == "smoke"
     assert summary["grids"] == {"table3": len(rows)}
     assert set(summary["attack_engine"]) == {"executions", "instructions",
-                                             "branch_restores"}
+                                             "branch_restores",
+                                             "executions_by_worker"}
+    assert summary["workers"] == 1
 
 
 def test_run_case_study_smoke():

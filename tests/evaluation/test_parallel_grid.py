@@ -1,0 +1,192 @@
+"""Sharded grid evaluation: unit decomposition, merge, pool and determinism."""
+
+import json
+
+import pytest
+
+from repro.attacks import AttackBudget
+from repro.attacks.engine import sharded_pool_capacity
+from repro.evaluation.configurations import NATIVE, nvm, ropk
+from repro.evaluation.grid import (
+    _config_aggregates,
+    compare_summaries,
+    run_grid,
+    write_artifacts,
+)
+from repro.evaluation.parallel import (
+    Table2Unit,
+    WorkerPool,
+    executions_by_worker,
+    figure5_units,
+    fork_available,
+    merge_table2,
+    table2_units,
+    table3_units,
+)
+from repro.workloads.randomfuns import RandomFunSpec
+
+
+def _strip_wallclock(results):
+    """Drop the wall-clock fields that are nondeterministic even serially."""
+    stripped = {}
+    for name, rows in results.items():
+        rows = [dict(row) for row in rows]
+        for row in rows:
+            row.pop("average_time", None)
+        stripped[name] = rows
+    return stripped
+
+
+@pytest.mark.skipif(not fork_available(), reason="fork start method required")
+def test_smoke_grid_parallel_rows_match_serial():
+    """The tentpole determinism property: workers=2 == workers=1, row for row.
+
+    The smoke slice's budgets are deterministic caps (executions, solver
+    queries, instructions) with a generous wall clock, so every count in
+    every row must agree exactly; only ``average_time`` is wall-clock.
+    """
+    serial = run_grid("smoke", seed=1, workers=1)
+    meta = {}
+    parallel = run_grid("smoke", seed=1, workers=2, meta=meta)
+    assert _strip_wallclock(serial) == _strip_wallclock(parallel)
+    # the JSON serialization (what the artifacts actually persist) agrees too
+    assert json.dumps(_strip_wallclock(serial), sort_keys=True) == \
+        json.dumps(_strip_wallclock(parallel), sort_keys=True)
+    # the side-channel attributes every attack execution to some worker
+    total = sum(row["executions"] for row in serial["table2"])
+    assert sum(meta["executions_by_worker"].values()) == total
+
+
+def test_unit_decomposition_orders_match_serial_loops():
+    f5 = figure5_units(("fasta", "rev-comp"), (0.25, 1.0), nvm(1, "all"), seed=1)
+    assert [(u.benchmark, u.k) for u in f5] == [
+        ("fasta", 0.25), ("fasta", 1.0), ("rev-comp", 0.25), ("rev-comp", 1.0)]
+    t3 = table3_units(("fasta",), (0.05, 0.25), seed=1)
+    assert [(u.benchmark, u.k) for u in t3] == [("fasta", 0.05), ("fasta", 0.25)]
+    specs = [RandomFunSpec(structure="if(bb4,bb4)", input_size=1, seed=s)
+             for s in (1, 2)]
+    t2 = table2_units([NATIVE, ropk(1.0)], specs, AttackBudget(),
+                      include_coverage=False, seed=1)
+    assert [(u.configuration.name, u.spec.seed) for u in t2] == [
+        ("NATIVE", 1), ("NATIVE", 2), ("ROP1.00", 1), ("ROP1.00", 2)]
+
+
+def test_merge_table2_reassembles_serial_rows():
+    specs = [RandomFunSpec(structure="if(bb4,bb4)", input_size=1, seed=s)
+             for s in (1, 2)]
+    units = table2_units([NATIVE, ropk(1.0)], specs, AttackBudget(),
+                         include_coverage=True, seed=1)
+    cells = [
+        # NATIVE: both secrets found, one full coverage
+        {"secret_found": True, "time_to_success": 0.5, "coverage_full": True,
+         "executions": 3, "instructions": 100, "branch_restores": 0},
+        {"secret_found": True, "time_to_success": 1.5, "coverage_full": False,
+         "executions": 4, "instructions": 200, "branch_restores": 1},
+        # ROP1.00: one secret
+        {"secret_found": False, "time_to_success": 5.0, "coverage_full": False,
+         "executions": 10, "instructions": 9000, "branch_restores": 2},
+        {"secret_found": True, "time_to_success": 2.0, "coverage_full": False,
+         "executions": 12, "instructions": 8000, "branch_restores": 3},
+    ]
+    rows = merge_table2(units, cells)
+    assert rows == [
+        {"configuration": "NATIVE", "secrets_found": 2, "functions": 2,
+         "average_time": 1.0, "full_coverage": 1, "executions": 7,
+         "instructions": 300, "branch_restores": 1},
+        {"configuration": "ROP1.00", "secrets_found": 1, "functions": 2,
+         "average_time": 2.0, "full_coverage": 0, "executions": 22,
+         "instructions": 17000, "branch_restores": 5},
+    ]
+    # unsuccessful-only configurations average to 0.0 like the serial driver
+    rows = merge_table2(units[:1], [dict(cells[2])])
+    assert rows[0]["average_time"] == 0.0
+
+    by_worker = executions_by_worker([0, 1, 0, 1], cells)
+    assert by_worker == {"0": 13, "1": 16}
+
+
+def test_worker_pool_serial_fallback_and_error_propagation():
+    pool = WorkerPool(1)
+    assert not pool.parallel
+    units = table3_units(("fasta",), (0.0,), seed=1)
+    results, worker_ids = pool.map(units)
+    assert worker_ids == [0]
+    assert results[0]["benchmark"] == "fasta"
+    assert pool.map([]) == ([], [])
+
+    if fork_available():
+        with WorkerPool(2) as bad_pool:
+            with pytest.raises(RuntimeError, match="unknown work unit"):
+                bad_pool.map([object()])
+
+
+def test_sharded_pool_capacity_divides_global_budget():
+    assert sharded_pool_capacity(1, total=32) == 32
+    assert sharded_pool_capacity(4, total=32) == 8
+    # a positive budget never silently disables a worker's backtracking
+    assert sharded_pool_capacity(64, total=32) == 1
+    # a disabled budget stays disabled for every worker
+    assert sharded_pool_capacity(4, total=0) == 0
+
+
+def test_config_aggregates_sums_rows_per_configuration():
+    """Multi-seed grids emit several rows per config; none may be dropped."""
+    rows = [
+        {"configuration": "ROP1.00", "secrets_found": 2, "functions": 6,
+         "full_coverage": 1, "average_time": 3.0},
+        {"configuration": "ROP1.00", "secrets_found": 4, "functions": 6,
+         "full_coverage": 2, "average_time": 1.5},
+        {"configuration": "NATIVE", "secrets_found": 6, "functions": 6,
+         "full_coverage": 6, "average_time": 0.5},
+    ]
+    aggregates = _config_aggregates(rows)
+    assert aggregates["ROP1.00"]["secret_rate"] == round(6 / 12, 4)
+    assert aggregates["ROP1.00"]["coverage_rate"] == round(3 / 12, 4)
+    # success-weighted: (3.0*2 + 1.5*4) / 6
+    assert aggregates["ROP1.00"]["average_time"] == 2.0
+    assert aggregates["NATIVE"]["secret_rate"] == 1.0
+    # a configuration with zero successes averages to 0.0, not a ZeroDivision
+    zero = _config_aggregates([{"configuration": "X", "secrets_found": 0,
+                                "functions": 6, "full_coverage": 0,
+                                "average_time": 0.0}])
+    assert zero["X"]["average_time"] == 0.0
+
+
+def test_write_artifacts_records_part_times_and_worker_counts(tmp_path):
+    table2 = [{"configuration": "NATIVE", "secrets_found": 1, "functions": 1,
+               "full_coverage": 0, "average_time": 0.1, "executions": 5,
+               "instructions": 100, "branch_restores": 0}]
+    out = write_artifacts({"table2": table2}, tmp_path / "run", "smoke",
+                          elapsed=3.0,
+                          elapsed_by_part={"table2": 2.5, "figure5": 0.5},
+                          executions_by_worker={"0": 3, "1": 2}, workers=2)
+    summary = json.loads((out / "summary.json").read_text())
+    assert summary["elapsed_by_part"] == {"table2": 2.5, "figure5": 0.5}
+    assert summary["workers"] == 2
+    assert summary["attack_engine"]["executions_by_worker"] == {"0": 3, "1": 2}
+    # the pre-PR call shape still works (existing callers and old scripts)
+    out = write_artifacts({"table2": table2}, tmp_path / "old", "smoke",
+                          elapsed=1.0)
+    summary = json.loads((out / "summary.json").read_text())
+    assert summary["elapsed_by_part"] == {}
+    assert summary["attack_engine"]["executions_by_worker"] == {}
+
+
+def test_compare_tolerates_schema_growth():
+    base = {"table2_configs": {"NATIVE": {
+        "secret_rate": 1.0, "coverage_rate": 1.0, "average_time": 0.1}}}
+    grown = {"table2_configs": {"NATIVE": {
+        "secret_rate": 1.0, "coverage_rate": 1.0, "average_time": 0.1,
+        "novel_metric": 42}},
+        "novel_top_level": {"x": 1}}
+    lines, shifted = compare_summaries(base, grown)
+    assert not shifted
+    assert any("ignoring unknown new summary key(s): novel_top_level" in line
+               for line in lines)
+
+    # a metric missing from one side is skipped with a notice, not a KeyError
+    old_schema = {"table2_configs": {"NATIVE": {"secret_rate": 1.0,
+                                                "average_time": 0.1}}}
+    lines, shifted = compare_summaries(old_schema, base)
+    assert not shifted
+    assert any("coverage_rate missing" in line for line in lines)
