@@ -32,6 +32,15 @@ inputs of the RandomFuns suite), an exhaustive frontier run explores
 *exactly* the serial explorer's path set in any execution order — the
 differential property ``tests/attacks/test_frontier.py`` asserts.
 
+Fault tolerance: workers announce each claimed task before executing it, so
+when a worker dies — crash, OOM-kill, or even a *clean* premature exit —
+the coordinator returns its claimed branch decision to the frontier,
+respawns the worker slot and reassigns the work.  Because the path set is
+determined entirely by coordinator-owned state (frontier, dedupe sets,
+solver), a recovered exploration still equals the serial explorer's — the
+fault-injection differential tests (``REPRO_FAULT_INJECT``, see
+:mod:`repro.faults`) kill workers mid-exploration and assert exactly that.
+
 ``workers <= 1`` — or a platform without the fork start method — delegates
 to the serial engine outright.
 """
@@ -50,6 +59,7 @@ from repro.attacks.dse import DseEngine, ExecutionResult, InputSpec
 from repro.attacks.engine import EngineStats, sharded_pool_capacity
 from repro.attacks.solver.solver import ConstraintSolver
 from repro.binary.image import BinaryImage
+from repro.faults import inject_fault, parse_fault_spec, unit_retries
 
 #: Seconds between liveness checks while waiting on worker results.
 _POLL_SECONDS = 0.5
@@ -65,30 +75,48 @@ _STAT_FIELDS = tuple(field.name for field in dataclasses.fields(EngineStats)
 
 
 def _worker_main(worker_index: int, engine_factory: Callable[[], DseEngine],
-                 task_queue, result_queue) -> None:
-    """Worker loop: execute claimed inputs until the ``None`` sentinel.
+                 task_queue, result_queue, claim_cell) -> None:
+    """Worker loop: execute claimed tasks until the ``None`` sentinel.
 
-    Results carry the engine's per-execution stat deltas so the coordinator
-    can aggregate instructions/restores without a second message exchange.
-    Deep shadow-expression DAGs can out-recurse pickle's default limit, so
-    it is raised before any result is serialized.
+    Every claimed task is announced in ``claim_cell`` — a shared int the
+    coordinator reads to return a dead worker's branch decision to the
+    frontier.  The claim must NOT travel through the result queue: queue
+    puts are flushed by a background feeder thread, so a worker dying right
+    after claiming (SIGKILL, OOM) would lose the in-flight claim message and
+    strand the decision forever; the shared-memory write is synchronous and
+    survives any death.  Results carry the engine's per-execution stat
+    deltas so the coordinator can aggregate instructions/restores without a
+    second message exchange.  Deep shadow-expression DAGs can out-recurse
+    pickle's default limit, so it is raised before any result is serialized.
+    Interrupts (``KeyboardInterrupt``/``SystemExit``) re-raise instead of
+    being reported as task errors: the coordinator treats the dying worker
+    like any other premature exit.
     """
     sys.setrecursionlimit(max(sys.getrecursionlimit(), 100_000))
+    fault_spec = parse_fault_spec()
     engine = engine_factory()
     while True:
         task = task_queue.get()
         if task is None:
             break
-        assignment, resume_key = task
+        task_id, assignment, resume_key = task
+        claim_cell.value = task_id
         before = {name: getattr(engine.stats, name) for name in _STAT_FIELDS}
         try:
+            inject_fault(task_id, 0, fault_spec)
             result = engine.execute(assignment, resume_key=resume_key)
             delta = {name: getattr(engine.stats, name) - before[name]
                      for name in _STAT_FIELDS}
-            result_queue.put((worker_index, "ok", result, delta))
+            result_queue.put((worker_index, "ok", (task_id, result), delta))
+        except (KeyboardInterrupt, SystemExit):
+            raise
         except BaseException as exc:  # surface, don't hang the coordinator
             result_queue.put((worker_index, "error",
-                              f"{type(exc).__name__}: {exc}", None))
+                              (task_id, f"{type(exc).__name__}: {exc}"),
+                              None))
+        # cleared only after the result is queued: a death in between leaves
+        # a stale claim, which the drain-first recovery ignores
+        claim_cell.value = -1
 
 
 class FrontierExplorer:
@@ -128,6 +156,8 @@ class FrontierExplorer:
         #: worker index -> concrete executions it performed (serial
         #: delegation reports everything under worker 0).
         self.executions_by_worker: Dict[int, int] = {}
+        #: replacement workers forked after a premature worker exit.
+        self.respawns = 0
 
     # -- serial delegation ---------------------------------------------------
     def _make_engine(self, pool_capacity: Optional[int]) -> DseEngine:
@@ -172,113 +202,185 @@ class FrontierExplorer:
         start = time.monotonic()
         stats = self.stats
         initial = {name: 0 for name in self.symbols}
-        pending: List[Tuple[int, Dict[str, int], Optional[Tuple]]] = \
-            [(0, initial, None)]
+        # pending entries are (priority, assignment, resume_key, attempt);
+        # attempt counts how often a worker died holding this decision
+        pending: List[Tuple[int, Dict[str, int], Optional[Tuple], int]] = \
+            [(0, initial, None, 0)]
         seen_inputs: Set[Tuple] = {tuple(sorted(initial.items()))}
         seen_decisions: Set[Tuple] = set()
         results: List[ExecutionResult] = []
         path_signatures: Set[Tuple] = set()
         self.executions_by_worker = {index: 0 for index in range(self.workers)}
+        self.respawns = 0
+        retries = unit_retries()
+        respawn_limit = max(8, self.workers * (retries + 2))
 
         context = multiprocessing.get_context("fork")
         task_queue = context.Queue()
         result_queue = context.Queue()
+        #: per-slot shared claim cells (-1 = idle); see :func:`_worker_main`
+        claim_cells = [context.Value("q", -1, lock=False)
+                       for _ in range(self.workers)]
         factory = lambda: self._make_engine(self.worker_pool_capacity)  # noqa: E731
-        processes = [
-            context.Process(target=_worker_main,
-                            args=(index, factory, task_queue, result_queue),
-                            daemon=True)
-            for index in range(self.workers)
-        ]
-        for process in processes:
-            process.start()
 
-        inflight = 0
+        def spawn(index: int):
+            claim_cells[index].value = -1
+            process = context.Process(
+                target=_worker_main,
+                args=(index, factory, task_queue, result_queue,
+                      claim_cells[index]),
+                daemon=True)
+            process.start()
+            return process
+
+        processes: Dict[int, object] = {index: spawn(index)
+                                        for index in range(self.workers)}
+        #: dispatched-but-unresolved tasks, by task id
+        inflight: Dict[int, Tuple[int, Dict[str, int], Optional[Tuple], int]] = {}
+        #: results drained off the queue, waiting for frontier expansion
+        arrived: List[Tuple[int, ExecutionResult, dict]] = []
+        next_task_id = 0
         stopped = False
+
+        def handle(message) -> None:
+            worker_index, kind, payload, delta = message
+            task_id, body = payload
+            if task_id not in inflight:
+                return  # stale duplicate drained around a worker death
+            del inflight[task_id]
+            if kind == "error":
+                raise RuntimeError(
+                    f"frontier worker {worker_index} failed: {body}")
+            arrived.append((worker_index, body, delta))
+
+        def recover_dead_workers() -> None:
+            dead = [slot for slot, process in processes.items()
+                    if not process.is_alive()]
+            if not dead:
+                return
+            # drain buffered messages first: a result that raced the death
+            # must win over re-enqueueing its decision
+            while True:
+                try:
+                    handle(result_queue.get_nowait())
+                except queue_module.Empty:
+                    break
+            for slot in dead:
+                exitcode = processes[slot].exitcode
+                claimed = claim_cells[slot].value
+                task_id = None if claimed < 0 else claimed
+                if task_id is not None and task_id in inflight:
+                    priority, assignment, resume_key, attempt = \
+                        inflight.pop(task_id)
+                    if attempt >= retries:
+                        raise RuntimeError(
+                            f"frontier worker died {attempt + 1} times on "
+                            f"one branch decision (last exit code "
+                            f"{exitcode})")
+                    # the decision goes back to the frontier and is
+                    # reassigned — path set stays identical to serial
+                    pending.append((priority, assignment, resume_key,
+                                    attempt + 1))
+                self.respawns += 1
+                if self.respawns > respawn_limit:
+                    raise RuntimeError(
+                        f"frontier worker respawn limit exceeded "
+                        f"({self.respawns} respawns)")
+                processes[slot] = spawn(slot)
+
         try:
             while True:
                 # dispatch while there is pending work, free workers and budget
-                while (pending and not stopped and inflight < self.workers
-                       and stats.executions + inflight < max_executions
+                while (pending and not stopped
+                       and len(inflight) < self.workers
+                       and stats.executions + len(inflight) < max_executions
                        and time.monotonic() - start <= time_budget):
                     index = self._pick(pending)
-                    _, assignment, resume_key = pending.pop(index)
-                    task_queue.put((assignment, resume_key))
-                    inflight += 1
-                if inflight == 0:
+                    entry = pending.pop(index)
+                    inflight[next_task_id] = entry
+                    task_queue.put((next_task_id, entry[1], entry[2]))
+                    next_task_id += 1
+                if not inflight and not arrived:
                     break
 
                 try:
-                    worker_index, status, payload, delta = \
-                        result_queue.get(timeout=_POLL_SECONDS)
+                    handle(result_queue.get(timeout=_POLL_SECONDS))
                 except queue_module.Empty:
-                    dead = [p for p in processes
-                            if not p.is_alive() and p.exitcode not in (0, None)]
-                    if dead:
-                        raise RuntimeError(
-                            f"frontier worker died with exit code "
-                            f"{dead[0].exitcode}")
-                    continue
-                inflight -= 1
-                if status == "error":
-                    raise RuntimeError(
-                        f"frontier worker {worker_index} failed: {payload}")
-                result: ExecutionResult = payload
-                results.append(result)
-                self.executions_by_worker[worker_index] += 1
-                for name, value in delta.items():
-                    setattr(stats, name, getattr(stats, name) + value)
+                    recover_dead_workers()
 
-                signature = tuple(
-                    (address, constraint.expected)
-                    for address, constraint in zip(result.branch_addresses,
-                                                   result.constraints))
-                if signature not in path_signatures:
-                    path_signatures.add(signature)
-                    stats.paths_seen += 1
+                while arrived:
+                    worker_index, result, delta = arrived.pop(0)
+                    results.append(result)
+                    self.executions_by_worker[worker_index] += 1
+                    for name, value in delta.items():
+                        setattr(stats, name, getattr(stats, name) + value)
 
-                if stopped:
-                    continue  # draining in-flight results after a stop
-                if stop_condition is not None and stop_condition(result):
-                    stopped = True
-                    continue
+                    signature = tuple(
+                        (address, constraint.expected)
+                        for address, constraint in zip(result.branch_addresses,
+                                                       result.constraints))
+                    if signature not in path_signatures:
+                        path_signatures.add(signature)
+                        stats.paths_seen += 1
 
-                # generational expansion — identical to the serial loop;
-                # the shared dedupe sets live here, so no two workers ever
-                # chase the same negated decision
-                for position, constraint in enumerate(result.constraints):
-                    if max_solver_queries is not None \
-                            and stats.solver_queries >= max_solver_queries:
-                        break
-                    if time.monotonic() - start > time_budget:
-                        break
-                    decision_key = (
-                        signature[:position],
-                        result.branch_addresses[position],
-                        not constraint.expected,
-                    )
-                    if decision_key in seen_decisions:
+                    if stopped:
+                        continue  # draining in-flight results after a stop
+                    if stop_condition is not None and stop_condition(result):
+                        stopped = True
                         continue
-                    seen_decisions.add(decision_key)
-                    prefix = result.constraints[:position] + [constraint.negated()]
-                    stats.solver_queries += 1
-                    solution = self.solver.solve(
-                        prefix, seed_assignment=result.assignment)
-                    if solution is None:
-                        continue
-                    key = tuple(sorted(solution.items()))
-                    if key in seen_inputs:
-                        continue
-                    seen_inputs.add(key)
-                    pending.append((result.branch_addresses[position], solution,
-                                    result.decision_keys[:position]))
-        finally:
+
+                    # generational expansion — identical to the serial loop;
+                    # the shared dedupe sets live here, so no two workers
+                    # ever chase the same negated decision
+                    for position, constraint in enumerate(result.constraints):
+                        if max_solver_queries is not None \
+                                and stats.solver_queries >= max_solver_queries:
+                            break
+                        if time.monotonic() - start > time_budget:
+                            break
+                        decision_key = (
+                            signature[:position],
+                            result.branch_addresses[position],
+                            not constraint.expected,
+                        )
+                        if decision_key in seen_decisions:
+                            continue
+                        seen_decisions.add(decision_key)
+                        prefix = result.constraints[:position] \
+                            + [constraint.negated()]
+                        stats.solver_queries += 1
+                        solution = self.solver.solve(
+                            prefix, seed_assignment=result.assignment)
+                        if solution is None:
+                            continue
+                        key = tuple(sorted(solution.items()))
+                        if key in seen_inputs:
+                            continue
+                        seen_inputs.add(key)
+                        pending.append((result.branch_addresses[position],
+                                        solution,
+                                        result.decision_keys[:position], 0))
+        except BaseException:
+            # error path: terminate instead of the sentinel handshake, so a
+            # failed exploration doesn't block up to 10 s per process
+            for process in processes.values():
+                if process.is_alive():
+                    process.terminate()
+            for process in processes.values():
+                process.join(timeout=2.0)
+                if process.is_alive():
+                    process.kill()
+                    process.join(timeout=2.0)
+            task_queue.cancel_join_thread()
+            result_queue.cancel_join_thread()
+            raise
+        else:
             for _ in processes:
                 try:
                     task_queue.put(None)
                 except (OSError, ValueError):
                     break
-            for process in processes:
+            for process in processes.values():
                 process.join(timeout=5.0)
                 if process.is_alive():
                     process.terminate()

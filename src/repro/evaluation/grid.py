@@ -28,7 +28,19 @@ Trend reporting compares the ``summary.json`` of two archived runs::
 It prints per-configuration secret-finding/coverage deltas and per-benchmark
 overhead shifts, and exits nonzero when any delta exceeds the thresholds
 (``--efficacy-threshold``, relative ``--overhead-threshold``) — the alarm
-hook for diffing consecutive nightly artifacts.
+hook for diffing consecutive nightly artifacts.  Runs carrying quarantined
+cells (``summary.json``'s ``faults.failed_units``) are flagged in the diff,
+since their rows are partial.
+
+Fault tolerance: every completed unit is appended to ``checkpoint.jsonl``
+in the output directory the moment it arrives, and ``--resume <dir>`` loads
+a previous run's checkpoint and skips the units it already completed (keyed
+on a deterministic unit fingerprint) — a nightly run killed by a runner
+timeout continues where it stopped instead of restarting from zero.  Units
+whose worker crashed/hung/errored past the retry budget are *quarantined*
+as ``{"status": "failed", "error": ...}`` rows (see
+``repro.evaluation.parallel``) rather than aborting the run; they are never
+checkpointed, so a resumed run retries them.
 """
 
 from __future__ import annotations
@@ -121,11 +133,123 @@ def _slice_budget(params: Dict) -> AttackBudget:
         max_solver_queries=params.get("attack_solver_queries"))
 
 
+class Checkpoint:
+    """Incremental unit-result ledger enabling ``--resume`` of a killed run.
+
+    Each completed unit appends one JSON line ``{"fingerprint", "part",
+    "result"}`` to ``checkpoint.jsonl`` in the output directory as soon as
+    it arrives (flushed per line), so a run killed at *any* point leaves a
+    usable ledger behind.  Quarantined units are never recorded — a resumed
+    run retries them.  Fingerprints hash every unit parameter
+    (:func:`repro.evaluation.parallel.unit_fingerprint`), so a checkpoint
+    from a different slice/seed simply matches nothing instead of leaking
+    stale rows into the wrong run.
+    """
+
+    FILENAME = "checkpoint.jsonl"
+
+    def __init__(self, out_dir: Path) -> None:
+        out_dir = Path(out_dir)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        self.path = out_dir / self.FILENAME
+        # a previous run killed mid-write may have left a torn final line
+        # with no newline; appending straight after it would corrupt the
+        # first new record too, so start on a fresh line
+        torn = False
+        if self.path.exists():
+            with self.path.open("rb") as existing:
+                existing.seek(0, 2)
+                if existing.tell() > 0:
+                    existing.seek(-1, 2)
+                    torn = existing.read(1) != b"\n"
+        self._file = self.path.open("a", encoding="utf-8")
+        if torn:
+            self._file.write("\n")
+
+    def record(self, fingerprint: str, part: str, result: dict) -> None:
+        self._file.write(json.dumps({"fingerprint": fingerprint,
+                                     "part": part, "result": result}) + "\n")
+        self._file.flush()
+
+    def close(self) -> None:
+        self._file.close()
+
+    def __enter__(self) -> "Checkpoint":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    @classmethod
+    def load(cls, directory) -> Dict[str, dict]:
+        """``fingerprint -> {"part", "result"}`` from a previous ledger.
+
+        Tolerates a missing file (nothing to resume) and a torn final line
+        (the driver may have been killed mid-write) — both just yield fewer
+        resumable units, never an error.
+        """
+        path = Path(directory) / cls.FILENAME
+        entries: Dict[str, dict] = {}
+        if not path.exists():
+            return entries
+        for line in path.read_text(encoding="utf-8").splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entry = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if isinstance(entry, dict) and "fingerprint" in entry \
+                    and "result" in entry:
+                entries[entry["fingerprint"]] = {
+                    "part": entry.get("part", ""),
+                    "result": entry["result"]}
+        return entries
+
+
+def _run_units(pool: parallel.WorkerPool, units, part: str,
+               completed: Optional[Dict[str, dict]],
+               checkpoint: Optional[Checkpoint]):
+    """Dispatch ``units`` through ``pool``, skipping checkpointed ones.
+
+    Returns ``(rows, worker_ids)`` in unit order; a resumed unit carries its
+    checkpointed row and a ``None`` worker id (it cost this run nothing).
+    Freshly completed units stream to ``checkpoint`` as they arrive, so a
+    driver killed mid-part still checkpoints everything that finished.
+    """
+    completed = completed or {}
+    fingerprints = [parallel.unit_fingerprint(unit) for unit in units]
+    rows: List[Optional[dict]] = [None] * len(units)
+    worker_ids: List[Optional[int]] = [None] * len(units)
+    todo: List[int] = []
+    for position, fingerprint in enumerate(fingerprints):
+        entry = completed.get(fingerprint)
+        if entry is None:
+            todo.append(position)
+        else:
+            rows[position] = entry["result"]
+
+    def on_result(index: int, unit, payload: dict) -> None:
+        if checkpoint is not None and payload.get("status") != "failed":
+            checkpoint.record(fingerprints[todo[index]], part, payload)
+
+    mapped, ids = pool.map([units[position] for position in todo],
+                           on_result=on_result)
+    for index, position in enumerate(todo):
+        rows[position] = mapped[index]
+        worker_ids[position] = ids[index]
+    return rows, worker_ids
+
+
 def run_grid(slice_name: str = "reduced", seed: int = 1,
              parts: Optional[List[str]] = None,
              workers: Optional[int] = None,
              pool: Optional[parallel.WorkerPool] = None,
-             meta: Optional[Dict] = None) -> Dict[str, List[dict]]:
+             meta: Optional[Dict] = None,
+             checkpoint: Optional[Checkpoint] = None,
+             completed: Optional[Dict[str, dict]] = None,
+             ) -> Dict[str, List[dict]]:
     """Run the selected grid slice and return ``{artifact: rows}``.
 
     ``parts`` restricts the run to a subset of ``("figure5", "table2",
@@ -137,7 +261,16 @@ def run_grid(slice_name: str = "reduced", seed: int = 1,
     serial run at the same seed (wall-clock fields aside).  Pass ``pool`` to
     reuse one persistent pool across several calls (the CLI does this so
     worker-local caches survive across the three parts); ``meta``, when
-    given, collects side-channel statistics (``executions_by_worker``).
+    given, collects side-channel statistics (``executions_by_worker``,
+    ``faults``).
+
+    ``checkpoint`` streams each completed unit to disk as it arrives and
+    ``completed`` (a loaded :meth:`Checkpoint.load` mapping) skips units a
+    previous run already finished; either one routes execution through the
+    per-unit path even at ``workers=1`` (the in-process pool fallback,
+    which produces the same rows as the serial drivers).  Units that
+    exhaust their retries surface as quarantined ``{"status": "failed"}``
+    rows instead of raising.
     """
     params = SLICES[slice_name]
     parts = list(parts or ("figure5", "table2", "table3"))
@@ -145,19 +278,21 @@ def run_grid(slice_name: str = "reduced", seed: int = 1,
         workers = pool.workers if pool is not None else parallel.grid_workers()
     results: Dict[str, List[dict]] = {}
 
+    needs_units = checkpoint is not None or completed is not None
     own_pool: Optional[parallel.WorkerPool] = None
-    if workers > 1 and pool is None:
+    if pool is None and (workers > 1 or needs_units):
         pool = own_pool = parallel.WorkerPool(workers)
-    sharded = pool is not None and pool.parallel
+    use_units = pool is not None and (pool.parallel or needs_units)
 
     try:
         if "figure5" in parts:
-            if sharded:
+            if use_units:
                 units = parallel.figure5_units(
                     benchmarks=params["clbg_benchmarks"],
                     k_values=params["k_values"],
                     baseline=params["vm_baseline"], seed=seed)
-                results["figure5"], _ = pool.map(units)
+                results["figure5"], _ = _run_units(pool, units, "figure5",
+                                                   completed, checkpoint)
             else:
                 bars = run_figure5(benchmarks=params["clbg_benchmarks"],
                                    k_values=params["k_values"],
@@ -175,15 +310,25 @@ def run_grid(slice_name: str = "reduced", seed: int = 1,
                                           structures=params["structures"])
             budget = _slice_budget(params)
             configurations = _configurations(params["configurations"])
-            if sharded:
+            if use_units:
                 units = parallel.table2_units(
                     configurations, specs, budget,
                     include_coverage=params["include_coverage"], seed=seed)
-                cells, worker_ids = pool.map(units)
-                results["table2"] = parallel.merge_table2(units, cells)
+                cells, worker_ids = _run_units(pool, units, "table2",
+                                               completed, checkpoint)
+                quarantined = [cell for cell in cells
+                               if cell.get("status") == "failed"]
+                results["table2"] = \
+                    parallel.merge_table2(units, cells) + quarantined
                 if meta is not None:
+                    # attribute only this run's work: resumed cells (worker
+                    # id None) were executed by the previous run
+                    executed = [(worker, cell) for worker, cell
+                                in zip(worker_ids, cells) if worker is not None]
                     meta["executions_by_worker"] = \
-                        parallel.executions_by_worker(worker_ids, cells)
+                        parallel.executions_by_worker(
+                            [worker for worker, _ in executed],
+                            [cell for _, cell in executed])
             else:
                 rows = run_table2(configurations=configurations,
                                   specs=specs, budget=budget,
@@ -195,11 +340,12 @@ def run_grid(slice_name: str = "reduced", seed: int = 1,
                         "0": sum(row["executions"] for row in results["table2"])}
 
         if "table3" in parts:
-            if sharded:
+            if use_units:
                 units = parallel.table3_units(
                     benchmarks=params["clbg_benchmarks"],
                     k_values=params["k_values"], seed=seed)
-                results["table3"], _ = pool.map(units)
+                results["table3"], _ = _run_units(pool, units, "table3",
+                                                  completed, checkpoint)
             else:
                 rows3 = run_table3(benchmarks=params["clbg_benchmarks"],
                                    k_values=params["k_values"], seed=seed)
@@ -209,6 +355,8 @@ def run_grid(slice_name: str = "reduced", seed: int = 1,
                     for row in rows3
                 ]
     finally:
+        if meta is not None and pool is not None:
+            meta["faults"] = pool.stats.as_dict()
         if own_pool is not None:
             own_pool.close()
 
@@ -225,6 +373,8 @@ def _config_aggregates(table2: List[dict]) -> Dict[str, Dict[str, float]]:
     """
     totals: Dict[str, Dict[str, float]] = {}
     for row in table2:
+        if row.get("status") == "failed":
+            continue  # quarantined rows carry no measurements
         entry = totals.setdefault(row["configuration"], {
             "functions": 0, "secrets_found": 0, "full_coverage": 0,
             "time_weight": 0.0})
@@ -250,7 +400,7 @@ def _overhead_aggregates(figure5: List[dict]) -> Dict[str, float]:
     return {
         f"{row['benchmark']}@k{row['k']:.2f}": round(
             row["slowdown_vs_baseline"], 4)
-        for row in figure5
+        for row in figure5 if row.get("status") != "failed"
     }
 
 
@@ -258,18 +408,23 @@ def write_artifacts(results: Dict[str, List[dict]], out_dir: Path,
                     slice_name: str, elapsed: float,
                     elapsed_by_part: Optional[Dict[str, float]] = None,
                     executions_by_worker: Optional[Dict[str, int]] = None,
-                    workers: int = 1) -> Path:
+                    workers: int = 1,
+                    faults: Optional[Dict[str, int]] = None) -> Path:
     """Write one JSON file per grid plus a ``summary.json``; return the dir.
 
     ``elapsed_by_part`` attributes wall time to individual grids and
     ``executions_by_worker`` attributes attack work to pool workers, so
     ``--compare`` and the nightly job can localize runtime shifts.
+    ``faults`` carries the pool's recovery counters (``failed_units``,
+    ``retries``, ``respawns``, ``timeouts``); quarantined rows inside
+    ``results`` are excluded from every aggregate.
     """
     out_dir.mkdir(parents=True, exist_ok=True)
     for name, rows in results.items():
         (out_dir / f"{name}.json").write_text(json.dumps(rows, indent=2) + "\n")
 
-    table2 = results.get("table2", [])
+    table2 = [row for row in results.get("table2", [])
+              if row.get("status") != "failed"]
     summary = {
         "slice": slice_name,
         "elapsed_sec": round(elapsed, 1),
@@ -285,6 +440,8 @@ def write_artifacts(results: Dict[str, List[dict]], out_dir: Path,
             "branch_restores": sum(row["branch_restores"] for row in table2),
             "executions_by_worker": executions_by_worker or {},
         },
+        "faults": faults or {"failed_units": 0, "retries": 0, "respawns": 0,
+                             "timeouts": 0},
         # per-config aggregates: what --compare diffs between two runs
         "table2_configs": _config_aggregates(table2),
         "figure5_overheads": _overhead_aggregates(results.get("figure5", [])),
@@ -298,7 +455,7 @@ def write_artifacts(results: Dict[str, List[dict]], out_dir: Path,
 _KNOWN_SUMMARY_KEYS = frozenset({
     "slice", "elapsed_sec", "elapsed_by_part", "workers", "python",
     "full_scale_env", "grids", "attack_engine", "table2_configs",
-    "figure5_overheads",
+    "figure5_overheads", "faults",
 })
 
 
@@ -325,6 +482,14 @@ def compare_summaries(old: dict, new: dict, efficacy_threshold: float = 0.1,
         if unknown:
             lines.append(f"   note: ignoring unknown {label} summary "
                          f"key(s): {', '.join(unknown)}")
+
+    # a run with quarantined cells has partial rows: every rate it reports
+    # is computed over fewer units, so flag the diff as suspect up front
+    for label, payload in (("old", old), ("new", new)):
+        failed_units = (payload.get("faults") or {}).get("failed_units", 0)
+        if failed_units:
+            lines.append(f"!! warning: {label} run has {failed_units} "
+                         f"quarantined cell(s); its rows are partial")
 
     old_configs = old.get("table2_configs", {})
     new_configs = new.get("table2_configs", {})
@@ -372,6 +537,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--workers", type=int, default=None,
                         help="worker processes for sharded execution "
                              "(default: REPRO_GRID_WORKERS or 1 = serial)")
+    parser.add_argument("--resume", metavar="DIR", default=None,
+                        help="directory holding a previous run's "
+                             "checkpoint.jsonl; units it already completed "
+                             "are loaded and skipped")
     parser.add_argument("--compare", nargs=2, metavar=("OLD", "NEW"),
                         help="diff two summary.json files instead of running "
                              "a grid; exits 1 on shifts beyond the thresholds")
@@ -399,14 +568,33 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     start = time.monotonic()
     workers = args.workers if args.workers is not None else parallel.grid_workers()
+    out_dir = Path(args.out)
+
+    # checkpoint-resume: load a previous run's ledger, then stream this
+    # run's completed units to out_dir/checkpoint.jsonl as they arrive
+    completed: Dict[str, dict] = {}
+    if args.resume:
+        resume_dir = Path(args.resume)
+        completed = Checkpoint.load(resume_dir)
+        if completed:
+            print(f"resume: {len(completed)} completed unit(s) loaded from "
+                  f"{resume_dir / Checkpoint.FILENAME}")
+        else:
+            print(f"resume: no checkpoint at "
+                  f"{resume_dir / Checkpoint.FILENAME}; running every unit")
+    checkpoint = Checkpoint(out_dir)
+    if completed and Path(args.resume).resolve() != out_dir.resolve():
+        # carry the resumed entries over so out_dir is itself resumable
+        for fingerprint, entry in completed.items():
+            checkpoint.record(fingerprint, entry["part"], entry["result"])
+
     # run and persist one grid at a time: a budget overrun or runner timeout
     # mid-run still leaves every completed grid's JSON on disk for upload.
     # One pool persists across the parts so worker-local caches keep paying.
     results: Dict[str, List[dict]] = {}
     elapsed_by_part: Dict[str, float] = {}
     meta: Dict = {}
-    out_dir = Path(args.out)
-    with parallel.WorkerPool(workers) as pool:
+    with parallel.WorkerPool(workers) as pool, checkpoint:
         if workers > 1:
             print(f"workers: {workers} "
                   f"({'fork pool' if pool.parallel else 'fork unavailable, serial'}, "
@@ -414,15 +602,24 @@ def main(argv: Optional[List[str]] = None) -> int:
         for part in args.parts or ("table3", "figure5", "table2"):
             part_start = time.monotonic()
             part_rows = run_grid(args.slice, seed=args.seed, parts=[part],
-                                 pool=pool, meta=meta)[part]
+                                 pool=pool, meta=meta,
+                                 checkpoint=checkpoint,
+                                 completed=completed)[part]
             elapsed_by_part[part] = time.monotonic() - part_start
             results[part] = part_rows
             write_artifacts(results, out_dir, args.slice,
                             time.monotonic() - start,
                             elapsed_by_part=elapsed_by_part,
                             executions_by_worker=meta.get("executions_by_worker"),
-                            workers=workers)
+                            workers=workers,
+                            faults=pool.stats.as_dict())
             print(f"{part}: {len(part_rows)} rows -> {out_dir / (part + '.json')}")
+        if pool.stats.failed_units:
+            print(f"WARNING: {pool.stats.failed_units} unit(s) quarantined "
+                  f"after retries (see the status=failed rows; "
+                  f"{pool.stats.retries} retries, "
+                  f"{pool.stats.respawns} worker respawns, "
+                  f"{pool.stats.timeouts} deadline kills)")
     print(f"summary -> {out_dir / 'summary.json'}")
     return 0
 

@@ -26,19 +26,33 @@ Memory bounding: ``REPRO_SNAPSHOT_POOL`` is a *global* mid-path snapshot
 budget; each worker gets its share via
 :func:`repro.attacks.engine.sharded_pool_capacity` (exported to the worker
 through its environment before any engine is built).
+
+Fault tolerance: :meth:`WorkerPool.map` supervises its workers.  A unit
+whose worker raises, exceeds the ``REPRO_UNIT_TIMEOUT`` deadline or dies —
+any premature exit counts, including a *clean* exit code 0 mid-unit — is
+retried up to ``REPRO_UNIT_RETRIES`` times on a respawned worker, and when
+retries exhaust, the unit is **quarantined**: its slot in the results
+becomes a ``{"status": "failed", "error": ...}`` row and the run continues
+instead of aborting a CPU-hours grid.  :class:`FaultStats` counts the
+recoveries; every path is provoked deliberately by the deterministic
+fault-injection harness (:mod:`repro.faults`, ``REPRO_FAULT_INJECT``).
 """
 
 from __future__ import annotations
 
 import dataclasses
+import hashlib
+import json
 import multiprocessing
 import os
 import queue as queue_module
+import time
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.attacks import AttackBudget
 from repro.evaluation.configurations import ObfuscationConfig
+from repro.faults import inject_fault, parse_fault_spec, unit_retries, unit_timeout
 from repro.workloads.randomfuns import RandomFunSpec
 
 #: Seconds between liveness checks while waiting on worker results.
@@ -132,6 +146,65 @@ def table3_units(benchmarks: Optional[Sequence[str]],
     k_values = list(k_values if k_values is not None else ROPK_SWEEP)
     return [Table3Unit(benchmark=name, k=k, seed=seed)
             for name in benchmarks for k in k_values]
+
+
+# -- unit identity, fingerprints and quarantine rows --------------------------
+
+def unit_identity(unit: GridUnit) -> Dict[str, object]:
+    """Human-readable identity fields of a unit (embedded in failure rows)."""
+    if isinstance(unit, Figure5Unit):
+        return {"part": "figure5", "benchmark": unit.benchmark, "k": unit.k}
+    if isinstance(unit, Table2Unit):
+        return {"part": "table2", "configuration": unit.configuration.name,
+                "structure": unit.spec.structure,
+                "input_size": unit.spec.input_size,
+                "spec_seed": unit.spec.seed}
+    if isinstance(unit, Table3Unit):
+        return {"part": "table3", "benchmark": unit.benchmark, "k": unit.k}
+    return {"part": "unknown", "unit": type(unit).__name__}
+
+
+def unit_fingerprint(unit: GridUnit) -> str:
+    """Deterministic cross-run identity of a unit — the checkpoint key.
+
+    Hashes every field of the unit (configuration, spec, budget, seed via
+    the nested ``dataclasses.asdict``), so two runs agree on what "the same
+    cell" means exactly when they would compute the same row, and any
+    parameter change (a retuned budget, a different seed) invalidates the
+    old checkpoint entry instead of silently reusing a stale result.
+    """
+    if dataclasses.is_dataclass(unit):
+        payload = json.dumps(dataclasses.asdict(unit), sort_keys=True,
+                             default=repr)
+    else:
+        payload = repr(unit)
+    digest = hashlib.sha256(payload.encode()).hexdigest()[:16]
+    return f"{type(unit).__name__}:{digest}"
+
+
+def quarantine_row(unit: GridUnit, error: str) -> dict:
+    """The artifact row recorded for a unit whose retries exhausted."""
+    return {"status": "failed", "error": error, **unit_identity(unit)}
+
+
+@dataclass
+class FaultStats:
+    """Recovery counters of one :class:`WorkerPool` (cumulative over maps).
+
+    Attributes:
+        failed_units: units quarantined after exhausting their retries.
+        retries: re-dispatches of a unit after a failure/timeout/death.
+        respawns: replacement workers forked after a death or a kill.
+        timeouts: units whose ``REPRO_UNIT_TIMEOUT`` deadline expired.
+    """
+
+    failed_units: int = 0
+    retries: int = 0
+    respawns: int = 0
+    timeouts: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return dataclasses.asdict(self)
 
 
 # -- unit execution (runs inside a worker) ------------------------------------
@@ -276,24 +349,43 @@ def execute_unit(unit: GridUnit) -> dict:
 # -- the worker pool ----------------------------------------------------------
 
 def _worker_main(worker_index: int, snapshot_share: int, task_queue,
-                 result_queue) -> None:
+                 result_queue, claim_cell) -> None:
     """Worker loop: claim units until the ``None`` sentinel arrives.
 
     The snapshot-pool share is exported *before* any attack engine is built,
     so every engine the unit executions construct sizes its mid-path pool to
     this worker's slice of the global budget.
+
+    Every claimed unit is announced in ``claim_cell`` — a shared int the
+    supervisor reads to attribute a worker death or a deadline expiry to
+    the exact unit it must retry.  The claim must NOT travel through the
+    result queue: queue puts are flushed by a background feeder thread, so
+    a worker dying right after claiming (SIGKILL, OOM) would lose the
+    in-flight claim message and strand the unit forever; the shared-memory
+    write is synchronous and survives any death.  Interrupts
+    (``KeyboardInterrupt``/``SystemExit``) re-raise instead of being
+    reported as unit errors: the supervisor treats the dying worker like any
+    other premature exit, and a Ctrl-C reaches the driver's own handler.
     """
     os.environ["REPRO_SNAPSHOT_POOL"] = str(snapshot_share)
+    fault_spec = parse_fault_spec()
     while True:
         task = task_queue.get()
         if task is None:
             break
-        index, unit = task
+        index, global_index, attempt, unit = task
+        claim_cell.value = index
         try:
-            result_queue.put((index, worker_index, "ok", execute_unit(unit)))
+            inject_fault(global_index, attempt, fault_spec)
+            result_queue.put((worker_index, index, "ok", execute_unit(unit)))
+        except (KeyboardInterrupt, SystemExit):
+            raise
         except BaseException as exc:  # surface, don't hang the parent
-            result_queue.put((index, worker_index, "error",
+            result_queue.put((worker_index, index, "error",
                               f"{type(exc).__name__}: {exc}"))
+        # cleared only after the result is queued: a death in between leaves
+        # a stale claim, which the supervisor's drain-first recovery ignores
+        claim_cell.value = -1
 
 
 class WorkerPool:
@@ -314,13 +406,30 @@ class WorkerPool:
         self.workers = max(1, workers)
         self.snapshot_share = (sharded_pool_capacity(self.workers)
                                if snapshot_share is None else snapshot_share)
+        self.stats = FaultStats()
         self._processes: List = []
         self._task_queue = None
         self._result_queue = None
+        #: per-slot shared claim cells (-1 = idle); see :func:`_worker_main`
+        self._claim_cells: List = []
+        #: global dispatch sequence across the pool's lifetime — the index
+        #: space ``REPRO_FAULT_INJECT`` directives target (deterministic:
+        #: units are numbered in enqueue order, not completion order).
+        self._units_dispatched = 0
 
     @property
     def parallel(self) -> bool:
         return self.workers > 1 and fork_available()
+
+    def _spawn(self, worker_index: int):
+        context = multiprocessing.get_context("fork")
+        process = context.Process(
+            target=_worker_main,
+            args=(worker_index, self.snapshot_share, self._task_queue,
+                  self._result_queue, self._claim_cells[worker_index]),
+            daemon=True)
+        process.start()
+        return process
 
     def _ensure_started(self) -> None:
         if self._processes:
@@ -328,56 +437,224 @@ class WorkerPool:
         context = multiprocessing.get_context("fork")
         self._task_queue = context.Queue()
         self._result_queue = context.Queue()
-        for worker_index in range(self.workers):
-            process = context.Process(
-                target=_worker_main,
-                args=(worker_index, self.snapshot_share, self._task_queue,
-                      self._result_queue),
-                daemon=True)
-            process.start()
-            self._processes.append(process)
+        self._claim_cells = [context.Value("q", -1, lock=False)
+                             for _ in range(self.workers)]
+        self._processes = [self._spawn(worker_index)
+                           for worker_index in range(self.workers)]
 
-    def map(self, units: Sequence[GridUnit]) -> Tuple[List[dict], List[int]]:
+    def _respawn(self, slot: int) -> None:
+        """Replace a dead/killed worker in place, keeping its slot index."""
+        self._claim_cells[slot].value = -1
+        self._processes[slot] = self._spawn(slot)
+        self.stats.respawns += 1
+
+    def map(self, units: Sequence[GridUnit],
+            on_result: Optional[Callable] = None,
+            ) -> Tuple[List[dict], List[int]]:
         """Execute every unit; return ``(results, worker_ids)`` unit-ordered.
 
         Units are claimed dynamically, so expensive cells (Table II attacks)
         and cheap ones (Table III statistics) balance across workers; the
         returned lists are nevertheless in input order, which is what makes
         the downstream merge order-independent of the execution schedule.
+
+        Fault tolerance (see the module docstring): failed, timed-out and
+        orphaned units are retried ``REPRO_UNIT_RETRIES`` times and then
+        quarantined as ``{"status": "failed", ...}`` rows instead of
+        aborting the run.  ``on_result``, when given, is called with
+        ``(index, unit, payload)`` as each unit resolves (completion order)
+        — the grid driver streams completed units to its checkpoint with it.
         """
         if not units:
             return [], []
+        base = self._units_dispatched
+        self._units_dispatched += len(units)
         if not self.parallel:
-            return [execute_unit(unit) for unit in units], [0] * len(units)
-
+            return self._map_inline(units, base, on_result)
         self._ensure_started()
-        for index, unit in enumerate(units):
-            self._task_queue.put((index, unit))
+        try:
+            return self._map_supervised(units, base, on_result)
+        except BaseException:
+            # error path: terminate instead of the sentinel handshake, so a
+            # failed run does not block up to 10 s per process in close()
+            self._abort()
+            raise
 
+    def _map_inline(self, units: Sequence[GridUnit], base: int,
+                    on_result: Optional[Callable]) -> Tuple[List[dict], List[int]]:
+        """In-process execution (serial fallback) with the same quarantine
+        semantics; only ``raise`` faults are injectable here."""
+        retries = unit_retries()
+        fault_spec = parse_fault_spec()
+        results: List[dict] = []
+        for index, unit in enumerate(units):
+            attempt = 0
+            while True:
+                try:
+                    inject_fault(base + index, attempt, fault_spec,
+                                 inline=True)
+                    payload = execute_unit(unit)
+                    break
+                except Exception as exc:
+                    if attempt < retries:
+                        attempt += 1
+                        self.stats.retries += 1
+                        continue
+                    payload = quarantine_row(unit,
+                                             f"{type(exc).__name__}: {exc}")
+                    self.stats.failed_units += 1
+                    break
+            results.append(payload)
+            if on_result is not None:
+                on_result(index, unit, payload)
+        return results, [0] * len(units)
+
+    def _map_supervised(self, units: Sequence[GridUnit], base: int,
+                        on_result: Optional[Callable],
+                        ) -> Tuple[List[dict], List[int]]:
+        retries = unit_retries()
+        deadline = unit_timeout()
+        # a worker that keeps dying before even claiming a unit (e.g. a
+        # crash in the fork prologue) must not respawn forever
+        respawn_limit = max(8, self.workers * (retries + 2))
+        respawned = 0
         results: List[Optional[dict]] = [None] * len(units)
         worker_ids: List[int] = [0] * len(units)
-        received = 0
-        while received < len(units):
-            try:
-                index, worker_index, status, payload = \
-                    self._result_queue.get(timeout=_POLL_SECONDS)
-            except queue_module.Empty:
-                dead = [p for p in self._processes
-                        if not p.is_alive() and p.exitcode not in (0, None)]
-                if dead:
-                    self.close()
-                    raise RuntimeError(
-                        f"grid worker died with exit code {dead[0].exitcode} "
-                        f"({received}/{len(units)} units completed)")
-                continue
-            if status == "error":
-                self.close()
-                raise RuntimeError(f"grid unit {index} failed in worker "
-                                   f"{worker_index}: {payload}")
+        attempts = [0] * len(units)
+        unresolved = set(range(len(units)))
+        #: slot -> (claimed unit index, first observed) — the supervisor's
+        #: view of the shared claim cells; deadlines run from observation
+        observed: Dict[int, Optional[Tuple[int, float]]] = {
+            slot: None for slot in range(self.workers)}
+
+        for index, unit in enumerate(units):
+            self._task_queue.put((index, base + index, 0, unit))
+
+        def resolve(index: int, payload: dict, worker: int) -> None:
             results[index] = payload
-            worker_ids[index] = worker_index
-            received += 1
+            worker_ids[index] = worker
+            unresolved.discard(index)
+            if on_result is not None:
+                on_result(index, units[index], payload)
+
+        def fail(index: int, worker: int, error: str) -> None:
+            if index not in unresolved:
+                return  # already resolved by a result that raced the fault
+            if attempts[index] < retries:
+                attempts[index] += 1
+                self.stats.retries += 1
+                self._task_queue.put((index, base + index, attempts[index],
+                                      units[index]))
+            else:
+                self.stats.failed_units += 1
+                resolve(index, quarantine_row(units[index], error), worker)
+
+        def handle(message) -> None:
+            worker, index, status, payload = message
+            if index not in unresolved:
+                return  # stale duplicate drained around a worker death
+            if status == "ok":
+                resolve(index, payload, worker)
+            else:
+                fail(index, worker, payload)
+
+        def drain() -> None:
+            while True:
+                try:
+                    handle(self._result_queue.get_nowait())
+                except queue_module.Empty:
+                    return
+
+        def poll_claims() -> None:
+            now = time.monotonic()
+            for slot, cell in enumerate(self._claim_cells):
+                value = cell.value
+                if value < 0:
+                    observed[slot] = None
+                elif observed[slot] is None or observed[slot][0] != value:
+                    observed[slot] = (value, now)
+
+        def claimed_unit(slot: int) -> Optional[int]:
+            value = self._claim_cells[slot].value
+            return None if value < 0 else value
+
+        while unresolved:
+            poll_claims()
+            # wake early enough to enforce the nearest unit deadline
+            timeout = _POLL_SECONDS
+            if deadline is not None:
+                now = time.monotonic()
+                for claim in observed.values():
+                    if claim is not None and claim[0] in unresolved:
+                        remaining = deadline - (now - claim[1])
+                        timeout = max(0.05, min(timeout, remaining))
+            try:
+                handle(self._result_queue.get(timeout=timeout))
+                continue
+            except queue_module.Empty:
+                pass
+
+            # per-unit deadline: kill the worker hosting an expired unit,
+            # then retry/quarantine the unit and refill the slot
+            if deadline is not None:
+                now = time.monotonic()
+                for slot, claim in list(observed.items()):
+                    if claim is None or claim[0] not in unresolved \
+                            or now - claim[1] <= deadline:
+                        continue
+                    process = self._processes[slot]
+                    if process.is_alive():
+                        process.kill()
+                        process.join(timeout=5.0)
+                    self.stats.timeouts += 1
+                    drain()  # a result that raced the kill wins over a retry
+                    observed[slot] = None
+                    fail(claim[0], slot,
+                         f"unit deadline exceeded "
+                         f"(REPRO_UNIT_TIMEOUT={deadline:g}s)")
+                    respawned += 1
+                    self._respawn(slot)
+
+            # supervise: ANY dead worker while units are unresolved is a
+            # fault — including a clean exit code 0, which the close()
+            # sentinel handshake alone may legitimately produce, but a
+            # mid-map exit never can
+            for slot, process in enumerate(self._processes):
+                if process.is_alive():
+                    continue
+                drain()
+                claim = claimed_unit(slot)
+                observed[slot] = None
+                if claim is not None:
+                    fail(claim, slot,
+                         f"worker died mid-unit (exit code "
+                         f"{process.exitcode})")
+                respawned += 1
+                if respawned > respawn_limit:
+                    raise RuntimeError(
+                        f"grid worker respawn limit exceeded "
+                        f"({respawned} respawns with {len(unresolved)} "
+                        f"unit(s) unresolved)")
+                self._respawn(slot)
         return results, worker_ids
+
+    def _abort(self) -> None:
+        """Tear the pool down immediately (error path: no sentinels)."""
+        for process in self._processes:
+            if process.is_alive():
+                process.terminate()
+        for process in self._processes:
+            process.join(timeout=2.0)
+            if process.is_alive():
+                process.kill()
+                process.join(timeout=2.0)
+        for queue in (self._task_queue, self._result_queue):
+            if queue is not None:
+                queue.cancel_join_thread()
+        self._processes = []
+        self._task_queue = None
+        self._result_queue = None
+        self._claim_cells = []
 
     def close(self) -> None:
         """Stop the workers; safe to call twice."""
@@ -396,6 +673,7 @@ class WorkerPool:
         self._processes = []
         self._task_queue = None
         self._result_queue = None
+        self._claim_cells = []
 
     def __enter__(self) -> "WorkerPool":
         return self
@@ -415,11 +693,18 @@ def merge_table2(units: Sequence[Table2Unit],
     each output row identical to the serial driver's — including
     ``average_time``, which averages time-to-success over successful cells
     in spec order.
+
+    Quarantined cells (``{"status": "failed", ...}``) are excluded from the
+    aggregation entirely — they were never measured, so they count toward
+    neither ``functions`` nor any attack counter; the grid driver appends
+    them to the artifact as their own rows.
     """
     rows: List[dict] = []
     by_config: Dict[str, dict] = {}
     spec_counts: Dict[str, int] = {}
     for unit, cell in zip(units, cells):
+        if cell.get("status") == "failed":
+            continue
         name = unit.configuration.name
         spec_counts[name] = spec_counts.get(name, 0) + 1
         row = by_config.get(name)
@@ -449,6 +734,8 @@ def executions_by_worker(worker_ids: Sequence[int],
     """Per-worker concrete-execution totals for the summary's attack_engine."""
     totals: Dict[str, int] = {}
     for worker_index, cell in zip(worker_ids, cells):
+        if cell.get("status") == "failed":
+            continue  # quarantined cells carry no execution counters
         key = str(worker_index)
         totals[key] = totals.get(key, 0) + cell["executions"]
     return totals

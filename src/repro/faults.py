@@ -1,0 +1,138 @@
+"""Deterministic fault injection for the multiprocessing execution layers.
+
+The fault-tolerance machinery in :mod:`repro.evaluation.parallel` (the grid
+worker pool) and :mod:`repro.attacks.frontier` (the distributed DSE
+frontier) recovers from crashed workers, hung units and poisoned cells.
+Recovery code that is only ever exercised by accident is broken by default,
+so this module provides the harness that provokes every failure mode on
+purpose — the fault-tolerance tests and the CI fault-injection grid leg
+drive each recovery path deliberately instead of hoping for it.
+
+``REPRO_FAULT_INJECT`` is a comma-separated list of directives
+``index:mode[:count]``:
+
+* ``index`` — the dispatch sequence number the fault targets.  The grid
+  pool numbers units globally across the pool's lifetime in enqueue order
+  (so the index is deterministic regardless of which worker claims what);
+  the DSE frontier numbers dispatched executions in dispatch order.
+* ``mode`` — ``raise`` (the unit errors), ``hang`` (the worker sleeps past
+  any deadline, provoking the ``REPRO_UNIT_TIMEOUT`` kill), ``exit0`` (the
+  worker exits *cleanly* mid-unit — the liveness case an exit-code filter
+  misses) or ``kill`` (SIGKILL to self, an OOM-kill stand-in).
+* ``count`` — how many attempts of that unit to sabotage: an integer
+  (default 1, i.e. only the first attempt fails and the retry succeeds) or
+  ``always`` (every attempt fails, so retries exhaust and the unit is
+  quarantined).
+
+Malformed directives are ignored — an operator typo in the environment must
+never crash a worker that would otherwise run fine.
+
+This module is also the home of the fault-tolerance knobs both pools share:
+
+* ``REPRO_UNIT_TIMEOUT`` — per-unit wall-clock deadline in seconds; a
+  worker whose claimed unit exceeds it is killed and the unit retried.
+  Unset, empty or ``<= 0`` disables the deadline (the default).
+* ``REPRO_UNIT_RETRIES`` — how many times a failed/timed-out/orphaned unit
+  is retried before being quarantined (default 2).
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import signal
+import time
+from typing import Dict, Optional, Tuple
+
+#: Recognized fault modes, in the order the docstring describes them.
+FAULT_MODES = ("raise", "hang", "exit0", "kill")
+
+#: How long a ``hang`` fault sleeps — far past any plausible unit deadline.
+_HANG_SECONDS = 3600.0
+
+
+class InjectedFault(RuntimeError):
+    """The error raised by an injected ``raise`` fault."""
+
+
+def parse_fault_spec(spec: Optional[str] = None) -> Dict[int, Tuple[str, float]]:
+    """Parse a ``REPRO_FAULT_INJECT`` value into ``{index: (mode, count)}``.
+
+    ``spec`` defaults to the environment variable; malformed directives are
+    skipped silently (see module docstring).
+    """
+    if spec is None:
+        spec = os.environ.get("REPRO_FAULT_INJECT", "")
+    directives: Dict[int, Tuple[str, float]] = {}
+    for field in spec.split(","):
+        parts = [part.strip() for part in field.strip().split(":")]
+        if len(parts) not in (2, 3):
+            continue
+        try:
+            index = int(parts[0])
+        except ValueError:
+            continue
+        mode = parts[1]
+        if mode not in FAULT_MODES:
+            continue
+        count = 1.0
+        if len(parts) == 3:
+            if parts[2] == "always":
+                count = math.inf
+            else:
+                try:
+                    count = float(int(parts[2]))
+                except ValueError:
+                    continue
+        directives[index] = (mode, count)
+    return directives
+
+
+def inject_fault(index: int, attempt: int = 0,
+                 spec: Optional[Dict[int, Tuple[str, float]]] = None,
+                 inline: bool = False) -> None:
+    """Fire the configured fault for ``(index, attempt)``, if any.
+
+    Called by the worker loops right after claiming a unit (so the parent
+    already knows which unit the dying worker held).  ``inline`` marks
+    in-process (non-forked) execution, where only ``raise`` is honoured —
+    ``exit0``/``kill``/``hang`` would take down or stall the driver itself.
+    """
+    directives = parse_fault_spec() if spec is None else spec
+    directive = directives.get(index)
+    if directive is None:
+        return
+    mode, count = directive
+    if attempt >= count:
+        return
+    if inline and mode != "raise":
+        return
+    if mode == "raise":
+        raise InjectedFault(f"injected fault at unit {index} "
+                            f"(attempt {attempt})")
+    if mode == "hang":
+        time.sleep(_HANG_SECONDS)
+        # only reachable when no deadline killed us — surface that loudly
+        raise InjectedFault(f"injected hang at unit {index} outlived the "
+                            f"deadline (attempt {attempt})")
+    if mode == "exit0":
+        os._exit(0)
+    if mode == "kill":
+        os.kill(os.getpid(), signal.SIGKILL)
+
+
+def unit_timeout() -> Optional[float]:
+    """Resolve ``REPRO_UNIT_TIMEOUT`` (seconds; ``None`` = no deadline)."""
+    try:
+        value = float(os.environ.get("REPRO_UNIT_TIMEOUT", ""))
+    except ValueError:
+        return None
+    return value if value > 0 else None
+
+
+def unit_retries() -> int:
+    """Resolve ``REPRO_UNIT_RETRIES`` (default 2)."""
+    try:
+        return max(0, int(os.environ.get("REPRO_UNIT_RETRIES", "2")))
+    except ValueError:
+        return 2

@@ -117,6 +117,45 @@ def test_frontier_respects_max_executions():
     assert stats.executions <= 3
 
 
+@needs_fork
+@pytest.mark.parametrize("backtracking", [True, False])
+@pytest.mark.parametrize("fault", ["1:kill", "1:exit0"])
+def test_frontier_recovers_worker_death_mid_exploration(monkeypatch,
+                                                        backtracking, fault):
+    """A worker killed mid-exploration (SIGKILL or a *clean* premature
+    exit 0) must not lose its claimed branch decision: the coordinator
+    returns it to the frontier, respawns the slot, and the explored path
+    set still equals the serial explorer's — in both backtracking modes."""
+    image, function = _branchy_image()
+    input_spec = InputSpec(argument_sizes=[1])
+    serial = DseEngine(image, function, input_spec, seed=5, backtracking=False)
+    serial_results, _ = serial.explore(time_budget=60.0, max_executions=500)
+
+    monkeypatch.setenv("REPRO_FAULT_INJECT", fault)
+    frontier = FrontierExplorer(image, function, input_spec, seed=5, workers=2,
+                                backtracking=backtracking)
+    frontier_results, frontier_stats = frontier.explore(time_budget=60.0,
+                                                        max_executions=500)
+    assert frontier.respawns >= 1
+    assert _path_set(frontier_results) == _path_set(serial_results)
+    assert frontier_stats.executions == len(serial_results)
+
+
+@needs_fork
+def test_frontier_gives_up_after_repeated_deaths_on_one_task(monkeypatch):
+    """A branch decision that kills every worker that touches it must not
+    respawn forever — after the retry budget the exploration aborts loudly."""
+    image, function = _branchy_image()
+    monkeypatch.setenv("REPRO_UNIT_RETRIES", "1")
+    # every dispatched task dies: task ids 0..9 all SIGKILL their worker
+    monkeypatch.setenv("REPRO_FAULT_INJECT",
+                       ",".join(f"{i}:kill" for i in range(10)))
+    frontier = FrontierExplorer(image, function, InputSpec(argument_sizes=[1]),
+                                seed=5, workers=2)
+    with pytest.raises(RuntimeError, match="died|respawn limit"):
+        frontier.explore(time_budget=60.0, max_executions=500)
+
+
 def test_dse_workers_knob(monkeypatch):
     monkeypatch.delenv("REPRO_DSE_WORKERS", raising=False)
     assert dse_workers() == 1

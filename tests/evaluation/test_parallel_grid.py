@@ -105,7 +105,7 @@ def test_merge_table2_reassembles_serial_rows():
     assert by_worker == {"0": 13, "1": 16}
 
 
-def test_worker_pool_serial_fallback_and_error_propagation():
+def test_worker_pool_serial_fallback_and_error_quarantine():
     pool = WorkerPool(1)
     assert not pool.parallel
     units = table3_units(("fasta",), (0.0,), seed=1)
@@ -114,10 +114,31 @@ def test_worker_pool_serial_fallback_and_error_propagation():
     assert results[0]["benchmark"] == "fasta"
     assert pool.map([]) == ([], [])
 
-    if fork_available():
-        with WorkerPool(2) as bad_pool:
-            with pytest.raises(RuntimeError, match="unknown work unit"):
-                bad_pool.map([object()])
+    # a poisoned unit no longer aborts the run: after the retries exhaust
+    # it is quarantined as a status=failed row and the map completes
+    monkeypatch_retries = {"REPRO_UNIT_RETRIES": "0"}
+    import os
+    old = {k: os.environ.get(k) for k in monkeypatch_retries}
+    os.environ.update(monkeypatch_retries)
+    try:
+        bad, _ = pool.map([object()])
+        assert bad[0]["status"] == "failed"
+        assert "unknown work unit" in bad[0]["error"]
+        assert pool.stats.failed_units == 1
+
+        if fork_available():
+            with WorkerPool(2) as bad_pool:
+                rows, _ = bad_pool.map([object(), *units])
+                assert rows[0]["status"] == "failed"
+                assert "unknown work unit" in rows[0]["error"]
+                assert rows[1]["benchmark"] == "fasta"
+                assert bad_pool.stats.failed_units == 1
+    finally:
+        for key, value in old.items():
+            if value is None:
+                os.environ.pop(key, None)
+            else:
+                os.environ[key] = value
 
 
 def test_sharded_pool_capacity_divides_global_budget():
