@@ -289,7 +289,9 @@ class DseEngine(SnapshotEngine):
         else:
             resumed_depth = 0
             emulator = self._fork_emulator()
-            tracker = ShadowTracker(memory_model=self.memory_model)
+            tracker = ShadowTracker(
+                memory_model=self.memory_model,
+                stable_ranges=self.image.metadata.get("rop_stable_ranges", ()))
 
             arguments: List[int] = []
             for index, size in enumerate(self.input_spec.argument_sizes):

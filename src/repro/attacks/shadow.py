@@ -12,7 +12,7 @@ and the SE engines feed to the solver.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.attacks.solver.expr import (
     BinExpr,
@@ -109,15 +109,28 @@ class ShadowTracker:
       state, while the observer sees it directly.  Observers are
       deliberately not copied by :meth:`fork` (a stored fork must not
       capture into a dead pool).
+    * ``stable_ranges`` are memory regions the obfuscator guarantees are
+      runtime-constant (the opaque predicate arrays, recorded by the
+      rewriter under ``image.metadata["rop_stable_ranges"]``).  A
+      symbolic-address *read* that falls inside one is modeled exactly as a
+      :class:`SelectExpr` over the whole region instead of being
+      concretized, so opaque-constant extraction loads do not collapse
+      :attr:`repair_exact`.  Any write into a range (or a memory-touching
+      host call) conservatively retires it.
     """
 
     def __init__(self, memory_model: str = "concretize", page_size: int = 256,
-                 max_expression_depth: int = 512) -> None:
+                 max_expression_depth: int = 512,
+                 stable_ranges: Sequence[Tuple[int, int]] = ()) -> None:
         if memory_model not in ("concretize", "page"):
             raise ValueError("memory_model must be 'concretize' or 'page'")
         self.memory_model = memory_model
         self.page_size = page_size
         self.max_expression_depth = max_expression_depth
+        #: regions guaranteed constant at run time; retired on any write
+        self._stable_ranges: Tuple[Tuple[int, int], ...] = tuple(
+            (int(start), int(end)) for start, end in stable_ranges)
+        self._stable_snapshots: Dict[Tuple[int, int], Tuple[int, ...]] = {}
         self.register_exprs: Dict[Register, Expression] = {}
         self.memory_exprs: Dict[Tuple[int, int], Expression] = {}
         #: byte address -> owning ``memory_exprs`` key, so overlap probes in
@@ -144,6 +157,8 @@ class ShadowTracker:
         clone = ShadowTracker(memory_model=self.memory_model,
                               page_size=self.page_size,
                               max_expression_depth=self.max_expression_depth)
+        clone._stable_ranges = self._stable_ranges
+        clone._stable_snapshots = dict(self._stable_snapshots)
         clone.register_exprs = dict(self.register_exprs)
         clone.memory_exprs = dict(self.memory_exprs)
         clone._memory_bytes = dict(self._memory_bytes)
@@ -215,6 +230,14 @@ class ShadowTracker:
         if isinstance(operand, Mem):
             address = emulator.effective_address(operand)
             symbolic_address = self._address_expr(emulator, operand)
+            if symbolic_address is not None:
+                select = self._stable_select(emulator, address,
+                                             symbolic_address, operand.size)
+                if select is not None:
+                    # the read falls in a runtime-constant region: the select
+                    # over the full region keeps the input dependence, so
+                    # state repair stays exact
+                    return select
             if symbolic_address is not None and self.memory_model == "page":
                 return self._page_select(emulator, address, symbolic_address, operand.size)
             if symbolic_address is not None:
@@ -257,6 +280,41 @@ class ShadowTracker:
         for part in parts[1:]:
             expression = BinExpr("add", expression, part)
         return expression
+
+    def _stable_select(self, emulator, address: int, address_expr: Expression,
+                       size: int) -> Optional[Expression]:
+        """Select over a runtime-constant region, or None when outside one.
+
+        The snapshot covers the *entire* region (not one page), so any
+        assignment whose index stays inside the region — the opaque
+        extraction masks its index to guarantee exactly that — evaluates to
+        the bytes the machine would actually load.
+        """
+        for start, end in self._stable_ranges:
+            if start <= address and address + size <= end:
+                key = (start, end)
+                snapshot = self._stable_snapshots.get(key)
+                if snapshot is None:
+                    try:
+                        snapshot = tuple(emulator.memory.read(start, end - start))
+                    except Exception:  # unmapped: let the caller concretize
+                        return None
+                    self._stable_snapshots[key] = snapshot
+                return SelectExpr(base_address=start, snapshot=snapshot,
+                                  index=address_expr, size=size)
+        return None
+
+    def _invalidate_stable(self, address: int, size: int) -> None:
+        """Retire every stable range a write to ``[address, address+size)`` hits."""
+        if not self._stable_ranges:
+            return
+        kept = []
+        for start, end in self._stable_ranges:
+            if address < end and address + size > start:
+                self._stable_snapshots.pop((start, end), None)
+            else:
+                kept.append((start, end))
+        self._stable_ranges = tuple(kept)
 
     def _page_select(self, emulator, address: int, address_expr: Expression,
                      size: int) -> Expression:
@@ -306,6 +364,7 @@ class ShadowTracker:
             return
         if isinstance(operand, Mem):
             address = emulator.effective_address(operand)
+            self._invalidate_stable(address, operand.size)
             if self._address_expr(emulator, operand) is not None \
                     and self.memory_model != "page":
                 # the store lands at an input-dependent address the shadow
@@ -415,6 +474,7 @@ class ShadowTracker:
                 self.repair_exact = False
             expression = self._operand_expr(emulator, ops[0])
             destination = emulator.state.read_reg(Register.RSP) - 8
+            self._invalidate_stable(destination, 8)
             if self.repair_exact and self._overlapping_memory(
                     destination, 8, (destination, 8)):
                 self.repair_exact = False
@@ -680,6 +740,28 @@ class ShadowTracker:
                 # input-dependent control transfer with no recorded
                 # constraint: the prefix no longer pins the path
                 self.constraints_exact = False
+            if m is Mnemonic.RET:
+                # a symbolic return slot is an opaque-materialized gadget
+                # address (the +OC layer stores the recombined value into the
+                # chain right before this ret pops it): record the concrete
+                # target as a pinned pointer decision, exactly like a
+                # symbolic ``add rsp`` chain-pointer update
+                slot = emulator.state.read_reg(Register.RSP) & _MASK64
+                expression = self.memory_exprs.get((slot, 8))
+                if expression is not None and expression.symbols():
+                    if self.branch_observer is not None:
+                        self.branch_observer("pointer", address)
+                    target = int.from_bytes(
+                        bytes(emulator.memory.read(slot, 8)), "little")
+                    self.branches.append(BranchRecord(
+                        address=address,
+                        constraint=PathConstraint(
+                            BinExpr("eq", expression, ConstExpr(target)), True),
+                        kind="pointer"))
+                    self.symbolic_instruction_count += 1
+                    # the constraint pins the popped value to its concrete
+                    # target, so dropping the (now dead) slot shadow is exact
+                    self._set_memory_expr((slot, 8), None)
             if m is Mnemonic.CALL and ops:
                 from repro.cpu.host import is_host_address
                 from repro.isa.registers import CALLER_SAVED
@@ -691,6 +773,7 @@ class ShadowTracker:
                 if Register.RSP in self.register_exprs:
                     self.repair_exact = False
                 slot = (emulator.state.read_reg(Register.RSP) - 8) & _MASK64
+                self._invalidate_stable(slot, 8)
                 if self.repair_exact and self._overlapping_memory(slot, 8, (slot, 8)):
                     self.repair_exact = False
                 self._set_memory_expr((slot, 8), None)
@@ -701,6 +784,10 @@ class ShadowTracker:
                 elif isinstance(ops[0], Reg):
                     target = emulator.state.read_reg(ops[0].reg)
                 if target is not None and is_host_address(target):
+                    if target in _memory_touching_hosts():
+                        # the host may write anywhere in guest memory:
+                        # retire every stable region
+                        self._invalidate_stable(0, 1 << 64)
                     # host side effects (heap cursor, output, return value)
                     # over symbolic arguments are concretized, and dropping a
                     # symbolic caller-saved shadow loses a live dependence

@@ -5,10 +5,16 @@
 each function into a self-contained ROP chain stored in the ``.ropchains``
 section, replacing the original body with a pivoting stub (§IV).  The
 strengthening predicates P1/P2/P3 and gadget confusion (§V) are controlled by
-:class:`repro.core.config.RopConfig`.
+:class:`repro.core.config.RopConfig`; the opaque-constant and
+instruction-hiding layers on top of them are bundled into named
+:class:`repro.core.config.ProtectionProfile` instances
+(:data:`repro.core.config.PROTECTION_PROFILES`), applied whole-program or per
+function.
 """
 
-from repro.core.config import RopConfig
+from repro.core.config import (PROTECTION_PROFILES, ProtectionProfile,
+                               RopConfig)
 from repro.core.rewriter import RopRewriter, RewriteError, RewriteReport, rop_obfuscate
 
-__all__ = ["RopConfig", "RopRewriter", "RewriteError", "RewriteReport", "rop_obfuscate"]
+__all__ = ["RopConfig", "ProtectionProfile", "PROTECTION_PROFILES",
+           "RopRewriter", "RewriteError", "RewriteReport", "rop_obfuscate"]

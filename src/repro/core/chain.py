@@ -76,6 +76,32 @@ class RawPadding:
 
 
 @dataclass
+class LabelAddressSlot:
+    """A slot holding the absolute chain address of ``target``.
+
+    Used by opaque-constant materialization: a ``pop`` of this slot gives the
+    chain the address of one of its own slots, which a later ``store``
+    overwrites at run time.
+    """
+
+    target: str
+
+
+@dataclass
+class OpaqueGadgetSlot:
+    """A gadget slot whose static bytes are junk (opaque-constant layer).
+
+    The materialized chain stores random bytes here; the gadget sequence
+    emitted immediately before the slot recombines the real address from a
+    P1-style opaque extraction and writes it into the slot just before the
+    preceding gadget's ``ret`` consumes it.  A linear scan of the chain bytes
+    therefore never sees ``gadget.address``.
+    """
+
+    gadget: Gadget
+
+
+@dataclass
 class DisguiseBaseSlot:
     """The second half of a disguised immediate: a real gadget address."""
 
@@ -95,7 +121,8 @@ class DisguisedSlot:
 
 
 ChainElement = Union[ChainLabel, GadgetSlot, ValueSlot, DeltaSlot, JunkSlot,
-                     RawPadding, DisguiseBaseSlot, DisguisedSlot]
+                     RawPadding, DisguiseBaseSlot, DisguisedSlot,
+                     LabelAddressSlot, OpaqueGadgetSlot]
 
 _MASK64 = (1 << 64) - 1
 
@@ -130,9 +157,14 @@ class Chain:
         """Place a label at the current position."""
         self.elements.append(ChainLabel(name))
 
-    def gadget_slots(self) -> List[GadgetSlot]:
-        """All gadget slots, in order (used by the Table III statistics)."""
-        return [e for e in self.elements if isinstance(e, GadgetSlot)]
+    def gadget_slots(self) -> List[Union[GadgetSlot, OpaqueGadgetSlot]]:
+        """All gadget slots, in order (used by the Table III statistics).
+
+        Opaque gadget slots count too: each one dispatches a real gadget at
+        run time even though its static bytes are junk.
+        """
+        return [e for e in self.elements
+                if isinstance(e, (GadgetSlot, OpaqueGadgetSlot))]
 
     # -- layout --------------------------------------------------------------
     @staticmethod
@@ -189,6 +221,14 @@ class Chain:
                 return (labels[element.target] - labels[element.anchor]
                         - element.subtract) & _MASK64
             if isinstance(element, JunkSlot):
+                return rng.getrandbits(64)
+            if isinstance(element, LabelAddressSlot):
+                if element.target not in labels:
+                    raise ChainError(
+                        f"unresolved chain label in {self.name}: {element.target!r}")
+                return labels[element.target] & _MASK64
+            if isinstance(element, OpaqueGadgetSlot):
+                # the real address is stored at run time; emit junk bytes
                 return rng.getrandbits(64)
             if isinstance(element, DisguiseBaseSlot):
                 return pair_bases[element.pair] & _MASK64

@@ -1,8 +1,17 @@
-"""Configuration of the ROP rewriter (the ROPk settings of Table I)."""
+"""Configuration of the ROP rewriter (the ROPk settings of Table I).
+
+Beyond the paper's own ``ROPk`` family this module also defines the
+ROPfuscator-style *protection profiles*: named bundles of the two
+opaque-predicate layers (opaque-constant materialization and instruction
+hiding) with a qualitative robustness/overhead rank, applied on top of a base
+:class:`RopConfig` either whole-program or per function.
+"""
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
+from typing import Dict
 
 
 @dataclass
@@ -32,7 +41,18 @@ class RopConfig:
         seed: RNG seed for all obfuscation-time random choices.
         read_only_chains: if True, P3's array-update variant is disabled so
             the generated chains never write to themselves or to the opaque
-            array (the paper's read-only chain option, §IV-C).
+            array (the paper's read-only chain option, §IV-C), and the
+            self-materializing opaque gadget slots (which write their own
+            chain slot at run time) fall back to literal addresses.
+        opaque_constants: enable opaque-constant materialization: eligible
+            chain immediates and gadget-slot addresses are no longer stored
+            literally but recombined at run time from a P1-style opaque
+            extraction (the ROPfuscator layer).
+        opaque_fraction: fraction of eligible slots materialized opaquely.
+        instruction_hiding: interleave real roplet lowerings inside opaque
+            predicate evaluation bodies, coupled to the chain pointer by a
+            P2-style zero perturbation.
+        hiding_fraction: fraction of eligible roplets hidden this way.
     """
 
     p1_enabled: bool = True
@@ -48,10 +68,18 @@ class RopConfig:
     diversify_gadgets: bool = True
     seed: int = 1
     read_only_chains: bool = False
+    opaque_constants: bool = False
+    opaque_fraction: float = 0.5
+    instruction_hiding: bool = False
+    hiding_fraction: float = 0.35
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.p3_fraction <= 1.0:
             raise ValueError("p3_fraction must be in [0, 1]")
+        if not 0.0 <= self.opaque_fraction <= 1.0:
+            raise ValueError("opaque_fraction must be in [0, 1]")
+        if not 0.0 <= self.hiding_fraction <= 1.0:
+            raise ValueError("hiding_fraction must be in [0, 1]")
         if self.p1_modulus & (self.p1_modulus - 1):
             raise ValueError("p1_modulus must be a power of two")
         if self.p1_repetitions & (self.p1_repetitions - 1):
@@ -74,3 +102,71 @@ class RopConfig:
         """
         return cls(p1_enabled=False, p2_enabled=False, p3_enabled=False,
                    gadget_confusion=False, p3_fraction=0.0, seed=seed)
+
+
+@dataclass(frozen=True)
+class ProtectionProfile:
+    """A named bundle of the opaque layers (ROPfuscator's protection table).
+
+    Profiles are applied on top of a base :class:`RopConfig` — whole-program
+    via :func:`repro.obfuscation.configs.apply_configuration` or per function
+    via the ``profiles`` mapping of :func:`repro.core.rewriter.rop_obfuscate`
+    — so different functions of one binary can trade robustness against
+    overhead independently, mirroring ROPfuscator's per-function annotation.
+
+    Attributes:
+        name: profile name (the key in :data:`PROTECTION_PROFILES`).
+        suffix: appended to configuration display names (``"ROP1.00+OC+IH"``).
+        opaque_constants/opaque_fraction: see :class:`RopConfig`.
+        instruction_hiding/hiding_fraction: see :class:`RopConfig`.
+        robustness: qualitative rank (0-3) against automated deobfuscation.
+        overhead: qualitative rank (0-3) of the size/run-time cost.
+    """
+
+    name: str
+    suffix: str
+    opaque_constants: bool = False
+    opaque_fraction: float = 0.0
+    instruction_hiding: bool = False
+    hiding_fraction: float = 0.0
+    robustness: int = 1
+    overhead: int = 1
+
+    def apply(self, config: RopConfig) -> RopConfig:
+        """Return ``config`` with this profile's layers switched on.
+
+        Profiles with an active layer also pin ``p3_variant`` to ``"loop"``:
+        the opaque layers' security argument (and the shadow tracker's
+        stable-region exactness) relies on the opaque array being
+        runtime-constant, which P3's array-update variant would break.
+        """
+        updated = dataclasses.replace(
+            config,
+            opaque_constants=self.opaque_constants,
+            opaque_fraction=self.opaque_fraction,
+            instruction_hiding=self.instruction_hiding,
+            hiding_fraction=self.hiding_fraction,
+        )
+        if self.opaque_constants or self.instruction_hiding:
+            updated = dataclasses.replace(updated, p3_variant="loop")
+        return updated
+
+
+#: The robustness/overhead ladder, weakest to strongest.  ``baseline`` is the
+#: paper's plain ROPk encoding; ``opaque`` adds opaque-constant
+#: materialization (+OC); ``hidden`` adds instruction hiding (+IH); ``full``
+#: stacks both — ROPfuscator's strongest row.
+PROTECTION_PROFILES: Dict[str, ProtectionProfile] = {
+    "baseline": ProtectionProfile(
+        name="baseline", suffix="", robustness=1, overhead=1),
+    "opaque": ProtectionProfile(
+        name="opaque", suffix="+OC", opaque_constants=True,
+        opaque_fraction=0.5, robustness=2, overhead=2),
+    "hidden": ProtectionProfile(
+        name="hidden", suffix="+IH", instruction_hiding=True,
+        hiding_fraction=0.35, robustness=2, overhead=2),
+    "full": ProtectionProfile(
+        name="full", suffix="+OC+IH", opaque_constants=True,
+        opaque_fraction=0.5, instruction_hiding=True, hiding_fraction=0.35,
+        robustness=3, overhead=3),
+}

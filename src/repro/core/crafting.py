@@ -11,7 +11,12 @@ mode the paper reports for 40 coreutils functions (§VII-C1).
 Strengthening predicates hook in here: P1 replaces the branch-displacement
 loads, P2 prepends perturbations to branch target blocks, P3 injects
 state-widening templates at a fraction of program points, and gadget
-confusion disguises immediates and misaligns the chain.
+confusion disguises immediates and misaligns the chain.  The ROPfuscator
+layers hook in here too: opaque-constant materialization rewrites eligible
+immediates and gadget-slot addresses into run-time recombinations
+(:mod:`repro.core.predicates.opaque`), and instruction hiding wraps eligible
+roplet lowerings inside opaque predicate bodies
+(:mod:`repro.core.predicates.hiding`).
 """
 
 from __future__ import annotations
@@ -31,6 +36,8 @@ from repro.core.chain import (
     ValueSlot,
 )
 from repro.core.config import RopConfig
+from repro.core.predicates.hiding import emit_hidden
+from repro.core.predicates.opaque import emit_opaque_gadget, emit_opaque_value
 from repro.core.predicates.p1_array import OpaqueArray
 from repro.core.predicates.p2_datadep import P2Perturbation, plan_p2, emit_p2
 from repro.core.predicates.p3_state import emit_p3
@@ -74,6 +81,18 @@ class ChainCrafter:
         self._pair_counter = 0
         self._p3_instances = 0
         self._branch_ordinal = 0
+        #: registers pinned across nested lowerings (instruction hiding
+        #: reserves its guard here); scratch() and emit_gadget() honor it
+        self._reserved: frozenset = frozenset()
+        #: the roplet currently being lowered (extraction sources)
+        self._current_roplet: Optional[Roplet] = None
+        #: opaque-constant bookkeeping (repro.core.predicates.opaque)
+        self._opaque_ordinal = 0
+        self._opaque_values = 0
+        self._opaque_slots = 0
+        self._hidden_instances = 0
+        self._in_opaque = False
+        self._opaque_gadget_pending = False
 
     # ------------------------------------------------------------------ utils
     def _fresh_label(self, hint: str) -> str:
@@ -96,7 +115,8 @@ class ChainCrafter:
             RewriteError: when the registers cannot be provided even with the
                 single spill slot (the paper's register-pressure failure).
         """
-        blocked = set(avoid) | set(exclude) | {Register.RSP, Register.RBP}
+        blocked = set(avoid) | set(exclude) | set(self._reserved) \
+            | {Register.RSP, Register.RBP}
         free = [r for r in _SCRATCH_ORDER if r not in blocked]
         if len(free) >= count:
             return free[:count], []
@@ -126,12 +146,30 @@ class ChainCrafter:
 
         ``operand`` fills the slot popped into ``params['dst']`` for ``pop``
         gadgets; every other popped register receives a junk slot.
+
+        When an opaque gadget slot is pending (set per eligible roplet by
+        :meth:`craft`), the first real gadget emitted is materialized through
+        :func:`repro.core.predicates.opaque.emit_opaque_gadget` instead of a
+        literal address slot; its pops follow the opaque slot as usual.
         """
+        avoid = frozenset(avoid) | self._reserved
         try:
-            gadget = self.pool.ensure(kind, avoid=frozenset(avoid), **params)
+            gadget = self.pool.ensure(kind, avoid=avoid, **params)
         except GadgetPoolError as exc:
             raise RewriteError(str(exc)) from exc
-        self.chain.append(GadgetSlot(gadget))
+        emitted_opaque = False
+        if self._opaque_gadget_pending and not self._in_opaque \
+                and kind not in ("spill", "unspill"):
+            self._opaque_gadget_pending = False
+            param_regs = frozenset(v for v in params.values()
+                                   if isinstance(v, Register))
+            if kind in ("cqo", "idiv"):
+                # implicit operands the materializer must not clobber
+                param_regs = param_regs | {Register.RAX, Register.RDX}
+            emitted_opaque = emit_opaque_gadget(self, gadget,
+                                                avoid | param_regs)
+        if not emitted_opaque:
+            self.chain.append(GadgetSlot(gadget))
         operand_pending = operand is not None and kind == "pop"
         for reg in gadget.pops:
             if operand_pending and reg == params.get("dst"):
@@ -144,21 +182,38 @@ class ChainCrafter:
         return gadget
 
     def emit_constant(self, dst: Register, element, avoid,
-                      allow_disguise: bool = True) -> None:
+                      allow_disguise: bool = True,
+                      allow_opaque: bool = False) -> None:
         """Load a constant (or symbolic displacement) into ``dst``.
 
         With gadget confusion enabled the immediate is sometimes split across
         two address-looking slots recovered by a ``sub`` gadget (§V-D).
+
+        With opaque constants enabled *and* ``allow_opaque``, the immediate
+        is sometimes recombined at run time from the P1 opaque array so its
+        literal never appears in the chain.  Callers only pass
+        ``allow_opaque=True`` for pure data values at flag-safe sites: the
+        recombination clobbers flags, and opaquifying a value later used as a
+        memory *address* would force the attack-side shadow tracker to
+        concretize, needlessly collapsing the DSE exactness envelope.
         """
         if isinstance(element, int):
             element = ValueSlot(element & _MASK64)
+        use_opaque = (
+            self.config.opaque_constants and allow_opaque
+            and not self._in_opaque and isinstance(element, ValueSlot)
+            and self.rng.random() < self.config.opaque_fraction
+        )
+        if use_opaque and emit_opaque_value(self, dst, element, avoid):
+            return
         use_disguise = (
             self.config.gadget_confusion and allow_disguise
             and self.pool.addresses() and self.rng.random() < 0.4
         )
         if use_disguise:
             free = [r for r in _SCRATCH_ORDER
-                    if r not in avoid and r is not dst and r not in (Register.RSP, Register.RBP)]
+                    if r not in avoid and r is not dst and r not in self._reserved
+                    and r not in (Register.RSP, Register.RBP)]
             if free:
                 helper = free[0]
                 self._pair_counter += 1
@@ -198,9 +253,13 @@ class ChainCrafter:
                     emit_p2(self, perturbation,
                             avoid=first.avoid_set() if first else frozenset())
             for roplet in block.roplets:
+                self._current_roplet = roplet
                 self._maybe_insert_p3(roplet)
                 self._maybe_insert_unaligned_update(roplet)
-                self._lower_roplet(roplet)
+                self._maybe_request_opaque_gadget(roplet)
+                if not self._maybe_hide(roplet):
+                    self._lower_roplet(roplet)
+                self._opaque_gadget_pending = False
         return self.chain
 
     # ------------------------------------------------------------ predicates
@@ -225,6 +284,63 @@ class ChainCrafter:
             # not enough scratch registers at this point: skip the instance,
             # composition is opportunistic (§V-C)
             pass
+
+    def _flag_safe(self, roplet: Roplet) -> bool:
+        return not roplet.flags_live_after \
+            and not roplet.instruction.reads_flags()
+
+    def _maybe_request_opaque_gadget(self, roplet: Roplet) -> None:
+        """Arm the opaque gadget-address form for this roplet's first gadget.
+
+        The materializer clobbers flags and writes the chain, so eligibility
+        requires a flag-safe roplet, a placed opaque array and writable
+        chains; :meth:`emit_gadget` consumes the request.
+        """
+        if not self.config.opaque_constants or self.config.read_only_chains:
+            return
+        if self.opaque_array is None or self.opaque_array.address is None:
+            return
+        if not self._flag_safe(roplet):
+            return
+        if self.rng.random() >= self.config.opaque_fraction:
+            return
+        self._opaque_gadget_pending = True
+
+    def _maybe_hide(self, roplet: Roplet) -> bool:
+        """Lower ``roplet`` inside an opaque predicate body (§V-B coupling).
+
+        Returns True when the hidden lowering was emitted.  Only pure
+        data-movement/ALU roplets at flag-safe points are eligible: the
+        prologue/epilogue clobber flags, and the epilogue must execute right
+        after the real gadgets (a branching lowering would skip it).
+        """
+        if not self.config.instruction_hiding:
+            return False
+        if roplet.kind not in (RopletKind.DATA_MOVEMENT, RopletKind.ALU):
+            return False
+        if not self._flag_safe(roplet):
+            return False
+        if self.opaque_array is None or self.opaque_array.address is None:
+            return False
+        if self.rng.random() >= self.config.hiding_fraction:
+            return False
+        entered = [False]
+
+        def lower() -> None:
+            entered[0] = True
+            self._lower_roplet(roplet)
+
+        try:
+            emit_hidden(self, roplet, lower)
+            return True
+        except RewriteError:
+            if entered[0]:
+                # the real gadgets are (partially) emitted: re-lowering
+                # would duplicate them, so the failure must propagate
+                raise
+            # scratch pressure before anything was emitted: composition is
+            # opportunistic, fall back to the plain lowering
+            return False
 
     def _maybe_insert_unaligned_update(self, roplet: Roplet) -> None:
         if not self.config.gadget_confusion:
@@ -387,7 +503,8 @@ class ChainCrafter:
                 spilled += extra_spilled
                 source = extra[0]
                 work = work | {source}
-                self.emit_constant(source, ValueSlot(operand.value), work)
+                self.emit_constant(source, ValueSlot(operand.value), work,
+                                   allow_opaque=True)
             else:
                 raise RewriteError(f"unsupported push operand {operand}")
             self.emit_gadget("store8", work, dst=cursor, src=source)
@@ -517,7 +634,8 @@ class ChainCrafter:
             return
         if m is Mnemonic.MOV and isinstance(ops[0], Reg) and isinstance(ops[1], Imm):
             self.emit_constant(ops[0].reg, ValueSlot(ops[1].value), avoid,
-                               allow_disguise=flag_safe)
+                               allow_disguise=flag_safe,
+                               allow_opaque=flag_safe)
             return
         if m in (Mnemonic.MOV, Mnemonic.MOVZX) and isinstance(ops[0], Reg) \
                 and isinstance(ops[1], Mem):
@@ -528,7 +646,9 @@ class ChainCrafter:
             return
         if m is Mnemonic.MOV and isinstance(ops[0], Mem) and isinstance(ops[1], Imm):
             regs, spilled = self.scratch(avoid, 1)
-            self.emit_constant(regs[0], ValueSlot(ops[1].value), avoid, allow_disguise=flag_safe)
+            self.emit_constant(regs[0], ValueSlot(ops[1].value), avoid,
+                               allow_disguise=flag_safe,
+                               allow_opaque=flag_safe and not spilled)
             self._emit_memory_store(ops[0], regs[0], avoid | {regs[0]}, flag_safe)
             self.restore(spilled)
             return
@@ -566,7 +686,9 @@ class ChainCrafter:
             return
         if m in (Mnemonic.INC, Mnemonic.DEC) and isinstance(ops[0], Reg):
             regs, spilled = self.scratch(avoid, 1, exclude=[ops[0].reg])
-            self.emit_constant(regs[0], ValueSlot(1), avoid, allow_disguise=flag_safe)
+            self.emit_constant(regs[0], ValueSlot(1), avoid,
+                               allow_disguise=flag_safe,
+                               allow_opaque=flag_safe)
             kind = "add_rr" if m is Mnemonic.INC else "sub_rr"
             self.emit_gadget(kind, avoid, dst=ops[0].reg, src=regs[0])
             self.restore(spilled)
@@ -577,8 +699,12 @@ class ChainCrafter:
                 return
             if isinstance(ops[1], Imm):
                 regs, spilled = self.scratch(avoid, 1, exclude=[ops[0].reg])
+                # the recombination clobbers flags before the ALU op sets its
+                # own, which only ADC/SBB (carry consumers) can observe
                 self.emit_constant(regs[0], ValueSlot(ops[1].value), avoid,
-                                   allow_disguise=False)
+                                   allow_disguise=False,
+                                   allow_opaque=m not in (Mnemonic.ADC,
+                                                          Mnemonic.SBB))
                 self.emit_gadget(self._ALU_KINDS[m], avoid, dst=ops[0].reg, src=regs[0])
                 self.restore(spilled)
                 return

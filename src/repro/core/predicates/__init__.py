@@ -13,10 +13,25 @@ Each predicate targets one of the general attack surfaces of §III-A:
 
 Gadget confusion (immediate disguising and unaligned chain strides) lives in
 the crafter itself since it is a property of how chain slots are emitted.
+
+Two further layers reuse the P1/P2 machinery to build the protection
+profiles of :data:`repro.core.config.PROTECTION_PROFILES` (the ``+OC`` /
+``+IH`` suffixes on the Table II configuration axis, stressing the same
+Figure 5 / Table II grids as the paper's own rows):
+
+* :mod:`repro.core.predicates.opaque` — opaque-constant materialization
+  (``+OC``): eligible immediates and gadget-slot addresses are recombined at
+  run time from P1-style array extractions instead of being stored literally.
+* :mod:`repro.core.predicates.hiding` — instruction hiding (``+IH``): real
+  roplet lowerings are interleaved inside opaque predicate evaluation
+  bodies, sealed by a P2-style zero perturbation.
 """
 
 from repro.core.predicates.p1_array import OpaqueArray
 from repro.core.predicates.p2_datadep import P2Perturbation, plan_p2, emit_p2
 from repro.core.predicates.p3_state import emit_p3
+from repro.core.predicates.opaque import emit_opaque_value, emit_opaque_gadget
+from repro.core.predicates.hiding import emit_hidden
 
-__all__ = ["OpaqueArray", "P2Perturbation", "plan_p2", "emit_p2", "emit_p3"]
+__all__ = ["OpaqueArray", "P2Perturbation", "plan_p2", "emit_p2", "emit_p3",
+           "emit_opaque_value", "emit_opaque_gadget", "emit_hidden"]

@@ -12,12 +12,12 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.analysis.cfg_recovery import CFGError
 from repro.binary.image import BinaryImage
 from repro.core.chain import Chain
-from repro.core.config import RopConfig
+from repro.core.config import PROTECTION_PROFILES, ProtectionProfile, RopConfig
 from repro.core.crafting import ChainCrafter, RewriteError
 from repro.core.materialization import (
     EmbeddingError,
@@ -47,6 +47,8 @@ class FunctionResult:
         unique_gadgets: distinct gadget addresses used (Table III's B).
         chain_bytes: size of the materialized chain.
         p3_instances: number of P3 templates inserted.
+        opaque_slots: constants/gadget addresses materialized opaquely (+OC).
+        hidden_instances: roplets wrapped in predicate bodies (+IH).
     """
 
     name: str
@@ -57,6 +59,8 @@ class FunctionResult:
     unique_gadgets: int = 0
     chain_bytes: int = 0
     p3_instances: int = 0
+    opaque_slots: int = 0
+    hidden_instances: int = 0
 
     @property
     def gadgets_per_point(self) -> float:
@@ -113,9 +117,12 @@ class RewriteReport:
 class RopRewriter:
     """Rewrites selected functions of a binary image into ROP chains."""
 
-    def __init__(self, image: BinaryImage, config: Optional[RopConfig] = None) -> None:
+    def __init__(self, image: BinaryImage, config: Optional[RopConfig] = None,
+                 profiles: Optional[Dict[str, Union[str, ProtectionProfile]]] = None,
+                 ) -> None:
         self.image = image
         self.config = config or RopConfig()
+        self.profiles = dict(profiles or {})
         self.rng = random.Random(self.config.seed)
         self.report = RewriteReport()
         self._ss_address, self._spill_slot = allocate_runtime_area(image)
@@ -174,16 +181,36 @@ class RopRewriter:
             gadget.kind, gadget.params = classified
             self._pool.register(gadget)
 
+    def _effective_config(self, name: str) -> RopConfig:
+        """The per-function configuration: the base config plus its profile."""
+        profile = self.profiles.get(name)
+        if profile is None:
+            return self.config
+        if isinstance(profile, str):
+            profile = PROTECTION_PROFILES[profile]
+        return profile.apply(self.config)
+
     def _rewrite_one(self, name: str, translated: TranslatedFunction) -> FunctionResult:
+        config = self._effective_config(name)
         opaque_array = None
-        if self.config.p1_enabled or (
-                self.config.p3_enabled and self.config.p3_variant in ("array", "mixed")):
-            opaque_array = OpaqueArray(self.config, random.Random(self.rng.getrandbits(32)))
+        if config.p1_enabled or config.opaque_constants or config.instruction_hiding \
+                or (config.p3_enabled and config.p3_variant in ("array", "mixed")):
+            opaque_array = OpaqueArray(config, random.Random(self.rng.getrandbits(32)))
             place_opaque_array(self.image, opaque_array, name)
+            # The array is runtime-constant unless a P3 array variant writes
+            # into it; constant regions let the shadow tracker keep opaque
+            # extraction loads exact (the DSE backtracking envelope).
+            array_written = (config.p3_enabled and config.p3_fraction > 0
+                            and config.p3_variant in ("array", "mixed")
+                            and not config.read_only_chains)
+            if not array_written:
+                ranges = self.image.metadata.setdefault("rop_stable_ranges", [])
+                ranges.append((opaque_array.address,
+                               opaque_array.address + opaque_array.size))
 
         crafter = ChainCrafter(
             pool=self._pool,
-            config=self.config,
+            config=config,
             ss_address=self._ss_address,
             spill_slot=self._spill_slot,
             opaque_array=opaque_array,
@@ -214,16 +241,29 @@ class RopRewriter:
             unique_gadgets=len({slot.gadget.address for slot in gadget_slots}),
             chain_bytes=len(materialized.data),
             p3_instances=crafter._p3_instances,
+            opaque_slots=crafter._opaque_slots + crafter._opaque_values,
+            hidden_instances=crafter._hidden_instances,
         )
 
 
 def rop_obfuscate(image: BinaryImage, function_names: Iterable[str],
-                  config: Optional[RopConfig] = None) -> Tuple[BinaryImage, RewriteReport]:
+                  config: Optional[RopConfig] = None,
+                  profiles: Optional[Dict[str, Union[str, ProtectionProfile]]] = None,
+                  ) -> Tuple[BinaryImage, RewriteReport]:
     """Clone ``image`` and rewrite ``function_names`` into ROP chains.
+
+    Args:
+        image: the compiled binary to protect (left unmodified).
+        function_names: functions to rewrite.
+        config: base rewriting configuration.
+        profiles: optional per-function protection profiles — function name
+            to a :class:`repro.core.config.ProtectionProfile` (or a key of
+            :data:`repro.core.config.PROTECTION_PROFILES`) layered on top of
+            ``config``.
 
     Returns ``(obfuscated_image, report)``.  The input image is not modified.
     """
     clone = image.clone()
-    rewriter = RopRewriter(clone, config)
+    rewriter = RopRewriter(clone, config, profiles=profiles)
     report = rewriter.rewrite(list(function_names))
     return clone, report

@@ -66,21 +66,22 @@ from repro.workloads.randomfuns import generate_table2_suite
 #: offers" (the paper-sized default).
 SLICES: Dict[str, Dict] = {
     # smoke is fully deterministic: the wall-clock budget is generous enough
-    # to never bind, so the deterministic caps (executions, solver queries,
-    # instructions) are what stop each attack — identical rows on any
-    # machine and at any --workers count (the serial-vs-parallel tests
+    # to never bind (the +OC+IH row's select-heavy solver queries are slow,
+    # hence the wide margin), so the deterministic caps (executions, solver
+    # queries, instructions) are what stop each attack — identical rows on
+    # any machine and at any --workers count (the serial-vs-parallel tests
     # assert exactly this)
     "smoke": {
         "structures": ("if(bb4,bb4)",),
         "input_sizes": (1,),
         "seeds": (1,),
-        "attack_seconds": 60.0,
+        "attack_seconds": 600.0,
         "attack_executions": 6,
         "attack_instructions": 150_000,
         "attack_solver_queries": 48,
         "clbg_benchmarks": ("fasta",),
         "k_values": (0.25, 1.00),
-        "configurations": ("NATIVE", "ROP1.00"),
+        "configurations": ("NATIVE", "ROP1.00", "ROP1.00+OC+IH"),
         "include_coverage": False,
         "vm_baseline": nvm(1, "all"),
     },
@@ -98,7 +99,8 @@ SLICES: Dict[str, Dict] = {
         "clbg_benchmarks": ("fasta", "rev-comp", "sp-norm"),
         "k_values": (0.05, 0.25, 0.50, 1.00),
         "configurations": ("NATIVE", "ROP0.05", "ROP0.25", "ROP0.50",
-                           "ROP1.00", "2VM", "2VM-IMPlast", "3VM-IMPall"),
+                           "ROP1.00", "ROP1.00+OC+IH",
+                           "2VM", "2VM-IMPlast", "3VM-IMPall"),
         "include_coverage": True,
         "vm_baseline": nvm(2, "last"),
     },
@@ -370,6 +372,12 @@ def _config_aggregates(table2: List[dict]) -> Dict[str, Dict[str, float]]:
     counts are summed across them and ``average_time`` is weighted by each
     row's success count (a plain last-row-wins comprehension here silently
     dropped all but one row per configuration).
+
+    ``backtrack_rate`` is snapshot restores per concrete execution: how often
+    DSE's backtracking actually engaged while attacking this configuration.
+    The opaque-constant/instruction-hiding rows exist to stress exactly this
+    path — a rate of 0 on them means the tracker fell back to rerun-from-entry
+    everywhere and the exactness envelope regressed.
     """
     totals: Dict[str, Dict[str, float]] = {}
     for row in table2:
@@ -377,11 +385,13 @@ def _config_aggregates(table2: List[dict]) -> Dict[str, Dict[str, float]]:
             continue  # quarantined rows carry no measurements
         entry = totals.setdefault(row["configuration"], {
             "functions": 0, "secrets_found": 0, "full_coverage": 0,
-            "time_weight": 0.0})
+            "time_weight": 0.0, "executions": 0, "branch_restores": 0})
         entry["functions"] += row["functions"]
         entry["secrets_found"] += row["secrets_found"]
         entry["full_coverage"] += row["full_coverage"]
         entry["time_weight"] += row["average_time"] * row["secrets_found"]
+        entry["executions"] += row.get("executions", 0)
+        entry["branch_restores"] += row.get("branch_restores", 0)
     aggregates: Dict[str, Dict[str, float]] = {}
     for name, entry in totals.items():
         functions = max(1, entry["functions"])
@@ -391,6 +401,8 @@ def _config_aggregates(table2: List[dict]) -> Dict[str, Dict[str, float]]:
             "coverage_rate": round(entry["full_coverage"] / functions, 4),
             "average_time": round(
                 entry["time_weight"] / found if found else 0.0, 3),
+            "backtrack_rate": round(
+                entry["branch_restores"] / max(1, entry["executions"]), 4),
         }
     return aggregates
 
@@ -493,15 +505,31 @@ def compare_summaries(old: dict, new: dict, efficacy_threshold: float = 0.1,
 
     old_configs = old.get("table2_configs", {})
     new_configs = new.get("table2_configs", {})
+    # configurations present in only one run are a schema/axis change (e.g. a
+    # slice gaining the +OC/+IH protection-profile rows), not a regression:
+    # note them so the reader knows the comparison below skips them
+    only_old = sorted(set(old_configs) - set(new_configs))
+    only_new = sorted(set(new_configs) - set(old_configs))
+    if only_old:
+        lines.append(f"   note: configuration(s) only in old run (axis "
+                     f"removed?): {', '.join(only_old)}")
+    if only_new:
+        lines.append(f"   note: configuration(s) only in new run (new "
+                     f"configuration axis, e.g. protection profiles): "
+                     f"{', '.join(only_new)}")
     for name in sorted(set(old_configs) & set(new_configs)):
         before, after = old_configs[name], new_configs[name]
-        for metric in ("secret_rate", "coverage_rate"):
+        for metric in ("secret_rate", "coverage_rate", "backtrack_rate"):
             if metric not in before or metric not in after:
                 lines.append(f"   note: {name} {metric} missing from one "
                              f"summary; skipped")
                 continue
             delta = after[metric] - before[metric]
-            flag = abs(delta) > efficacy_threshold
+            # backtrack_rate is restores *per execution* (often > 1), so the
+            # absolute efficacy threshold does not apply; report it without
+            # letting it trip the exit code
+            flag = (metric != "backtrack_rate"
+                    and abs(delta) > efficacy_threshold)
             shifted = shifted or flag
             lines.append(
                 f"{'!! ' if flag else '   '}{name:<12} {metric:<13} "

@@ -7,7 +7,12 @@
   updates (``nVM-IMPx``) that frustrate taint tracking and inflate the state
   space when the VPC becomes symbolic.
 * :mod:`repro.obfuscation.flattening` — control-flow flattening.
-* :mod:`repro.obfuscation.configs` — the named configurations of Table I.
+* :mod:`repro.obfuscation.configs` — the named configurations of Table I,
+  extended with the protection-profile axis (``ROP1.00+OC``,
+  ``ROP1.00+OC+IH``): ROPfuscator-style opaque-constant and
+  instruction-hiding layers stacked on top of the strongest ROP row (see
+  :mod:`repro.core.predicates.opaque` / :mod:`repro.core.predicates.hiding`
+  and :data:`repro.core.config.PROTECTION_PROFILES`).
 """
 
 from repro.obfuscation.vm import virtualize_function, virtualize_program

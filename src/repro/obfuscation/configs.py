@@ -4,16 +4,24 @@
 ``nVM``, ``nVM-IMPx``) to the corresponding transformation of a mini-C
 program, producing a ready-to-run binary image.  The evaluation harness and
 the benchmarks build every experiment on top of this registry.
+
+Beyond the paper's own rows, the registry exposes a *protection profile*
+axis on the ROP configurations (ROPfuscator's robustness/overhead table):
+``ROP1.00+OC`` layers opaque-constant materialization on top of ``ROP1.00``
+and ``ROP1.00+OC+IH`` additionally hides instruction lowerings inside opaque
+predicate bodies (see :mod:`repro.core.predicates.opaque` and
+:mod:`repro.core.predicates.hiding`).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple, Union
 
 from repro.binary.image import BinaryImage
 from repro.compiler import compile_program
 from repro.core import RopConfig, rop_obfuscate
+from repro.core.config import PROTECTION_PROFILES, ProtectionProfile
 from repro.lang.ast import Program
 from repro.obfuscation.vm import virtualize_program
 
@@ -28,6 +36,9 @@ class ObfuscationConfig:
         rop_k: P3 fraction for ROP configurations.
         vm_layers: number of nested VM layers for VM configurations.
         vm_implicit: implicit-VPC placement (``none``/``first``/``last``/``all``).
+        profile: protection profile applied on top of a ROP configuration
+            (a key of :data:`repro.core.config.PROTECTION_PROFILES`, empty
+            for the paper's plain rows).
     """
 
     name: str
@@ -35,11 +46,14 @@ class ObfuscationConfig:
     rop_k: float = 0.0
     vm_layers: int = 0
     vm_implicit: str = "none"
+    profile: str = ""
 
 
-def ropk(k: float) -> ObfuscationConfig:
-    """The ``ROPk`` configuration of Table I."""
-    return ObfuscationConfig(name=f"ROP{k:.2f}", kind="rop", rop_k=k)
+def ropk(k: float, profile: str = "") -> ObfuscationConfig:
+    """The ``ROPk`` configuration of Table I, optionally under a profile."""
+    suffix = PROTECTION_PROFILES[profile].suffix if profile else ""
+    return ObfuscationConfig(name=f"ROP{k:.2f}{suffix}", kind="rop",
+                             rop_k=k, profile=profile)
 
 
 def nvm(layers: int, implicit: str = "none") -> ObfuscationConfig:
@@ -51,13 +65,16 @@ def nvm(layers: int, implicit: str = "none") -> ObfuscationConfig:
 
 NATIVE = ObfuscationConfig(name="NATIVE", kind="native")
 
-#: The configurations evaluated in Table II, in presentation order.
+#: The configurations evaluated in Table II, in presentation order.  The two
+#: trailing rows extend the paper's table with the protection-profile axis:
+#: the strongest ROP row plus opaque constants, and plus instruction hiding.
 TABLE2_CONFIGURATIONS: Tuple[ObfuscationConfig, ...] = (
     NATIVE,
     ropk(0.05), ropk(0.25), ropk(0.50), ropk(0.75), ropk(1.00),
     nvm(1, "all"),
     nvm(2), nvm(2, "first"), nvm(2, "last"), nvm(2, "all"),
     nvm(3), nvm(3, "first"), nvm(3, "last"), nvm(3, "all"),
+    ropk(1.00, profile="opaque"), ropk(1.00, profile="full"),
 )
 
 #: The ROP configurations swept in Table III and Figure 5.
@@ -66,12 +83,17 @@ ROPK_SWEEP: Tuple[float, ...] = (0.0, 0.05, 0.25, 0.50, 0.75, 1.00)
 
 def apply_configuration(program: Program, function_names: Iterable[str],
                         configuration: ObfuscationConfig,
-                        seed: int = 1) -> BinaryImage:
+                        seed: int = 1,
+                        function_profiles: Optional[
+                            Dict[str, Union[str, ProtectionProfile]]] = None,
+                        ) -> BinaryImage:
     """Compile ``program`` under ``configuration`` and return the binary image.
 
     ROP configurations compile first and then run the binary rewriter; VM
     configurations transform the AST first (as Tigress does on source code)
-    and then compile.
+    and then compile.  ``configuration.profile`` applies a protection
+    profile whole-program; ``function_profiles`` overrides it per function
+    (ROPfuscator-style annotations).
     """
     names = list(function_names)
     if configuration.kind == "native":
@@ -83,7 +105,10 @@ def apply_configuration(program: Program, function_names: Iterable[str],
     if configuration.kind == "rop":
         image = compile_program(program)
         config = RopConfig.ropk(configuration.rop_k, seed=seed)
-        obfuscated, report = rop_obfuscate(image, names, config)
+        if configuration.profile:
+            config = PROTECTION_PROFILES[configuration.profile].apply(config)
+        obfuscated, report = rop_obfuscate(image, names, config,
+                                           profiles=function_profiles)
         obfuscated.metadata["rop_report"] = report
         return obfuscated
     raise ValueError(f"unknown configuration kind {configuration.kind!r}")

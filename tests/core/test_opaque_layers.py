@@ -1,0 +1,161 @@
+"""Opaque-constant materialization and instruction hiding (+OC / +IH).
+
+Covers the chain model's self-materializing slots, every protection
+profile's functional equivalence, the per-function profile mapping, the
+read-only-chain fallback, and the stable-range metadata the attack side
+relies on.
+"""
+
+import random
+
+import pytest
+
+from repro.binary import load_image
+from repro.compiler import compile_program
+from repro.core import (PROTECTION_PROFILES, ProtectionProfile, RopConfig,
+                        rop_obfuscate)
+from repro.core.chain import Chain, LabelAddressSlot, OpaqueGadgetSlot
+from repro.cpu import call_function
+from repro.gadgets.gadget import Gadget
+from tests.core.test_rewriter import BRANCHY, LOOPY, run_both
+
+
+# -- chain model ------------------------------------------------------------
+
+def _gadget(address):
+    return Gadget(address=address, instructions=[], kind="ret")
+
+
+def test_label_address_slot_resolves_to_chain_address():
+    chain = Chain("f")
+    chain.append(LabelAddressSlot("slot"))
+    chain.label("slot")
+    chain.append(OpaqueGadgetSlot(_gadget(0x401000)))
+    done = chain.materialize(0x7000, rng=random.Random(1))
+    stored = int.from_bytes(done.data[:8], "little")
+    assert stored == done.label_addresses["slot"] == 0x7008
+
+
+def test_opaque_gadget_slot_hides_the_address():
+    chain = Chain("f")
+    chain.append(OpaqueGadgetSlot(_gadget(0x401000)))
+    done = chain.materialize(0x7000, rng=random.Random(1))
+    assert int.from_bytes(done.data[:8], "little") != 0x401000
+    # but Table III statistics still count it as a dispatched gadget
+    assert len(chain.gadget_slots()) == 1
+
+
+def test_opaque_gadget_slot_bytes_are_seeded_junk():
+    chain_a, chain_b = Chain("f"), Chain("f")
+    for chain in (chain_a, chain_b):
+        chain.append(OpaqueGadgetSlot(_gadget(0x401000)))
+    assert (chain_a.materialize(0x7000, rng=random.Random(3)).data
+            == chain_b.materialize(0x7000, rng=random.Random(3)).data)
+
+
+# -- protection profiles on the rewriter ------------------------------------
+
+@pytest.mark.parametrize("profile", sorted(PROTECTION_PROFILES))
+def test_profiles_preserve_behaviour_at_rop100(profile):
+    config = PROTECTION_PROFILES[profile].apply(RopConfig.ropk(1.0))
+    native, rewritten, _ = run_both(LOOPY, "f", [9], config)
+    assert native == rewritten == 36
+    for arg in (0, 3):
+        native, rewritten, _ = run_both(BRANCHY, "f", [arg], config)
+        assert native == rewritten
+
+
+def test_layer_statistics_are_reported():
+    image = compile_program(LOOPY)
+    config = PROTECTION_PROFILES["full"].apply(RopConfig.ropk(1.0))
+    _, report = rop_obfuscate(image, ["f"], config)
+    result = report.results[0]
+    assert result.success
+    assert result.opaque_slots > 0
+    assert result.hidden_instances > 0
+    # the baseline profile reports zeros for both
+    _, baseline = rop_obfuscate(compile_program(LOOPY), ["f"],
+                                RopConfig.ropk(1.0))
+    assert baseline.results[0].opaque_slots == 0
+    assert baseline.results[0].hidden_instances == 0
+
+
+def test_read_only_chains_disable_self_materializing_slots():
+    image = compile_program(LOOPY)
+    config = PROTECTION_PROFILES["opaque"].apply(
+        RopConfig(p3_fraction=1.0, read_only_chains=True))
+    obfuscated, report = rop_obfuscate(image, ["f"], config)
+    assert report.coverage == 1.0
+    result, _ = call_function(load_image(obfuscated), "f", [9],
+                              max_steps=6_000_000)
+    assert result == 36
+
+
+def test_per_function_profiles():
+    from repro.lang import BinOp, Call, Function, Program, Return, Var
+
+    program = Program([
+        Function("square", ["x"], [Return(BinOp("*", Var("x"), Var("x")))]),
+        Function("f", ["x"], [Return(BinOp("+", Call("square", [Var("x")]),
+                                           Var("x")))]),
+    ])
+    image = compile_program(program)
+    obfuscated, report = rop_obfuscate(
+        image, ["f", "square"], RopConfig.ropk(0.5),
+        profiles={"square": "full"})
+    assert report.coverage == 1.0
+    by_name = {r.name: r for r in report.results}
+    assert by_name["square"].opaque_slots > 0
+    assert by_name["f"].opaque_slots == 0
+    result, _ = call_function(load_image(obfuscated), "f", [6],
+                              max_steps=6_000_000)
+    assert result == 42
+
+
+def test_profile_objects_are_accepted_too():
+    image = compile_program(BRANCHY)
+    custom = ProtectionProfile(name="custom", suffix="+OC",
+                               opaque_constants=True, opaque_fraction=1.0)
+    _, report = rop_obfuscate(image, ["f"], RopConfig.ropk(0.5),
+                              profiles={"f": custom})
+    assert report.results[0].opaque_slots > 0
+
+
+def test_stable_ranges_recorded_when_array_is_runtime_constant():
+    image = compile_program(LOOPY)
+    config = PROTECTION_PROFILES["full"].apply(RopConfig.ropk(1.0))
+    obfuscated, _ = rop_obfuscate(image, ["f"], config)
+    ranges = obfuscated.metadata.get("rop_stable_ranges", [])
+    assert len(ranges) == 1
+    start, end = ranges[0]
+    assert end > start
+    # profiles pin P3 to the loop variant so the array stays constant
+    assert config.p3_variant == "loop"
+
+
+def test_stable_ranges_not_recorded_when_chain_updates_the_array():
+    image = compile_program(LOOPY)
+    # plain ROPk keeps the mixed P3 variant, whose array updates write the
+    # opaque array at run time — no stability promise may be recorded
+    obfuscated, _ = rop_obfuscate(image, ["f"],
+                                  RopConfig(p3_fraction=1.0, p3_variant="array"))
+    assert obfuscated.metadata.get("rop_stable_ranges", []) == []
+
+
+def test_existing_configs_unchanged_by_the_layer_machinery():
+    # layers draw their randomness only when enabled: a plain ROPk chain is
+    # byte-identical whether or not the layer fields exist in the config
+    image = compile_program(LOOPY)
+    a, _ = rop_obfuscate(image, ["f"], RopConfig(seed=7, p3_fraction=0.5))
+    b, _ = rop_obfuscate(image, ["f"], RopConfig(
+        seed=7, p3_fraction=0.5, opaque_constants=False,
+        instruction_hiding=False))
+    assert bytes(a.ropchains.data) == bytes(b.ropchains.data)
+
+
+def test_profiles_are_deterministic_per_seed():
+    image = compile_program(LOOPY)
+    config = PROTECTION_PROFILES["full"].apply(RopConfig.ropk(1.0, seed=5))
+    a, _ = rop_obfuscate(image, ["f"], config)
+    b, _ = rop_obfuscate(image, ["f"], config)
+    assert bytes(a.ropchains.data) == bytes(b.ropchains.data)

@@ -84,4 +84,6 @@ def test_compare_disjoint_summaries_is_stable():
         {"table2_configs": {"B": {
             "secret_rate": 0.0, "coverage_rate": 0.0, "average_time": 0.1}}})
     assert not shifted
-    assert "no overlapping configurations" in lines[0]
+    # disjoint sets are reported as configuration-axis notes, never diffed
+    assert any("only in old run" in line and "A" in line for line in lines)
+    assert any("only in new run" in line and "B" in line for line in lines)

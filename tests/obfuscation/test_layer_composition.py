@@ -1,0 +1,98 @@
+"""Property test: any stack of obfuscation layers preserves behaviour.
+
+Layers compose in the pipeline order the paper's tooling supports —
+control-flow flattening, then nested virtualization (source-to-source, as
+Tigress does), then the ROP rewriter with any protection profile on top
+(§IV-C notes ROP applies to already-obfuscated code).  Whatever stack is
+drawn, the obfuscated function must compute what the native one computes.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.binary import load_image
+from repro.compiler import compile_program
+from repro.core import PROTECTION_PROFILES, RopConfig, rop_obfuscate
+from repro.cpu import call_function
+from repro.lang import (
+    Assign,
+    BinOp,
+    Const,
+    Function,
+    If,
+    Program,
+    Return,
+    Var,
+    While,
+)
+from repro.obfuscation import flatten_function, virtualize_program
+
+MAX_STEPS = 120_000_000
+
+
+def _workload() -> Program:
+    # a small hash-and-branch function: loops, xor/mul mixing, a
+    # data-dependent branch — enough surface for every layer to bite
+    return Program([Function("f", ["x"], [
+        Assign("h", Const(17)),
+        Assign("i", Const(0)),
+        While(BinOp("<", Var("i"), Const(4)), [
+            Assign("h", BinOp("^", BinOp("*", Var("h"), Const(31)),
+                              BinOp("+", Var("x"), Var("i")))),
+            Assign("i", BinOp("+", Var("i"), Const(1))),
+        ]),
+        If(BinOp("==", BinOp("&", Var("h"), Const(7)), Const(3)),
+           [Return(BinOp("+", Var("h"), Const(1)))],
+           [Return(Var("h"))]),
+    ])])
+
+
+def _run_stack(flatten: bool, vm_layers: int, implicit: str,
+               rop_k, profile: str, seed: int, argument: int) -> int:
+    program = _workload()
+    if flatten:
+        program = Program([flatten_function(program.functions[0])],
+                          globals=program.globals)
+    if vm_layers:
+        program = virtualize_program(program, ["f"], layers=vm_layers,
+                                     implicit=implicit, seed=seed)
+    image = compile_program(program)
+    if rop_k is not None:
+        config = PROTECTION_PROFILES[profile].apply(
+            RopConfig.ropk(rop_k, seed=seed))
+        image, report = rop_obfuscate(image, ["f"], config)
+        assert report.coverage == 1.0, report.failure_categories()
+    result, _ = call_function(load_image(image), "f", [argument],
+                              max_steps=MAX_STEPS)
+    return result
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    flatten=st.booleans(),
+    vm_layers=st.integers(min_value=0, max_value=2),
+    implicit=st.sampled_from(["none", "first", "last", "all"]),
+    rop_k=st.one_of(st.none(), st.sampled_from([0.0, 0.25, 1.0])),
+    profile=st.sampled_from(sorted(PROTECTION_PROFILES)),
+    seed=st.integers(min_value=1, max_value=4),
+    argument=st.integers(min_value=0, max_value=255),
+)
+def test_layer_stacks_preserve_output(flatten, vm_layers, implicit,
+                                      rop_k, profile, seed, argument):
+    if vm_layers == 2 and rop_k is not None:
+        # ROP-rewriting a doubly-nested interpreter is correct but takes
+        # minutes of emulation; keep the drawn stack's shape, capped at one
+        # VM layer (2VM alone and 1VM+ROP both stay covered)
+        vm_layers = 1
+    native, _ = call_function(load_image(compile_program(_workload())),
+                              "f", [argument])
+    assert _run_stack(flatten, vm_layers, implicit, rop_k, profile,
+                      seed, argument) == native
+
+
+def test_deepest_stack_with_every_layer():
+    """Flattening + VM + ROP1.00 + both opaque layers, end to end."""
+    native, _ = call_function(load_image(compile_program(_workload())),
+                              "f", [42])
+    assert _run_stack(True, 1, "all", 1.0, "full", seed=2,
+                      argument=42) == native

@@ -1,0 +1,85 @@
+"""Docs-vs-code drift gates.
+
+Every ``REPRO_*`` environment knob read by ``src/`` must be documented in
+the knob tables (the full table in ``benchmarks/README.md`` and the quick
+reference in ``README.md``), every documented knob must still exist in the
+code, and every ``repro.*`` module path named in ``docs/ARCHITECTURE.md``
+must still be importable — so the docs the README points newcomers at
+cannot silently rot.
+"""
+
+import importlib
+import re
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+KNOB_RE = re.compile(r"REPRO_[A-Z0-9_]+")
+MODULE_RE = re.compile(r"`(repro(?:\.[a-z_0-9]+)+)`")
+
+
+def _code_knobs(*roots: str) -> set:
+    found = set()
+    for root in roots:
+        for path in (REPO / root).rglob("*.py"):
+            found |= set(KNOB_RE.findall(path.read_text()))
+    return found
+
+
+def _table_knobs(path: Path) -> set:
+    # knobs listed in markdown table rows: | `REPRO_X` | ... |
+    rows = re.findall(r"^\|\s*`(REPRO_[A-Z0-9_]+)`", path.read_text(),
+                      flags=re.MULTILINE)
+    return set(rows)
+
+
+def test_every_src_knob_is_in_the_benchmarks_knob_table():
+    documented = _table_knobs(REPO / "benchmarks" / "README.md")
+    missing = _code_knobs("src") - documented
+    assert not missing, (
+        f"knob(s) read by src/ but absent from the benchmarks/README.md "
+        f"knob table: {sorted(missing)}")
+
+
+def test_every_src_knob_is_in_the_readme_quick_reference():
+    documented = _table_knobs(REPO / "README.md")
+    missing = _code_knobs("src") - documented
+    assert not missing, (
+        f"knob(s) read by src/ but absent from the README.md quick "
+        f"reference: {sorted(missing)}")
+
+
+def test_no_stale_documented_knobs():
+    in_code = _code_knobs("src", "benchmarks")
+    for name in ("README.md", "benchmarks/README.md"):
+        stale = _table_knobs(REPO / name) - in_code
+        assert not stale, f"knob(s) documented in {name} but read nowhere: " \
+                          f"{sorted(stale)}"
+
+
+def test_architecture_doc_module_paths_exist():
+    text = (REPO / "docs" / "ARCHITECTURE.md").read_text()
+    modules = sorted(set(MODULE_RE.findall(text)))
+    assert modules, "ARCHITECTURE.md should reference repro.* module paths"
+    broken = []
+    for dotted in modules:
+        try:
+            importlib.import_module(dotted)
+        except ImportError:
+            # attribute references like repro.core.rewriter.RopRewriter
+            parent, _, leaf = dotted.rpartition(".")
+            try:
+                module = importlib.import_module(parent)
+            except ImportError:
+                broken.append(dotted)
+                continue
+            if not hasattr(module, leaf):
+                broken.append(dotted)
+    assert not broken, f"ARCHITECTURE.md references missing modules: {broken}"
+
+
+def test_readme_points_at_the_real_docs():
+    readme = (REPO / "README.md").read_text()
+    for target in ("docs/ARCHITECTURE.md", "benchmarks/README.md",
+                   "ROADMAP.md"):
+        assert target in readme, f"README.md must link {target}"
+        assert (REPO / target).exists(), f"{target} linked but missing"
