@@ -173,6 +173,27 @@ class DseEngine(SnapshotEngine):
         super().invalidate_snapshots()
         self._pool.clear()
 
+    def reset(self, input_spec: Optional[InputSpec] = None,
+              seed: int = 0) -> None:
+        """Restore the engine to freshly-constructed exploration state.
+
+        The long-lived attack service reuses one engine per image across
+        requests; everything a previous request could leak into the next —
+        the CUPA RNG stream, the solver's model cache, the cumulative
+        :class:`EngineStats`, the mid-path snapshot pool — is rebuilt here,
+        which is exactly what makes a served request byte-identical to a
+        one-shot run at the same seed.  The *entry* snapshot is deliberately
+        kept: it depends only on the image and the attacked symbol, and
+        reusing it across requests is the service's whole point.
+        """
+        if input_spec is not None:
+            self.input_spec = input_spec
+            self.symbols = self.input_spec.symbol_table()
+        self.random = random.Random(seed)
+        self.solver = ConstraintSolver(self.symbols, seed=seed)
+        self.stats = EngineStats()
+        self._pool.clear()
+
     # -- mid-path snapshot capture and resume ------------------------------------
     def _branch_observer(self, emulator: Emulator, tracker: ShadowTracker) -> Callable:
         """Build the tracker's branch observer that captures snapshots.

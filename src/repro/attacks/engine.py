@@ -202,6 +202,18 @@ class SnapshotEngine:
         self._heap_base = 0
 
     # -- snapshot lifecycle --------------------------------------------------
+    def retarget(self, function: str) -> None:
+        """Point the engine at a different function of the same image.
+
+        Cheap by design: only the target symbol changes here, and
+        :meth:`_fork_emulator` lazily invalidates the entry snapshot when it
+        notices the mismatch — so retargeting back and forth costs nothing
+        until the next execution actually needs the new entry context.  The
+        long-lived attack service retargets one cached engine per image
+        across requests instead of rebuilding engines.
+        """
+        self.function = function
+
     def invalidate_snapshots(self) -> None:
         """Drop the prepared emulator and every snapshot derived from it.
 

@@ -35,11 +35,16 @@ differential property ``tests/attacks/test_frontier.py`` asserts.
 Fault tolerance: workers announce each claimed task before executing it, so
 when a worker dies — crash, OOM-kill, or even a *clean* premature exit —
 the coordinator returns its claimed branch decision to the frontier,
-respawns the worker slot and reassigns the work.  Because the path set is
-determined entirely by coordinator-owned state (frontier, dedupe sets,
-solver), a recovered exploration still equals the serial explorer's — the
+respawns the worker slot and reassigns the work.  A worker that *hangs*
+rather than dies is caught the same way: the coordinator times each
+observed claim against the ``REPRO_UNIT_TIMEOUT`` deadline (the claim-cell
+protocol shared with :mod:`repro.evaluation.parallel`), kills the stuck
+worker and requeues its decision.  Because the path set is determined
+entirely by coordinator-owned state (frontier, dedupe sets, solver), a
+recovered exploration still equals the serial explorer's — the
 fault-injection differential tests (``REPRO_FAULT_INJECT``, see
-:mod:`repro.faults`) kill workers mid-exploration and assert exactly that.
+:mod:`repro.faults`) kill and hang workers mid-exploration and assert
+exactly that.
 
 ``workers <= 1`` — or a platform without the fork start method — delegates
 to the serial engine outright.
@@ -59,7 +64,8 @@ from repro.attacks.dse import DseEngine, ExecutionResult, InputSpec
 from repro.attacks.engine import EngineStats, sharded_pool_capacity
 from repro.attacks.solver.solver import ConstraintSolver
 from repro.binary.image import BinaryImage
-from repro.faults import inject_fault, parse_fault_spec, unit_retries
+from repro.faults import (inject_fault, parse_fault_spec, unit_retries,
+                          unit_timeout)
 
 #: Seconds between liveness checks while waiting on worker results.
 _POLL_SECONDS = 0.5
@@ -158,6 +164,8 @@ class FrontierExplorer:
         self.executions_by_worker: Dict[int, int] = {}
         #: replacement workers forked after a premature worker exit.
         self.respawns = 0
+        #: claimed decisions whose ``REPRO_UNIT_TIMEOUT`` deadline expired.
+        self.timeouts = 0
 
     # -- serial delegation ---------------------------------------------------
     def _make_engine(self, pool_capacity: Optional[int]) -> DseEngine:
@@ -212,7 +220,9 @@ class FrontierExplorer:
         path_signatures: Set[Tuple] = set()
         self.executions_by_worker = {index: 0 for index in range(self.workers)}
         self.respawns = 0
+        self.timeouts = 0
         retries = unit_retries()
+        deadline = unit_timeout()
         respawn_limit = max(8, self.workers * (retries + 2))
 
         context = multiprocessing.get_context("fork")
@@ -241,6 +251,10 @@ class FrontierExplorer:
         arrived: List[Tuple[int, ExecutionResult, dict]] = []
         next_task_id = 0
         stopped = False
+        #: slot -> (claimed task id, first observed) — the coordinator's
+        #: view of the shared claim cells; deadlines run from observation
+        observed: Dict[int, Optional[Tuple[int, float]]] = {
+            slot: None for slot in range(self.workers)}
 
         def handle(message) -> None:
             worker_index, kind, payload, delta = message
@@ -253,6 +267,44 @@ class FrontierExplorer:
                     f"frontier worker {worker_index} failed: {body}")
             arrived.append((worker_index, body, delta))
 
+        def drain() -> None:
+            while True:
+                try:
+                    handle(result_queue.get_nowait())
+                except queue_module.Empty:
+                    break
+
+        def poll_claims() -> None:
+            now = time.monotonic()
+            for slot, cell in enumerate(claim_cells):
+                value = cell.value
+                if value < 0:
+                    observed[slot] = None
+                elif observed[slot] is None or observed[slot][0] != value:
+                    observed[slot] = (value, now)
+
+        def requeue(task_id: int, failure: str) -> None:
+            """Return a lost claimed decision to the frontier (attempt-capped)."""
+            if task_id not in inflight:
+                return  # its result raced the fault and won
+            priority, assignment, resume_key, attempt = inflight.pop(task_id)
+            if attempt >= retries:
+                raise RuntimeError(
+                    f"frontier worker {failure} {attempt + 1} times on one "
+                    f"branch decision")
+            # the decision goes back to the frontier and is reassigned
+            # (under a fresh task id) — path set stays identical to serial
+            pending.append((priority, assignment, resume_key, attempt + 1))
+
+        def respawn(slot: int) -> None:
+            self.respawns += 1
+            if self.respawns > respawn_limit:
+                raise RuntimeError(
+                    f"frontier worker respawn limit exceeded "
+                    f"({self.respawns} respawns)")
+            observed[slot] = None
+            processes[slot] = spawn(slot)
+
         def recover_dead_workers() -> None:
             dead = [slot for slot, process in processes.items()
                     if not process.is_alive()]
@@ -260,33 +312,40 @@ class FrontierExplorer:
                 return
             # drain buffered messages first: a result that raced the death
             # must win over re-enqueueing its decision
-            while True:
-                try:
-                    handle(result_queue.get_nowait())
-                except queue_module.Empty:
-                    break
+            drain()
             for slot in dead:
                 exitcode = processes[slot].exitcode
                 claimed = claim_cells[slot].value
-                task_id = None if claimed < 0 else claimed
-                if task_id is not None and task_id in inflight:
-                    priority, assignment, resume_key, attempt = \
-                        inflight.pop(task_id)
-                    if attempt >= retries:
-                        raise RuntimeError(
-                            f"frontier worker died {attempt + 1} times on "
-                            f"one branch decision (last exit code "
-                            f"{exitcode})")
-                    # the decision goes back to the frontier and is
-                    # reassigned — path set stays identical to serial
-                    pending.append((priority, assignment, resume_key,
-                                    attempt + 1))
-                self.respawns += 1
-                if self.respawns > respawn_limit:
-                    raise RuntimeError(
-                        f"frontier worker respawn limit exceeded "
-                        f"({self.respawns} respawns)")
-                processes[slot] = spawn(slot)
+                if claimed >= 0:
+                    requeue(claimed,
+                            f"died (last exit code {exitcode})")
+                respawn(slot)
+
+        def enforce_deadlines() -> None:
+            """Kill workers whose claimed decision outlived the deadline.
+
+            Same protocol as the grid pool's supervisor: deadlines run from
+            when the coordinator first *observed* the claim, the stuck
+            worker is killed, buffered results are drained first (a result
+            that raced the kill wins over a retry), and the decision goes
+            back to the frontier under the attempt cap.
+            """
+            if deadline is None:
+                return
+            now = time.monotonic()
+            for slot, claim in list(observed.items()):
+                if claim is None or claim[0] not in inflight \
+                        or now - claim[1] <= deadline:
+                    continue
+                process = processes[slot]
+                if process.is_alive():
+                    process.kill()
+                    process.join(timeout=5.0)
+                self.timeouts += 1
+                drain()
+                requeue(claim[0],
+                        f"exceeded the {deadline:g}s unit deadline")
+                respawn(slot)
 
         try:
             while True:
@@ -303,10 +362,12 @@ class FrontierExplorer:
                 if not inflight and not arrived:
                     break
 
+                poll_claims()
                 try:
                     handle(result_queue.get(timeout=_POLL_SECONDS))
                 except queue_module.Empty:
                     recover_dead_workers()
+                    enforce_deadlines()
 
                 while arrived:
                     worker_index, result, delta = arrived.pop(0)

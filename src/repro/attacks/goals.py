@@ -111,11 +111,20 @@ def secret_finding_attack(image: BinaryImage, function: str,
                           budget: Optional[AttackBudget] = None,
                           accept_value: int = 1, engine: str = "dse",
                           memory_model: str = "concretize",
-                          seed: int = 0) -> AttackOutcome:
-    """G1: find an input that drives the function to its accepting return value."""
+                          seed: int = 0,
+                          driver: Optional[DseEngine] = None) -> AttackOutcome:
+    """G1: find an input that drives the function to its accepting return value.
+
+    ``driver`` lets a caller supply an already-prepared engine (retargeted
+    and reset by the attack service) instead of constructing one per call;
+    the caller is then responsible for the engine matching ``function``,
+    ``seed`` and ``input_spec``.
+    """
     budget = budget or AttackBudget()
     input_spec = input_spec or InputSpec()
-    driver = _make_engine(image, function, input_spec, budget, engine, seed, memory_model)
+    if driver is None:
+        driver = _make_engine(image, function, input_spec, budget, engine,
+                              seed, memory_model)
 
     start = time.monotonic()
     found: Dict[str, int] = {}

@@ -150,7 +150,7 @@ class Checkpoint:
 
     FILENAME = "checkpoint.jsonl"
 
-    def __init__(self, out_dir: Path) -> None:
+    def __init__(self, out_dir: Path, meta: Optional[Dict] = None) -> None:
         out_dir = Path(out_dir)
         out_dir.mkdir(parents=True, exist_ok=True)
         self.path = out_dir / self.FILENAME
@@ -158,15 +158,24 @@ class Checkpoint:
         # with no newline; appending straight after it would corrupt the
         # first new record too, so start on a fresh line
         torn = False
+        empty = True
         if self.path.exists():
             with self.path.open("rb") as existing:
                 existing.seek(0, 2)
                 if existing.tell() > 0:
+                    empty = False
                     existing.seek(-1, 2)
                     torn = existing.read(1) != b"\n"
         self._file = self.path.open("a", encoding="utf-8")
         if torn:
             self._file.write("\n")
+        # a fresh ledger opens with a meta line recording the run axes
+        # (slice, seed), so --resume can detect an axis mismatch instead of
+        # silently matching nothing; appending to an existing ledger keeps
+        # its original meta line
+        if meta is not None and empty:
+            self._file.write(json.dumps({"meta": meta}) + "\n")
+            self._file.flush()
 
     def record(self, fingerprint: str, part: str, result: dict) -> None:
         self._file.write(json.dumps({"fingerprint": fingerprint,
@@ -208,6 +217,60 @@ class Checkpoint:
                     "part": entry.get("part", ""),
                     "result": entry["result"]}
         return entries
+
+    @classmethod
+    def load_meta(cls, directory) -> Optional[Dict]:
+        """The run-axis meta record of a previous ledger, if one was written.
+
+        Returns ``None`` for a missing file or a pre-meta (legacy) ledger —
+        those resume on fingerprints alone, exactly as before.
+        """
+        path = Path(directory) / cls.FILENAME
+        if not path.exists():
+            return None
+        for line in path.read_text(encoding="utf-8").splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entry = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if isinstance(entry, dict) and isinstance(entry.get("meta"), dict):
+                return entry["meta"]
+        return None
+
+
+def load_resume(resume_dir: Path, run_axes: Dict) -> tuple:
+    """Load a ``--resume`` ledger, validating its run axes first.
+
+    Returns ``(completed, messages)``.  A ledger recorded under a different
+    slice/seed axis would match nothing fingerprint-wise — which silently
+    reads as "fresh run" while leaving a stale ledger impression — so an
+    explicit mismatch warning is emitted and the ledger ignored.  Legacy
+    ledgers without a meta line resume on fingerprints alone, as before.
+    """
+    messages: List[str] = []
+    completed = Checkpoint.load(resume_dir)
+    recorded = Checkpoint.load_meta(resume_dir)
+    if recorded is not None and recorded != run_axes:
+        described = ", ".join(f"{key}={value}" for key, value
+                              in sorted(recorded.items()))
+        wanted = ", ".join(f"{key}={value}" for key, value
+                           in sorted(run_axes.items()))
+        messages.append(
+            f"WARNING: checkpoint at {resume_dir / Checkpoint.FILENAME} was "
+            f"recorded for {described}, but this invocation runs {wanted}; "
+            f"ignoring it and starting a fresh ledger")
+        return {}, messages
+    if completed:
+        messages.append(f"resume: {len(completed)} completed unit(s) loaded "
+                        f"from {resume_dir / Checkpoint.FILENAME}")
+    else:
+        messages.append(f"resume: no checkpoint at "
+                        f"{resume_dir / Checkpoint.FILENAME}; running every "
+                        f"unit")
+    return completed, messages
 
 
 def _run_units(pool: parallel.WorkerPool, units, part: str,
@@ -568,7 +631,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--resume", metavar="DIR", default=None,
                         help="directory holding a previous run's "
                              "checkpoint.jsonl; units it already completed "
-                             "are loaded and skipped")
+                             "are loaded and skipped (a ledger recorded "
+                             "under a different slice/seed is ignored with "
+                             "a warning)")
     parser.add_argument("--compare", nargs=2, metavar=("OLD", "NEW"),
                         help="diff two summary.json files instead of running "
                              "a grid; exits 1 on shifts beyond the thresholds")
@@ -600,17 +665,14 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     # checkpoint-resume: load a previous run's ledger, then stream this
     # run's completed units to out_dir/checkpoint.jsonl as they arrive
+    run_axes = {"slice": args.slice, "seed": args.seed}
     completed: Dict[str, dict] = {}
     if args.resume:
         resume_dir = Path(args.resume)
-        completed = Checkpoint.load(resume_dir)
-        if completed:
-            print(f"resume: {len(completed)} completed unit(s) loaded from "
-                  f"{resume_dir / Checkpoint.FILENAME}")
-        else:
-            print(f"resume: no checkpoint at "
-                  f"{resume_dir / Checkpoint.FILENAME}; running every unit")
-    checkpoint = Checkpoint(out_dir)
+        completed, messages = load_resume(resume_dir, run_axes)
+        for message in messages:
+            print(message)
+    checkpoint = Checkpoint(out_dir, meta=run_axes)
     if completed and Path(args.resume).resolve() != out_dir.resolve():
         # carry the resumed entries over so out_dir is itself resumable
         for fingerprint, entry in completed.items():

@@ -36,6 +36,16 @@ becomes a ``{"status": "failed", "error": ...}`` row and the run continues
 instead of aborting a CPU-hours grid.  :class:`FaultStats` counts the
 recoveries; every path is provoked deliberately by the deterministic
 fault-injection harness (:mod:`repro.faults`, ``REPRO_FAULT_INJECT``).
+
+The supervision core is exposed below :meth:`WorkerPool.map` as an
+incremental :meth:`WorkerPool.submit` / :meth:`WorkerPool.pump` event API:
+``submit`` enqueues one unit under a pool-lifetime dispatch id, ``pump``
+performs one supervision round (claim polling, deadline kills, death
+detection, slot respawns) and returns :class:`PoolEvent` records.  ``map``
+is a client of that API; the long-lived attack service
+(:mod:`repro.service`) is another, with its own retry/backoff and terminal
+states layered on the same events.  Units beyond the three grid dataclasses
+plug in through :func:`register_unit_executor`.
 """
 
 from __future__ import annotations
@@ -207,6 +217,27 @@ class FaultStats:
         return dataclasses.asdict(self)
 
 
+@dataclass(frozen=True)
+class PoolEvent:
+    """One supervision outcome surfaced by :meth:`WorkerPool.pump`.
+
+    ``kind`` is ``"result"`` (the worker reported back; ``status`` is
+    ``"ok"`` with a payload dict or ``"error"`` with an error string),
+    ``"deadline"`` (the unit's ``REPRO_UNIT_TIMEOUT`` expired and its worker
+    was killed) or ``"death"`` (the worker died mid-unit; ``exitcode``
+    carries how).  Exactly one event is emitted per outstanding dispatch id
+    — the pool removes the id from its outstanding set before emitting, so
+    a result racing a kill is never double-reported.
+    """
+
+    kind: str
+    dispatch_id: int
+    status: str
+    payload: object
+    worker: int
+    exitcode: Optional[int] = None
+
+
 # -- unit execution (runs inside a worker) ------------------------------------
 
 #: benchmark-level measurements shared by several Figure 5 bars:
@@ -335,6 +366,24 @@ def _execute_table3(unit: Table3Unit) -> dict:
     return {**dataclasses.asdict(row), "gadgets_per_point": row.gadgets_per_point}
 
 
+#: Extension point for unit types beyond the three grid dataclasses —
+#: populated via :func:`register_unit_executor` in the parent process
+#: *before* the pool forks, so workers inherit the registry.
+_UNIT_EXECUTORS: Dict[type, Callable[[object], dict]] = {}
+
+
+def register_unit_executor(unit_type: type,
+                           executor: Callable[[object], dict]) -> None:
+    """Register the executor for a custom unit type (idempotent).
+
+    The service layer registers its :class:`~repro.service.AttackRequest`
+    here at import time; because workers are forked from the parent, any
+    registration made before the first dispatch is visible inside every
+    worker (and every respawned replacement).
+    """
+    _UNIT_EXECUTORS[unit_type] = executor
+
+
 def execute_unit(unit: GridUnit) -> dict:
     """Execute one work unit; dispatch point shared by serial and workers."""
     if isinstance(unit, Figure5Unit):
@@ -343,6 +392,9 @@ def execute_unit(unit: GridUnit) -> dict:
         return _execute_table2(unit)
     if isinstance(unit, Table3Unit):
         return _execute_table3(unit)
+    executor = _UNIT_EXECUTORS.get(type(unit))
+    if executor is not None:
+        return executor(unit)
     raise TypeError(f"unknown work unit {type(unit).__name__}")
 
 
@@ -373,15 +425,16 @@ def _worker_main(worker_index: int, snapshot_share: int, task_queue,
         task = task_queue.get()
         if task is None:
             break
-        index, global_index, attempt, unit = task
-        claim_cell.value = index
+        dispatch_id, attempt, unit = task
+        claim_cell.value = dispatch_id
         try:
-            inject_fault(global_index, attempt, fault_spec)
-            result_queue.put((worker_index, index, "ok", execute_unit(unit)))
+            inject_fault(dispatch_id, attempt, fault_spec)
+            result_queue.put((worker_index, dispatch_id, "ok",
+                              execute_unit(unit)))
         except (KeyboardInterrupt, SystemExit):
             raise
         except BaseException as exc:  # surface, don't hang the parent
-            result_queue.put((worker_index, index, "error",
+            result_queue.put((worker_index, dispatch_id, "error",
                               f"{type(exc).__name__}: {exc}"))
         # cleared only after the result is queued: a death in between leaves
         # a stale claim, which the supervisor's drain-first recovery ignores
@@ -416,6 +469,11 @@ class WorkerPool:
         #: space ``REPRO_FAULT_INJECT`` directives target (deterministic:
         #: units are numbered in enqueue order, not completion order).
         self._units_dispatched = 0
+        #: dispatch ids enqueued but not yet surfaced as a :class:`PoolEvent`
+        self._outstanding: set = set()
+        #: slot -> (claimed dispatch id, first observed) — the supervisor's
+        #: view of the shared claim cells; deadlines run from observation
+        self._observed: Dict[int, Optional[Tuple[int, float]]] = {}
 
     @property
     def parallel(self) -> bool:
@@ -439,14 +497,139 @@ class WorkerPool:
         self._result_queue = context.Queue()
         self._claim_cells = [context.Value("q", -1, lock=False)
                              for _ in range(self.workers)]
+        self._observed = {slot: None for slot in range(self.workers)}
         self._processes = [self._spawn(worker_index)
                            for worker_index in range(self.workers)]
 
     def _respawn(self, slot: int) -> None:
         """Replace a dead/killed worker in place, keeping its slot index."""
         self._claim_cells[slot].value = -1
+        self._observed[slot] = None
         self._processes[slot] = self._spawn(slot)
         self.stats.respawns += 1
+
+    # -- incremental supervision API ------------------------------------------
+
+    def submit(self, unit: GridUnit, dispatch_id: Optional[int] = None,
+               attempt: int = 0) -> int:
+        """Enqueue one unit; return its pool-lifetime dispatch id.
+
+        ``dispatch_id`` defaults to the next slot of the global dispatch
+        sequence; a retry re-submits under the unit's *original* id with a
+        bumped ``attempt``, preserving the fault-injection index semantics
+        (a ``count``-limited directive stops sabotaging once ``attempt``
+        reaches its count).  Parallel pools only — inline execution has no
+        queue to supervise.
+        """
+        if not self.parallel:
+            raise RuntimeError("submit() requires a parallel pool "
+                               "(workers > 1 with fork available)")
+        if dispatch_id is None:
+            dispatch_id = self._units_dispatched
+            self._units_dispatched += 1
+        self._ensure_started()
+        self._outstanding.add(dispatch_id)
+        self._task_queue.put((dispatch_id, attempt, unit))
+        return dispatch_id
+
+    def pump(self, timeout: float = _POLL_SECONDS,
+             deadline: Optional[float] = None) -> List[PoolEvent]:
+        """One supervision round; block at most ``timeout`` for a result.
+
+        Polls the claim cells, waits (briefly) on the result queue, enforces
+        ``deadline`` seconds per claimed unit (kill + respawn on expiry) and
+        recovers dead workers — any premature exit counts, clean code 0
+        included.  Every outcome is returned as a :class:`PoolEvent`; the
+        caller owns retry policy (:meth:`submit` again under the same id) and
+        respawn budgets (watch :attr:`stats` ``.respawns``).  Results
+        drained while recovering a kill or a death win over the synthetic
+        deadline/death event — the unit finished, so it is reported
+        finished.
+        """
+        events: List[PoolEvent] = []
+
+        def handle(message) -> None:
+            worker, dispatch_id, status, payload = message
+            if dispatch_id not in self._outstanding:
+                return  # stale duplicate drained around a worker death
+            self._outstanding.discard(dispatch_id)
+            events.append(PoolEvent(kind="result", dispatch_id=dispatch_id,
+                                    status=status, payload=payload,
+                                    worker=worker))
+
+        def drain() -> None:
+            while True:
+                try:
+                    handle(self._result_queue.get_nowait())
+                except queue_module.Empty:
+                    return
+
+        self._ensure_started()
+        now = time.monotonic()
+        for slot, cell in enumerate(self._claim_cells):
+            value = cell.value
+            observed = self._observed.get(slot)
+            if value < 0:
+                self._observed[slot] = None
+            elif observed is None or observed[0] != value:
+                self._observed[slot] = (value, now)
+
+        # wake early enough to enforce the nearest unit deadline
+        wake = timeout
+        if deadline is not None:
+            for claim in self._observed.values():
+                if claim is not None and claim[0] in self._outstanding:
+                    remaining = deadline - (now - claim[1])
+                    wake = max(0.05, min(wake, remaining))
+        try:
+            handle(self._result_queue.get(timeout=wake))
+            drain()
+            return events
+        except queue_module.Empty:
+            pass
+
+        # per-unit deadline: kill the worker hosting an expired unit, then
+        # surface the expiry and refill the slot
+        if deadline is not None:
+            now = time.monotonic()
+            for slot, claim in list(self._observed.items()):
+                if claim is None or claim[0] not in self._outstanding \
+                        or now - claim[1] <= deadline:
+                    continue
+                process = self._processes[slot]
+                if process.is_alive():
+                    process.kill()
+                    process.join(timeout=5.0)
+                self.stats.timeouts += 1
+                drain()  # a result that raced the kill wins over a retry
+                if claim[0] in self._outstanding:
+                    self._outstanding.discard(claim[0])
+                    events.append(PoolEvent(
+                        kind="deadline", dispatch_id=claim[0],
+                        status="error",
+                        payload=(f"unit deadline exceeded "
+                                 f"(REPRO_UNIT_TIMEOUT={deadline:g}s)"),
+                        worker=slot))
+                self._respawn(slot)
+
+        # supervise: ANY dead worker with work outstanding is a fault —
+        # including a clean exit code 0, which the close() sentinel
+        # handshake alone may legitimately produce, but a mid-unit exit
+        # never can
+        for slot, process in enumerate(self._processes):
+            if process.is_alive():
+                continue
+            drain()
+            value = self._claim_cells[slot].value
+            if value >= 0 and value in self._outstanding:
+                self._outstanding.discard(value)
+                events.append(PoolEvent(
+                    kind="death", dispatch_id=value, status="error",
+                    payload=(f"worker died mid-unit (exit code "
+                             f"{process.exitcode})"),
+                    worker=slot, exitcode=process.exitcode))
+            self._respawn(slot)
+        return events
 
     def map(self, units: Sequence[GridUnit],
             on_result: Optional[Callable] = None,
@@ -517,126 +700,61 @@ class WorkerPool:
         # a worker that keeps dying before even claiming a unit (e.g. a
         # crash in the fork prologue) must not respawn forever
         respawn_limit = max(8, self.workers * (retries + 2))
-        respawned = 0
+        respawns_before = self.stats.respawns
         results: List[Optional[dict]] = [None] * len(units)
         worker_ids: List[int] = [0] * len(units)
-        attempts = [0] * len(units)
-        unresolved = set(range(len(units)))
-        #: slot -> (claimed unit index, first observed) — the supervisor's
-        #: view of the shared claim cells; deadlines run from observation
-        observed: Dict[int, Optional[Tuple[int, float]]] = {
-            slot: None for slot in range(self.workers)}
-
+        attempts: Dict[int, int] = {}
+        index_of: Dict[int, int] = {}
         for index, unit in enumerate(units):
-            self._task_queue.put((index, base + index, 0, unit))
+            dispatch_id = self.submit(unit, dispatch_id=base + index)
+            index_of[dispatch_id] = index
+            attempts[dispatch_id] = 0
+        unresolved = set(index_of)
 
-        def resolve(index: int, payload: dict, worker: int) -> None:
+        def resolve(dispatch_id: int, payload: dict, worker: int) -> None:
+            index = index_of[dispatch_id]
             results[index] = payload
             worker_ids[index] = worker
-            unresolved.discard(index)
+            unresolved.discard(dispatch_id)
             if on_result is not None:
                 on_result(index, units[index], payload)
 
-        def fail(index: int, worker: int, error: str) -> None:
-            if index not in unresolved:
-                return  # already resolved by a result that raced the fault
-            if attempts[index] < retries:
-                attempts[index] += 1
+        def fail(dispatch_id: int, worker: int, error: str) -> None:
+            if attempts[dispatch_id] < retries:
+                attempts[dispatch_id] += 1
                 self.stats.retries += 1
-                self._task_queue.put((index, base + index, attempts[index],
-                                      units[index]))
+                self.submit(units[index_of[dispatch_id]],
+                            dispatch_id=dispatch_id,
+                            attempt=attempts[dispatch_id])
             else:
                 self.stats.failed_units += 1
-                resolve(index, quarantine_row(units[index], error), worker)
-
-        def handle(message) -> None:
-            worker, index, status, payload = message
-            if index not in unresolved:
-                return  # stale duplicate drained around a worker death
-            if status == "ok":
-                resolve(index, payload, worker)
-            else:
-                fail(index, worker, payload)
-
-        def drain() -> None:
-            while True:
-                try:
-                    handle(self._result_queue.get_nowait())
-                except queue_module.Empty:
-                    return
-
-        def poll_claims() -> None:
-            now = time.monotonic()
-            for slot, cell in enumerate(self._claim_cells):
-                value = cell.value
-                if value < 0:
-                    observed[slot] = None
-                elif observed[slot] is None or observed[slot][0] != value:
-                    observed[slot] = (value, now)
-
-        def claimed_unit(slot: int) -> Optional[int]:
-            value = self._claim_cells[slot].value
-            return None if value < 0 else value
+                resolve(dispatch_id,
+                        quarantine_row(units[index_of[dispatch_id]], error),
+                        worker)
 
         while unresolved:
-            poll_claims()
-            # wake early enough to enforce the nearest unit deadline
-            timeout = _POLL_SECONDS
-            if deadline is not None:
-                now = time.monotonic()
-                for claim in observed.values():
-                    if claim is not None and claim[0] in unresolved:
-                        remaining = deadline - (now - claim[1])
-                        timeout = max(0.05, min(timeout, remaining))
-            try:
-                handle(self._result_queue.get(timeout=timeout))
-                continue
-            except queue_module.Empty:
-                pass
-
-            # per-unit deadline: kill the worker hosting an expired unit,
-            # then retry/quarantine the unit and refill the slot
-            if deadline is not None:
-                now = time.monotonic()
-                for slot, claim in list(observed.items()):
-                    if claim is None or claim[0] not in unresolved \
-                            or now - claim[1] <= deadline:
-                        continue
-                    process = self._processes[slot]
-                    if process.is_alive():
-                        process.kill()
-                        process.join(timeout=5.0)
-                    self.stats.timeouts += 1
-                    drain()  # a result that raced the kill wins over a retry
-                    observed[slot] = None
-                    fail(claim[0], slot,
-                         f"unit deadline exceeded "
-                         f"(REPRO_UNIT_TIMEOUT={deadline:g}s)")
-                    respawned += 1
-                    self._respawn(slot)
-
-            # supervise: ANY dead worker while units are unresolved is a
-            # fault — including a clean exit code 0, which the close()
-            # sentinel handshake alone may legitimately produce, but a
-            # mid-map exit never can
-            for slot, process in enumerate(self._processes):
-                if process.is_alive():
+            for event in self.pump(deadline=deadline):
+                if event.dispatch_id not in unresolved:
                     continue
-                drain()
-                claim = claimed_unit(slot)
-                observed[slot] = None
-                if claim is not None:
-                    fail(claim, slot,
-                         f"worker died mid-unit (exit code "
-                         f"{process.exitcode})")
-                respawned += 1
-                if respawned > respawn_limit:
-                    raise RuntimeError(
-                        f"grid worker respawn limit exceeded "
-                        f"({respawned} respawns with {len(unresolved)} "
-                        f"unit(s) unresolved)")
-                self._respawn(slot)
+                if event.kind == "result" and event.status == "ok":
+                    resolve(event.dispatch_id, event.payload, event.worker)
+                else:
+                    fail(event.dispatch_id, event.worker, event.payload)
+            if self.stats.respawns - respawns_before > respawn_limit:
+                raise RuntimeError(
+                    f"grid worker respawn limit exceeded "
+                    f"({self.stats.respawns - respawns_before} respawns "
+                    f"with {len(unresolved)} unit(s) unresolved)")
         return results, worker_ids
+
+    def abort(self) -> None:
+        """Tear the pool down immediately, skipping the sentinel handshake.
+
+        The close() handshake waits on workers draining the task queue; a
+        pool being abandoned *because* its workers keep dying (the service's
+        circuit breaker) must not wait on them.
+        """
+        self._abort()
 
     def _abort(self) -> None:
         """Tear the pool down immediately (error path: no sentinels)."""
@@ -655,6 +773,8 @@ class WorkerPool:
         self._task_queue = None
         self._result_queue = None
         self._claim_cells = []
+        self._outstanding = set()
+        self._observed = {}
 
     def close(self) -> None:
         """Stop the workers; safe to call twice."""
@@ -674,6 +794,8 @@ class WorkerPool:
         self._task_queue = None
         self._result_queue = None
         self._claim_cells = []
+        self._outstanding = set()
+        self._observed = {}
 
     def __enter__(self) -> "WorkerPool":
         return self

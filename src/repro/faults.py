@@ -18,11 +18,16 @@ drive each recovery path deliberately instead of hoping for it.
 * ``mode`` — ``raise`` (the unit errors), ``hang`` (the worker sleeps past
   any deadline, provoking the ``REPRO_UNIT_TIMEOUT`` kill), ``exit0`` (the
   worker exits *cleanly* mid-unit — the liveness case an exit-code filter
-  misses) or ``kill`` (SIGKILL to self, an OOM-kill stand-in).
+  misses), ``kill`` (SIGKILL to self, an OOM-kill stand-in) or ``slow:ms``
+  (a deterministic delay of ``ms`` milliseconds before the unit runs
+  normally — the probe for deadline/backoff *boundary* behavior, where an
+  infinite ``hang`` cannot distinguish "finishes just under the deadline"
+  from "just over" without flaky wall-clock races).
 * ``count`` — how many attempts of that unit to sabotage: an integer
   (default 1, i.e. only the first attempt fails and the retry succeeds) or
   ``always`` (every attempt fails, so retries exhaust and the unit is
-  quarantined).
+  quarantined).  For ``slow`` the directive is ``index:slow:ms[:count]``;
+  the delay occupies the third field and the count moves to the fourth.
 
 Malformed directives are ignored — an operator typo in the environment must
 never crash a worker that would otherwise run fine.
@@ -45,7 +50,7 @@ import time
 from typing import Dict, Optional, Tuple
 
 #: Recognized fault modes, in the order the docstring describes them.
-FAULT_MODES = ("raise", "hang", "exit0", "kill")
+FAULT_MODES = ("raise", "hang", "exit0", "kill", "slow")
 
 #: How long a ``hang`` fault sleeps — far past any plausible unit deadline.
 _HANG_SECONDS = 3600.0
@@ -66,7 +71,7 @@ def parse_fault_spec(spec: Optional[str] = None) -> Dict[int, Tuple[str, float]]
     directives: Dict[int, Tuple[str, float]] = {}
     for field in spec.split(","):
         parts = [part.strip() for part in field.strip().split(":")]
-        if len(parts) not in (2, 3):
+        if len(parts) < 2:
             continue
         try:
             index = int(parts[0])
@@ -75,13 +80,29 @@ def parse_fault_spec(spec: Optional[str] = None) -> Dict[int, Tuple[str, float]]
         mode = parts[1]
         if mode not in FAULT_MODES:
             continue
+        if mode == "slow":
+            # index:slow:ms[:count] — the delay occupies the count's slot
+            if len(parts) not in (3, 4):
+                continue
+            try:
+                delay_ms = int(parts[2])
+            except ValueError:
+                continue
+            if delay_ms < 0:
+                continue
+            mode = f"slow:{delay_ms}"
+            count_field = parts[3] if len(parts) == 4 else None
+        else:
+            if len(parts) not in (2, 3):
+                continue
+            count_field = parts[2] if len(parts) == 3 else None
         count = 1.0
-        if len(parts) == 3:
-            if parts[2] == "always":
+        if count_field is not None:
+            if count_field == "always":
                 count = math.inf
             else:
                 try:
-                    count = float(int(parts[2]))
+                    count = float(int(count_field))
                 except ValueError:
                     continue
         directives[index] = (mode, count)
@@ -95,8 +116,9 @@ def inject_fault(index: int, attempt: int = 0,
 
     Called by the worker loops right after claiming a unit (so the parent
     already knows which unit the dying worker held).  ``inline`` marks
-    in-process (non-forked) execution, where only ``raise`` is honoured —
-    ``exit0``/``kill``/``hang`` would take down or stall the driver itself.
+    in-process (non-forked) execution, where only ``raise`` and ``slow``
+    are honoured — ``exit0``/``kill``/``hang`` would take down or stall
+    the driver itself.
     """
     directives = parse_fault_spec() if spec is None else spec
     directive = directives.get(index)
@@ -104,6 +126,9 @@ def inject_fault(index: int, attempt: int = 0,
         return
     mode, count = directive
     if attempt >= count:
+        return
+    if mode.startswith("slow:"):
+        time.sleep(int(mode.split(":", 1)[1]) / 1000.0)
         return
     if inline and mode != "raise":
         return

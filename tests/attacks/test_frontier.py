@@ -142,6 +142,30 @@ def test_frontier_recovers_worker_death_mid_exploration(monkeypatch,
 
 
 @needs_fork
+def test_frontier_hang_is_killed_by_deadline_and_path_set_preserved(
+        monkeypatch):
+    """A worker that hangs mid-decision (not dead — the claim cell still
+    names its task) is killed once REPRO_UNIT_TIMEOUT expires, the decision
+    returns to the frontier, and the explored path set still equals the
+    serial explorer's.  Frontier units are milliseconds, so a short deadline
+    only ever trips on the injected hang."""
+    image, function = _branchy_image()
+    input_spec = InputSpec(argument_sizes=[1])
+    serial = DseEngine(image, function, input_spec, seed=5, backtracking=False)
+    serial_results, _ = serial.explore(time_budget=60.0, max_executions=500)
+
+    monkeypatch.setenv("REPRO_FAULT_INJECT", "1:hang")
+    monkeypatch.setenv("REPRO_UNIT_TIMEOUT", "2")
+    frontier = FrontierExplorer(image, function, input_spec, seed=5, workers=2)
+    frontier_results, frontier_stats = frontier.explore(time_budget=60.0,
+                                                        max_executions=500)
+    assert frontier.timeouts >= 1
+    assert frontier.respawns >= 1
+    assert _path_set(frontier_results) == _path_set(serial_results)
+    assert frontier_stats.executions == len(serial_results)
+
+
+@needs_fork
 def test_frontier_gives_up_after_repeated_deaths_on_one_task(monkeypatch):
     """A branch decision that kills every worker that touches it must not
     respawn forever — after the retry budget the exploration aborts loudly."""

@@ -9,6 +9,7 @@ from repro.evaluation import parallel
 from repro.evaluation.grid import (
     Checkpoint,
     compare_summaries,
+    load_resume,
     run_grid,
     write_artifacts,
 )
@@ -45,6 +46,30 @@ def test_parse_fault_spec_modes_counts_and_malformed_directives():
     assert parse_fault_spec("junk,1:frobnicate,x:raise,2:raise:soon,,") == {}
     assert parse_fault_spec("") == {}
     assert parse_fault_spec("4") == {}
+
+
+def test_parse_fault_spec_slow_mode_carries_its_delay():
+    spec = parse_fault_spec("0:slow:250,1:slow:100:2,2:slow:50:always")
+    assert spec == {0: ("slow:250", 1.0), 1: ("slow:100", 2.0),
+                    2: ("slow:50", math.inf)}
+    # malformed slow directives (missing/negative/non-integer delay) are
+    # skipped like any other typo, never an error
+    assert parse_fault_spec("0:slow,1:slow:-5,2:slow:fast,3:slow:1:2:3") == {}
+
+
+def test_inject_slow_delays_then_returns_normally():
+    import time
+    spec = parse_fault_spec("0:slow:120")
+    started = time.monotonic()
+    inject_fault(0, attempt=0, spec=spec)   # sleeps, does not raise
+    assert time.monotonic() - started >= 0.1
+    started = time.monotonic()
+    inject_fault(0, attempt=1, spec=spec)   # count exhausted: no delay
+    assert time.monotonic() - started < 0.1
+    # slow is honoured inline too — it cannot corrupt the driver
+    started = time.monotonic()
+    inject_fault(0, attempt=0, spec=spec, inline=True)
+    assert time.monotonic() - started >= 0.1
 
 
 def test_inject_fault_counts_attempts_and_inline_gating():
@@ -124,6 +149,19 @@ def test_hang_is_killed_by_unit_deadline_and_retried(monkeypatch):
 
 
 @needs_fork
+def test_slow_fault_delays_but_never_alters_rows(monkeypatch):
+    """slow:ms probes deadline-boundary behavior: the unit finishes late but
+    honestly, so nothing is retried and the rows are untouched."""
+    reference, _ = WorkerPool(1).map(_units())
+    rows, _, stats = _map_with_env(
+        monkeypatch, {"REPRO_FAULT_INJECT": "1:slow:200"})
+    assert rows == reference
+    assert stats.retries == 0
+    assert stats.timeouts == 0
+    assert stats.failed_units == 0
+
+
+@needs_fork
 def test_fault_indexes_are_global_across_map_calls(monkeypatch):
     """REPRO_FAULT_INJECT indexes the pool-lifetime dispatch sequence, so a
     directive can target a unit of the *second* map() call deterministically."""
@@ -168,6 +206,42 @@ def test_checkpoint_roundtrip_tolerates_torn_and_corrupt_lines(tmp_path):
     with Checkpoint(tmp_path) as checkpoint:
         checkpoint.record("fp4", "table3", {})
     assert set(Checkpoint.load(tmp_path)) == {"fp1", "fp2", "fp4"}
+
+
+def test_checkpoint_meta_written_once_and_resume_validates_axes(tmp_path):
+    """A --resume ledger recorded under a different slice/seed would match
+    nothing fingerprint-wise, silently reading as a fresh run; the meta line
+    makes the mismatch loud and the ledger is ignored."""
+    axes = {"slice": "smoke", "seed": 1}
+    with Checkpoint(tmp_path, meta=axes) as checkpoint:
+        checkpoint.record("fp1", "table3", {})
+    assert Checkpoint.load_meta(tmp_path) == axes
+    # reopening an existing ledger never writes a second meta line
+    with Checkpoint(tmp_path, meta=axes) as checkpoint:
+        checkpoint.record("fp2", "table3", {})
+    lines = (tmp_path / Checkpoint.FILENAME).read_text().splitlines()
+    assert sum(1 for line in lines if "meta" in json.loads(line)) == 1
+    # the meta line never pollutes the fingerprint ledger
+    assert set(Checkpoint.load(tmp_path)) == {"fp1", "fp2"}
+
+    completed, messages = load_resume(tmp_path, axes)
+    assert set(completed) == {"fp1", "fp2"}
+    assert any("2 completed unit(s)" in message for message in messages)
+
+    completed, messages = load_resume(tmp_path, {"slice": "smoke", "seed": 2})
+    assert completed == {}
+    assert any("WARNING" in message and "seed=1" in message
+               and "seed=2" in message for message in messages)
+
+
+def test_legacy_ledger_without_meta_still_resumes(tmp_path):
+    with Checkpoint(tmp_path) as checkpoint:  # pre-meta ledger shape
+        checkpoint.record("fp1", "table3", {})
+    assert Checkpoint.load_meta(tmp_path) is None
+    assert Checkpoint.load_meta(tmp_path / "nowhere") is None
+    completed, messages = load_resume(tmp_path, {"slice": "full", "seed": 9})
+    assert set(completed) == {"fp1"}
+    assert not any("WARNING" in message for message in messages)
 
 
 def test_resume_skips_completed_units_entirely(tmp_path, monkeypatch):
