@@ -56,6 +56,8 @@ import os
 import time
 from pathlib import Path
 
+from repro import knobs
+
 REPO_ROOT = Path(__file__).resolve().parent.parent
 RESULT_PATH = REPO_ROOT / "BENCH_emulator.json"
 
@@ -64,10 +66,10 @@ REGRESSION_TOLERANCE = 0.20
 
 #: The decode/trace caches and the compiled tier are the largest wins; flag
 #: runs where the environment has turned any off so the report stays honest.
-_CACHE_ENABLED = os.environ.get("REPRO_DECODE_CACHE", "1") != "0"
-_TRACE_ENABLED = os.environ.get("REPRO_TRACE_CACHE", "1") != "0"
-_COMPILE_ENABLED = os.environ.get("REPRO_TRACE_COMPILE", "1") != "0"
-_SUPERBLOCK_ENABLED = os.environ.get("REPRO_TRACE_SUPERBLOCK", "1") != "0"
+_CACHE_ENABLED = knobs.enabled("REPRO_DECODE_CACHE")
+_TRACE_ENABLED = knobs.enabled("REPRO_TRACE_CACHE")
+_COMPILE_ENABLED = knobs.enabled("REPRO_TRACE_COMPILE")
+_SUPERBLOCK_ENABLED = knobs.enabled("REPRO_TRACE_SUPERBLOCK")
 
 #: Compiled-tier throughput must stay at least this multiple of the closure
 #: tier on the same machine (the PR 4 tentpole gate).
@@ -419,8 +421,8 @@ def _speedups(report, seed):
 def test_emulator_throughput_and_fork_rate():
     report = run_benchmarks()
     committed = _load_committed()
-    update = os.environ.get("REPRO_BENCH_UPDATE", "0") == "1"
-    gate = os.environ.get("REPRO_BENCH_GATE", "1") != "0" and not update
+    update = knobs.raw("REPRO_BENCH_UPDATE", "0") == "1"
+    gate = knobs.enabled("REPRO_BENCH_GATE") and not update
     CANDIDATE_PATH.write_text(json.dumps(report, indent=2) + "\n")
 
     ips = report["throughput"]["instructions_per_sec"]

@@ -7,12 +7,12 @@ multiple CPU-hours in that mode (the paper reports >2000 CPU hours for its
 own grid).
 """
 
-import os
-
 import pytest
 
+from repro import knobs
+
 #: True when the full paper-scale experiment grid was requested.
-FULL_SCALE = os.environ.get("REPRO_FULL_SCALE", "0") == "1"
+FULL_SCALE = knobs.raw("REPRO_FULL_SCALE", "0") == "1"
 
 
 @pytest.fixture(scope="session")

@@ -18,7 +18,7 @@ from typing import Dict, List, Optional, Set, Tuple
 from repro.binary.image import BinaryImage
 from repro.binary.symbols import Symbol
 from repro.isa.disassembler import disassemble_range
-from repro.isa.encoding import DecodeError, decode_instruction
+from repro.isa.encoding import DecodeError
 from repro.isa.instructions import Instruction, Mnemonic
 from repro.isa.operands import Imm
 

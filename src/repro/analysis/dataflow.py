@@ -10,8 +10,8 @@ frame immediately, so register-only tracking would lose everything).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, Set
 
 from repro.analysis.cfg_recovery import FunctionCFG
 from repro.isa.instructions import Instruction, Mnemonic

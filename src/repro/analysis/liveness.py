@@ -8,12 +8,12 @@ later instruction may read it (§IV-B2).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Set, Tuple
 
 from repro.analysis.cfg_recovery import FunctionCFG
 from repro.isa.instructions import Instruction, Mnemonic
-from repro.isa.operands import Imm, Mem, Reg
+from repro.isa.operands import Mem, Reg
 from repro.isa.registers import ARG_REGISTERS, CALLER_SAVED, Register
 
 

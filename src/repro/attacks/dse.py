@@ -31,12 +31,12 @@ exploration (the differential property the tests assert).
 
 from __future__ import annotations
 
-import os
 import random
 import time
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
+from repro import knobs
 from repro.attacks.engine import EngineStats, SnapshotEngine, SnapshotPool
 from repro.attacks.shadow import BranchRecord, ShadowTracker
 from repro.attacks.solver.expr import BinExpr, ConstExpr, SymExpr
@@ -51,7 +51,7 @@ _MASK64 = (1 << 64) - 1
 
 #: ``REPRO_DSE_BACKTRACK=0`` forces rerun-from-entry exploration globally
 #: (the A/B lever the differential tests and the benchmark use).
-_BACKTRACK_DEFAULT = os.environ.get("REPRO_DSE_BACKTRACK", "1") != "0"
+_BACKTRACK_DEFAULT = knobs.enabled("REPRO_DSE_BACKTRACK")
 
 #: Backwards-compatible name: the DSE statistics are the shared engine stats.
 ExplorationStats = EngineStats

@@ -30,12 +30,12 @@ The pool size is controlled by ``REPRO_SNAPSHOT_POOL`` (default ``32``;
 
 from __future__ import annotations
 
-import os
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Optional, Tuple
 from weakref import WeakKeyDictionary
 
+from repro import knobs
 from repro.binary.image import BinaryImage
 from repro.binary.loader import LoadedProgram, load_image
 from repro.cpu.emulator import Emulator, EmulatorSnapshot
@@ -52,10 +52,7 @@ def snapshot_pool_capacity() -> int:
     workers with :func:`sharded_pool_capacity` so the sum of all workers'
     pools never exceeds what a serial run would have kept resident.
     """
-    try:
-        return max(0, int(os.environ.get("REPRO_SNAPSHOT_POOL", "32")))
-    except ValueError:
-        return 32
+    return knobs.nonneg_int("REPRO_SNAPSHOT_POOL")
 
 
 def sharded_pool_capacity(workers: int, total: Optional[int] = None) -> int:

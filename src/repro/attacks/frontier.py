@@ -116,6 +116,9 @@ def _worker_main(worker_index: int, engine_factory: Callable[[], DseEngine],
             result_queue.put((worker_index, "ok", (task_id, result), delta))
         except (KeyboardInterrupt, SystemExit):
             raise
+        # lint: allow-broad-except — worker blast containment: any
+        # failure becomes an error event for the coordinator (KeyboardInterrupt/
+        # SystemExit re-raised above)
         except BaseException as exc:  # surface, don't hang the coordinator
             result_queue.put((worker_index, "error",
                               (task_id, f"{type(exc).__name__}: {exc}"),
@@ -207,7 +210,7 @@ class FrontierExplorer:
 
     def _explore_distributed(self, time_budget, max_executions,
                              stop_condition, max_solver_queries):
-        start = time.monotonic()
+        start = time.monotonic()  # lint: allow-wallclock — wall-clock attack budget, reported not row-keyed
         stats = self.stats
         initial = {name: 0 for name in self.symbols}
         # pending entries are (priority, assignment, resume_key, attempt);
@@ -275,7 +278,7 @@ class FrontierExplorer:
                     break
 
         def poll_claims() -> None:
-            now = time.monotonic()
+            now = time.monotonic()  # lint: allow-wallclock — worker-liveness deadline, not row content
             for slot, cell in enumerate(claim_cells):
                 value = cell.value
                 if value < 0:
@@ -332,7 +335,7 @@ class FrontierExplorer:
             """
             if deadline is None:
                 return
-            now = time.monotonic()
+            now = time.monotonic()  # lint: allow-wallclock — worker-liveness deadline, not row content
             for slot, claim in list(observed.items()):
                 if claim is None or claim[0] not in inflight \
                         or now - claim[1] <= deadline:
@@ -353,7 +356,7 @@ class FrontierExplorer:
                 while (pending and not stopped
                        and len(inflight) < self.workers
                        and stats.executions + len(inflight) < max_executions
-                       and time.monotonic() - start <= time_budget):
+                       and time.monotonic() - start <= time_budget):  # lint: allow-wallclock — wall-clock attack budget, reported not row-keyed
                     index = self._pick(pending)
                     entry = pending.pop(index)
                     inflight[next_task_id] = entry
@@ -397,7 +400,7 @@ class FrontierExplorer:
                         if max_solver_queries is not None \
                                 and stats.solver_queries >= max_solver_queries:
                             break
-                        if time.monotonic() - start > time_budget:
+                        if time.monotonic() - start > time_budget:  # lint: allow-wallclock — wall-clock attack budget, reported not row-keyed
                             break
                         decision_key = (
                             signature[:position],
@@ -421,6 +424,8 @@ class FrontierExplorer:
                         pending.append((result.branch_addresses[position],
                                         solution,
                                         result.decision_keys[:position], 0))
+        # lint: allow-broad-except — error-path cleanup that re-raises:
+        # workers are terminated so a failed exploration cannot hang the join
         except BaseException:
             # error path: terminate instead of the sentinel handshake, so a
             # failed exploration doesn't block up to 10 s per process
@@ -447,7 +452,7 @@ class FrontierExplorer:
                     process.terminate()
                     process.join(timeout=5.0)
 
-        stats.elapsed = time.monotonic() - start
+        stats.elapsed = time.monotonic() - start  # lint: allow-wallclock — elapsed-time stat, excluded from byte-identity
         return results, stats
 
     def _pick(self, pending: List[Tuple]) -> int:

@@ -8,11 +8,11 @@ much work (executions, instructions, solver queries) was spent.
 
 from __future__ import annotations
 
-import os
 import time
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Optional, Sequence, Set
+from typing import Dict, Iterable, Optional, Set
 
+from repro import knobs
 from repro.attacks.dse import DseEngine, ExecutionResult, InputSpec
 from repro.binary.image import BinaryImage
 
@@ -24,10 +24,7 @@ def dse_workers() -> int:
     snapshot frontier (:class:`repro.attacks.frontier.FrontierExplorer`);
     the default 1 keeps today's serial engine.
     """
-    try:
-        return max(1, int(os.environ.get("REPRO_DSE_WORKERS", "1")))
-    except ValueError:
-        return 1
+    return knobs.positive_int("REPRO_DSE_WORKERS")
 
 
 @dataclass

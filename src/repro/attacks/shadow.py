@@ -11,7 +11,7 @@ and the SE engines feed to the solver.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.attacks.solver.expr import (
@@ -19,14 +19,15 @@ from repro.attacks.solver.expr import (
     ConstExpr,
     Expression,
     SelectExpr,
-    SymExpr,
     UnExpr,
 )
 from repro.attacks.solver.solver import PathConstraint
+from repro.cpu import semantics as _semantics
 from repro.isa.flags import Flag
 from repro.isa.instructions import Instruction, Mnemonic
 from repro.isa.operands import Imm, Mem, Reg
 from repro.isa.registers import Register
+from repro.memory import MemoryError_
 
 _MASK64 = (1 << 64) - 1
 
@@ -297,7 +298,7 @@ class ShadowTracker:
                 if snapshot is None:
                     try:
                         snapshot = tuple(emulator.memory.read(start, end - start))
-                    except Exception:  # unmapped: let the caller concretize
+                    except MemoryError_:  # unmapped: let the caller concretize
                         return None
                     self._stable_snapshots[key] = snapshot
                 return SelectExpr(base_address=start, snapshot=snapshot,
@@ -321,7 +322,7 @@ class ShadowTracker:
         base = address - (address % self.page_size)
         try:
             snapshot = tuple(emulator.memory.read(base, self.page_size))
-        except Exception:  # unmapped page: fall back to the concrete byte
+        except MemoryError_:  # unmapped page: fall back to the concrete byte
             return self.memory_exprs.get((address, size)) or ConstExpr(0)
         return SelectExpr(base_address=base, snapshot=snapshot, index=address_expr, size=size)
 
@@ -805,3 +806,16 @@ class ShadowTracker:
     def path_constraints(self) -> List[PathConstraint]:
         """Constraints of the executed path, in decision order."""
         return [record.constraint for record in self.branches]
+
+
+# -- semantic-contract registration -------------------------------------------
+# The symbolic mirror covers every mnemonic inside ShadowTracker.hook()
+# (with the same width-merge / masked-shift / zero-count-no-op rules as the
+# concrete tiers), but models flags as expressions rather than assignments
+# to the architectural slots — so only its coverage claim is statically
+# checkable (flag_style="none"); the flag-expression fidelity is carried by
+# the dynamic DSE differential tests.
+_semantics.register_tier(
+    "shadow", __name__,
+    covered={mnemonic: None for mnemonic in Mnemonic},
+    declined=(), flag_style="none")

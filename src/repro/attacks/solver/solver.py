@@ -12,8 +12,8 @@ state widening translate into attacker-side resource consumption.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
 
 from repro.attacks.solver.expr import (
     BinExpr,

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import copy
-from typing import Dict, List, Optional
+from typing import Dict, Optional
 
 from repro.binary.sections import DEFAULT_LAYOUT, Section
 from repro.binary.symbols import Symbol, SymbolTable

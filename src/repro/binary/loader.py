@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
 
 from repro.binary.image import BinaryImage
 from repro.binary.sections import HEAP_BASE, HEAP_SIZE, STACK_SIZE, STACK_TOP

@@ -14,7 +14,7 @@ function so those assumptions hold:
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import List
 
 from repro.lang.ast import (
     Assign,

@@ -15,7 +15,7 @@ when the addition executes).
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Union
 
 from repro.gadgets.gadget import Gadget

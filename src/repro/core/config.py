@@ -10,7 +10,7 @@ hiding) with a qualitative robustness/overhead rank, applied on top of a base
 from __future__ import annotations
 
 import dataclasses
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict
 
 

@@ -22,11 +22,10 @@ roplet lowerings inside opaque predicate bodies
 from __future__ import annotations
 
 import random
-from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.core.chain import (
     Chain,
-    ChainLabel,
     DeltaSlot,
     DisguiseBaseSlot,
     DisguisedSlot,
@@ -45,7 +44,7 @@ from repro.core.roplets import Roplet, RopletKind
 from repro.core.translation import TranslatedFunction
 from repro.gadgets.gadget import Gadget
 from repro.gadgets.pool import GadgetPool, GadgetPoolError
-from repro.isa.instructions import Instruction, Mnemonic
+from repro.isa.instructions import Mnemonic
 from repro.isa.operands import Imm, Mem, Reg
 from repro.isa.registers import Register
 

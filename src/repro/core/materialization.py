@@ -11,7 +11,7 @@ This stage:
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Tuple
 
 from repro.binary.image import BinaryImage
 from repro.core.chain import Chain, MaterializedChain

@@ -12,7 +12,7 @@ aliasing the periodicity induces.
 from __future__ import annotations
 
 import random
-from typing import Dict, List, Optional
+from typing import List, Optional
 
 from repro.core.chain import ValueSlot
 from repro.core.config import RopConfig

@@ -15,11 +15,10 @@ also fixing the operands sends the chain pointer into unintended bytes.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Union
+from typing import Dict, List, Union
 
 from repro.core.chain import ValueSlot
 from repro.core.roplets import RopletKind
-from repro.isa.instructions import Mnemonic
 from repro.isa.operands import Imm, Reg
 from repro.isa.registers import Register
 

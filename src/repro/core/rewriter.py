@@ -16,7 +16,6 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.analysis.cfg_recovery import CFGError
 from repro.binary.image import BinaryImage
-from repro.core.chain import Chain
 from repro.core.config import PROTECTION_PROFILES, ProtectionProfile, RopConfig
 from repro.core.crafting import ChainCrafter, RewriteError
 from repro.core.materialization import (

@@ -56,6 +56,7 @@ from __future__ import annotations
 import struct
 from typing import Dict, List, Optional, Set
 
+from repro.cpu import semantics as _semantics
 from repro.cpu.state import BIT_WIDTHS, EmulationError, SIGN_BITS, SIZE_MASKS
 from repro.cpu.trace import _writes_memory
 from repro.isa.instructions import Mnemonic
@@ -888,6 +889,9 @@ def compile_trace(emulator, trace) -> Optional[object]:
     generator = _Codegen(trace, emulator)
     try:
         source = generator.source()
+    # lint: allow-broad-except — any failure to *generate* source is a
+    # decline, not an error: the trace simply stays on the closure tier,
+    # which is always correct.  KeyboardInterrupt/SystemExit still pass.
     except Exception:
         return None
     if generator.generic_steps * 2 > len(trace.steps):
@@ -921,3 +925,55 @@ def compile_trace(emulator, trace) -> Optional[object]:
     function = namespace["_trace"]
     function.__source__ = source  # debugging: dump what actually runs
     return function
+
+
+# -- semantic-contract registration -------------------------------------------
+# The compiled tier's covered/declined split (see repro.cpu.semantics).
+# Covered mnemonics name the emitter method(s) whose *emitted* flag
+# assignments must match the contract (flag_style="emitted": the checker
+# parses the source-text string literals passed to emit()).  Empty entries
+# are emitted inline by emit_op (CQO, NOP) or by the terminal-step machinery
+# in emit_step (control flow).  Shape-level declines inside an emitter
+# (e.g. memory-operand XCHG) fall back to emit_generic per step and do not
+# change the mnemonic-level claim; IDIV is the only mnemonic with no native
+# emitter at all.
+_semantics.register_tier(
+    "codegen", __name__,
+    covered={
+        Mnemonic.MOV: "_op_mov",
+        Mnemonic.MOVZX: "_op_mov",
+        Mnemonic.MOVSX: "_op_movsx",
+        Mnemonic.ADD: ("_op_alu", "_op_alu_mem"),
+        Mnemonic.SUB: ("_op_alu", "_op_alu_mem"),
+        Mnemonic.CMP: ("_op_alu", "_op_alu_mem"),
+        Mnemonic.AND: ("_op_alu", "_op_alu_mem"),
+        Mnemonic.OR: ("_op_alu", "_op_alu_mem"),
+        Mnemonic.XOR: ("_op_alu", "_op_alu_mem"),
+        Mnemonic.TEST: ("_op_alu", "_op_alu_mem"),
+        Mnemonic.ADC: "_op_adc_sbb",
+        Mnemonic.SBB: "_op_adc_sbb",
+        Mnemonic.POP: "_op_pop",
+        Mnemonic.PUSH: "_op_push",
+        Mnemonic.LEA: "_op_lea",
+        Mnemonic.INC: "_op_incdec",
+        Mnemonic.DEC: "_op_incdec",
+        Mnemonic.NEG: "_op_neg",
+        Mnemonic.NOT: "_op_not",
+        Mnemonic.SHL: "_op_shift",
+        Mnemonic.SHR: "_op_shift",
+        Mnemonic.SAR: "_op_shift",
+        Mnemonic.IMUL: "_op_imul",
+        Mnemonic.XCHG: "_op_xchg",
+        Mnemonic.CMOV: "_op_cmov",
+        Mnemonic.SET: "_op_set",
+        Mnemonic.CQO: None,
+        Mnemonic.LEAVE: "_op_leave",
+        Mnemonic.NOP: None,
+        Mnemonic.JMP: None,
+        Mnemonic.JCC: None,
+        Mnemonic.CALL: None,
+        Mnemonic.RET: None,
+        Mnemonic.HLT: None,
+    },
+    declined=(Mnemonic.IDIV,),
+    flag_style="emitted")

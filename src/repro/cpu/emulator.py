@@ -54,10 +54,10 @@ in the evaluation grid bottoms out here):
 
 from __future__ import annotations
 
-import os
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence
 
+from repro import knobs
 from repro.binary.loader import LoadedProgram
 from repro.binary.sections import HOST_FUNCTION_LIMIT
 from repro.cpu.host import EXIT_ADDRESS, HostEnvironment, is_host_address
@@ -69,6 +69,7 @@ from repro.cpu.state import (
     SIZE_MASKS,
     to_signed,
 )
+from repro.cpu import semantics as _semantics
 from repro.cpu.codegen import compile_trace
 from repro.cpu.trace import (
     SUPERBLOCK_CAP as _SUPERBLOCK_CAP,
@@ -96,20 +97,20 @@ _HOST_SPACE_END = HOST_FUNCTION_LIMIT
 
 #: Decode caching default; ``REPRO_DECODE_CACHE=0`` disables it globally
 #: (useful for benchmarking the cache itself and as a bisection aid).
-_DECODE_CACHE_DEFAULT = os.environ.get("REPRO_DECODE_CACHE", "1") != "0"
+_DECODE_CACHE_DEFAULT = knobs.enabled("REPRO_DECODE_CACHE")
 
 #: Trace fusion default; ``REPRO_TRACE_CACHE=0`` disables superinstruction
 #: fusion globally (debugging aid and the A/B lever the benchmark uses).
-_TRACE_CACHE_DEFAULT = os.environ.get("REPRO_TRACE_CACHE", "1") != "0"
+_TRACE_CACHE_DEFAULT = knobs.enabled("REPRO_TRACE_CACHE")
 
 #: Source-compilation default; ``REPRO_TRACE_COMPILE=0`` stops promotion at
 #: the closure tier (the A/B lever for the compiled tier specifically).
-_TRACE_COMPILE_DEFAULT = os.environ.get("REPRO_TRACE_COMPILE", "1") != "0"
+_TRACE_COMPILE_DEFAULT = knobs.enabled("REPRO_TRACE_COMPILE")
 
 #: Cross-trace superblock default; ``REPRO_TRACE_SUPERBLOCK=0`` keeps
 #: compiled traces independent (no tail-to-head fusion through guarded
 #: rets), the A/B lever for the superblock machinery specifically.
-_TRACE_SUPERBLOCK_DEFAULT = os.environ.get("REPRO_TRACE_SUPERBLOCK", "1") != "0"
+_TRACE_SUPERBLOCK_DEFAULT = knobs.enabled("REPRO_TRACE_SUPERBLOCK")
 
 #: Number of run-loop visits to an address before it is fused into a trace.
 #: One free visit keeps cold straight-through code out of the compiler.
@@ -1005,44 +1006,19 @@ class Emulator:
         state.write_reg(Register.RBP, self.pop())
 
 
-#: Mnemonic -> handler method name; bound per instance into the dispatch table.
-_HANDLER_NAMES: Dict[Mnemonic, str] = {
-    Mnemonic.NOP: "_op_nop",
-    Mnemonic.HLT: "_op_hlt",
-    Mnemonic.MOV: "_op_mov",
-    Mnemonic.MOVZX: "_op_mov",
-    Mnemonic.MOVSX: "_op_movsx",
-    Mnemonic.LEA: "_op_lea",
-    Mnemonic.XCHG: "_op_xchg",
-    Mnemonic.PUSH: "_op_push",
-    Mnemonic.POP: "_op_pop",
-    Mnemonic.ADD: "_op_add",
-    Mnemonic.ADC: "_op_adc",
-    Mnemonic.SUB: "_op_sub",
-    Mnemonic.SBB: "_op_sbb",
-    Mnemonic.CMP: "_op_cmp",
-    Mnemonic.TEST: "_op_test",
-    Mnemonic.AND: "_op_and",
-    Mnemonic.OR: "_op_or",
-    Mnemonic.XOR: "_op_xor",
-    Mnemonic.NEG: "_op_neg",
-    Mnemonic.NOT: "_op_not",
-    Mnemonic.SHL: "_op_shl",
-    Mnemonic.SHR: "_op_shr",
-    Mnemonic.SAR: "_op_sar",
-    Mnemonic.IMUL: "_op_imul",
-    Mnemonic.CQO: "_op_cqo",
-    Mnemonic.IDIV: "_op_idiv",
-    Mnemonic.INC: "_op_inc",
-    Mnemonic.DEC: "_op_dec",
-    Mnemonic.CMOV: "_op_cmov",
-    Mnemonic.SET: "_op_set",
-    Mnemonic.JMP: "_op_jmp",
-    Mnemonic.JCC: "_op_jcc",
-    Mnemonic.CALL: "_op_call",
-    Mnemonic.RET: "_op_ret",
-    Mnemonic.LEAVE: "_op_leave",
-}
+#: Mnemonic -> handler method name; bound per instance into the dispatch
+#: table.  Derived from the semantics registry so dispatch and the declared
+#: per-mnemonic contracts cannot drift; built once at import time, so the
+#: step loop still indexes a plain dict.
+_HANDLER_NAMES: Dict[Mnemonic, str] = _semantics.handler_table()
+
+#: The handler tier is the reference interpreter: it covers every mnemonic
+#: and declines nothing.  Registration validates the split at import and
+#: feeds the static contract checker (``python -m repro.analysis.lint``).
+_semantics.register_tier(
+    "handlers", __name__,
+    covered={mnemonic: name for mnemonic, name in _HANDLER_NAMES.items()},
+    declined=(), flag_style="attributes")
 
 
 def call_function(program: LoadedProgram, name_or_address, args: Sequence[int] = (),

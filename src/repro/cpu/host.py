@@ -13,7 +13,7 @@ from __future__ import annotations
 from typing import Dict, List
 
 from repro.binary.sections import HEAP_BASE, HEAP_SIZE, HOST_FUNCTION_BASE
-from repro.isa.registers import ARG_REGISTERS, Register
+from repro.isa.registers import ARG_REGISTERS
 
 #: Sentinel return address used by :func:`repro.cpu.emulator.call_function`.
 #: When control returns here the emulation of the call is complete.

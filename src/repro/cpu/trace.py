@@ -41,6 +41,7 @@ from __future__ import annotations
 from typing import Callable, List, Optional
 
 from repro.binary.sections import HOST_FUNCTION_LIMIT
+from repro.cpu import semantics as _semantics
 from repro.cpu.state import CONDITION_TABLE, EmulationError, SIZE_MASKS, to_signed
 from repro.isa.instructions import Instruction, Mnemonic
 from repro.isa.operands import Imm, Mem, Reg
@@ -1046,3 +1047,48 @@ def compose_traces(emulator, parts: List[Trace]) -> Trace:
     composite.sb_tail = flat[-1].sb_tail
     composite.sb_watch = composite.sb_tail
     return composite
+
+
+# -- semantic-contract registration -------------------------------------------
+# The closure tier's covered/declined split, validated at import against the
+# declarative registry (repro.cpu.semantics) and statically checked by
+# ``python -m repro.analysis.lint``.  Covered mnemonics name the fuser
+# function(s) whose flag-slot assignments must match the contract; an empty
+# entry means "fused inline by build_trace" (trace-terminal control flow and
+# NOP, which have no dedicated fuser).  Declined mnemonics deliberately fall
+# through to the generic single-step handler closure — rare shapes where a
+# specialized closure would not pay for itself.
+_semantics.register_tier(
+    "closures", __name__,
+    covered={
+        Mnemonic.MOV: ("_fuse_mov", "_fuse_mov_to_mem"),
+        Mnemonic.MOVZX: ("_fuse_mov", "_fuse_mov_to_mem"),
+        Mnemonic.ADD: "_fuse_alu",
+        Mnemonic.SUB: "_fuse_alu",
+        Mnemonic.CMP: "_fuse_alu",
+        Mnemonic.AND: "_fuse_alu",
+        Mnemonic.OR: "_fuse_alu",
+        Mnemonic.XOR: "_fuse_alu",
+        Mnemonic.TEST: "_fuse_alu",
+        Mnemonic.POP: "_fuse_pop",
+        Mnemonic.NEG: "_fuse_neg",
+        Mnemonic.PUSH: "_fuse_push",
+        Mnemonic.LEA: "_fuse_lea",
+        Mnemonic.INC: "_fuse_incdec",
+        Mnemonic.DEC: "_fuse_incdec",
+        Mnemonic.SHL: "_fuse_shift",
+        Mnemonic.SHR: "_fuse_shift",
+        Mnemonic.SAR: "_fuse_shift",
+        Mnemonic.CMOV: "_fuse_cmov",
+        Mnemonic.SET: "_fuse_set",
+        Mnemonic.NOP: None,
+        Mnemonic.JMP: None,
+        Mnemonic.JCC: None,
+        Mnemonic.CALL: None,
+        Mnemonic.RET: None,
+        Mnemonic.HLT: None,
+    },
+    declined=(Mnemonic.MOVSX, Mnemonic.XCHG, Mnemonic.ADC, Mnemonic.SBB,
+              Mnemonic.NOT, Mnemonic.IMUL, Mnemonic.CQO, Mnemonic.IDIV,
+              Mnemonic.LEAVE),
+    flag_style="attributes")

@@ -14,7 +14,7 @@ trace is always the complete architectural sequence regardless of
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.isa.instructions import Instruction

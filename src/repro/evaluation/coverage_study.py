@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, Optional
 
 from repro.core import RopConfig, rop_obfuscate
 from repro.core.materialization import pivot_stub_size

@@ -11,11 +11,8 @@ The study reproduces the qualitative findings of the section:
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
-from typing import Dict, Optional
 
-from repro.attacks import AttackBudget, secret_finding_attack
 from repro.attacks.dse import DseEngine, InputSpec
 from repro.attacks.ropaware import RopDissector, RopMemuExplorer
 from repro.attacks.symbolic import SymbolicExecutionEngine

@@ -48,12 +48,12 @@ from __future__ import annotations
 import argparse
 import dataclasses
 import json
-import os
 import platform
 import time
 from pathlib import Path
 from typing import Dict, List, Optional
 
+from repro import knobs
 from repro.attacks import AttackBudget
 from repro.evaluation import parallel
 from repro.evaluation.configurations import TABLE2_CONFIGURATIONS, nvm
@@ -507,7 +507,7 @@ def write_artifacts(results: Dict[str, List[dict]], out_dir: Path,
                             in (elapsed_by_part or {}).items()},
         "workers": workers,
         "python": platform.python_version(),
-        "full_scale_env": os.environ.get("REPRO_FULL_SCALE", "0"),
+        "full_scale_env": knobs.raw("REPRO_FULL_SCALE", "0"),
         "grids": {name: len(rows) for name, rows in results.items()},
         "attack_engine": {
             "executions": sum(row["executions"] for row in table2),

@@ -60,6 +60,7 @@ import time
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro import knobs
 from repro.attacks import AttackBudget
 from repro.evaluation.configurations import ObfuscationConfig
 from repro.faults import inject_fault, parse_fault_spec, unit_retries, unit_timeout
@@ -71,10 +72,7 @@ _POLL_SECONDS = 1.0
 
 def grid_workers() -> int:
     """Resolve the ``REPRO_GRID_WORKERS`` knob (default 1 = serial)."""
-    try:
-        return max(1, int(os.environ.get("REPRO_GRID_WORKERS", "1")))
-    except ValueError:
-        return 1
+    return knobs.positive_int("REPRO_GRID_WORKERS")
 
 
 def fork_available() -> bool:
@@ -433,6 +431,9 @@ def _worker_main(worker_index: int, snapshot_share: int, task_queue,
                               execute_unit(unit)))
         except (KeyboardInterrupt, SystemExit):
             raise
+        # lint: allow-broad-except — worker blast containment: any
+        # failure becomes an error event for the supervisor (KeyboardInterrupt/
+        # SystemExit re-raised above)
         except BaseException as exc:  # surface, don't hang the parent
             result_queue.put((worker_index, dispatch_id, "error",
                               f"{type(exc).__name__}: {exc}"))
@@ -565,7 +566,7 @@ class WorkerPool:
                     return
 
         self._ensure_started()
-        now = time.monotonic()
+        now = time.monotonic()  # lint: allow-wallclock — worker-liveness deadline, not row content
         for slot, cell in enumerate(self._claim_cells):
             value = cell.value
             observed = self._observed.get(slot)
@@ -591,7 +592,7 @@ class WorkerPool:
         # per-unit deadline: kill the worker hosting an expired unit, then
         # surface the expiry and refill the slot
         if deadline is not None:
-            now = time.monotonic()
+            now = time.monotonic()  # lint: allow-wallclock — worker-liveness deadline, not row content
             for slot, claim in list(self._observed.items()):
                 if claim is None or claim[0] not in self._outstanding \
                         or now - claim[1] <= deadline:
@@ -657,6 +658,8 @@ class WorkerPool:
         self._ensure_started()
         try:
             return self._map_supervised(units, base, on_result)
+        # lint: allow-broad-except — error-path cleanup that re-raises:
+        # the pool is aborted so a failed run cannot hang close()
         except BaseException:
             # error path: terminate instead of the sentinel handshake, so a
             # failed run does not block up to 10 s per process in close()
@@ -678,6 +681,10 @@ class WorkerPool:
                                  inline=True)
                     payload = execute_unit(unit)
                     break
+                # lint: allow-broad-except — the inline pool mirrors the
+                # forked workers' blast containment: *any* unit failure
+                # (including EmulationError) is retried then quarantined as
+                # a row, never allowed to kill the whole grid.
                 except Exception as exc:
                     if attempt < retries:
                         attempt += 1

@@ -49,6 +49,8 @@ import signal
 import time
 from typing import Dict, Optional, Tuple
 
+from repro import knobs
+
 #: Recognized fault modes, in the order the docstring describes them.
 FAULT_MODES = ("raise", "hang", "exit0", "kill", "slow")
 
@@ -67,7 +69,7 @@ def parse_fault_spec(spec: Optional[str] = None) -> Dict[int, Tuple[str, float]]
     skipped silently (see module docstring).
     """
     if spec is None:
-        spec = os.environ.get("REPRO_FAULT_INJECT", "")
+        spec = knobs.raw("REPRO_FAULT_INJECT", "") or ""
     directives: Dict[int, Tuple[str, float]] = {}
     for field in spec.split(","):
         parts = [part.strip() for part in field.strip().split(":")]
@@ -148,16 +150,9 @@ def inject_fault(index: int, attempt: int = 0,
 
 def unit_timeout() -> Optional[float]:
     """Resolve ``REPRO_UNIT_TIMEOUT`` (seconds; ``None`` = no deadline)."""
-    try:
-        value = float(os.environ.get("REPRO_UNIT_TIMEOUT", ""))
-    except ValueError:
-        return None
-    return value if value > 0 else None
+    return knobs.optional_seconds("REPRO_UNIT_TIMEOUT")
 
 
 def unit_retries() -> int:
     """Resolve ``REPRO_UNIT_RETRIES`` (default 2)."""
-    try:
-        return max(0, int(os.environ.get("REPRO_UNIT_RETRIES", "2")))
-    except ValueError:
-        return 2
+    return knobs.nonneg_int("REPRO_UNIT_RETRIES")

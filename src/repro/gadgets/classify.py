@@ -11,7 +11,7 @@ from typing import Optional, Tuple
 
 from repro.gadgets.gadget import Gadget
 from repro.isa.instructions import Mnemonic
-from repro.isa.operands import Imm, Mem, Reg
+from repro.isa.operands import Mem, Reg
 from repro.isa.registers import Register
 
 #: Binary register-register ALU kinds and their mnemonics.

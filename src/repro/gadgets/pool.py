@@ -12,7 +12,7 @@ different byte patterns for the same purpose (§V-D).
 from __future__ import annotations
 
 import random
-from typing import Dict, FrozenSet, List, Optional, Tuple
+from typing import Dict, FrozenSet, List, Tuple
 
 from repro.binary.image import BinaryImage
 from repro.gadgets.classify import classify_gadget

@@ -8,12 +8,12 @@ not depend on label values and a single fix-up pass suffices.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple, Union
 
 from repro.isa.encoding import encode_instruction, encoded_length
 from repro.isa.instructions import Instruction
-from repro.isa.operands import Imm, Label, Mem, Operand
+from repro.isa.operands import Imm, Label, Operand
 
 
 @dataclass

@@ -3,10 +3,10 @@
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Tuple
 
-from repro.isa.operands import Operand, Reg, Imm, Mem, Label
+from repro.isa.operands import Operand, Label
 
 
 class Mnemonic(enum.Enum):

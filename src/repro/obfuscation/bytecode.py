@@ -9,7 +9,7 @@ lists in §II-A).
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.compiler.normalize import normalize_function

@@ -16,7 +16,7 @@ predicate bodies (see :mod:`repro.core.predicates.opaque` and
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Tuple, Union
+from typing import Dict, Iterable, Optional, Tuple, Union
 
 from repro.binary.image import BinaryImage
 from repro.compiler import compile_program

@@ -10,7 +10,7 @@ heavy-duty transformations.
 from __future__ import annotations
 
 import random
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 from repro.lang.ast import (
     Assign,

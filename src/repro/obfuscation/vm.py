@@ -23,7 +23,6 @@ from repro.lang.ast import (
     GlobalArray,
     If,
     Load,
-    Probe,
     Program,
     Return,
     Stmt,

@@ -35,13 +35,13 @@ assert that a batch served under kill/hang/exit0/raise faults produces
 from __future__ import annotations
 
 import dataclasses
-import os
 import time
 from collections import deque
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Deque, Dict, List, Optional
 
+from repro import knobs
 from repro.evaluation.parallel import WorkerPool, fork_available
 from repro.faults import inject_fault, parse_fault_spec, unit_retries, unit_timeout
 from repro.service.journal import Journal
@@ -54,26 +54,20 @@ _POLL_SECONDS = 1.0
 
 def service_workers() -> int:
     """Resolve ``REPRO_SERVICE_WORKERS`` (default 1 = in-process serial)."""
-    try:
-        return max(1, int(os.environ.get("REPRO_SERVICE_WORKERS", "1")))
-    except ValueError:
-        return 1
+    return knobs.positive_int("REPRO_SERVICE_WORKERS")
 
 
 def service_queue_limit() -> int:
     """Resolve ``REPRO_SERVICE_QUEUE``: max requests admitted but not yet
     terminal (pending + backing off + in flight); default 64."""
-    try:
-        return max(1, int(os.environ.get("REPRO_SERVICE_QUEUE", "64")))
-    except ValueError:
-        return 64
+    return knobs.positive_int("REPRO_SERVICE_QUEUE")
 
 
 def service_timeout() -> Optional[float]:
     """Per-request deadline: ``REPRO_SERVICE_TIMEOUT``, else the shared
     ``REPRO_UNIT_TIMEOUT``; ``None`` disables (the default)."""
     try:
-        value = float(os.environ.get("REPRO_SERVICE_TIMEOUT", ""))
+        value = float(knobs.raw("REPRO_SERVICE_TIMEOUT", "") or "")
     except ValueError:
         return unit_timeout()
     return value if value > 0 else None
@@ -82,20 +76,14 @@ def service_timeout() -> Optional[float]:
 def service_backoff() -> float:
     """Resolve ``REPRO_SERVICE_BACKOFF``: base retry delay in seconds;
     attempt ``n`` waits ``base * 2**(n-1)``.  Default 0.1; 0 disables."""
-    try:
-        return max(0.0, float(os.environ.get("REPRO_SERVICE_BACKOFF", "0.1")))
-    except ValueError:
-        return 0.1
+    return knobs.nonneg_float("REPRO_SERVICE_BACKOFF")
 
 
 def service_breaker() -> int:
     """Resolve ``REPRO_SERVICE_BREAKER``: worker respawns tolerated before
     the circuit breaker degrades the service to in-process execution
     (default 8)."""
-    try:
-        return max(1, int(os.environ.get("REPRO_SERVICE_BREAKER", "8")))
-    except ValueError:
-        return 8
+    return knobs.positive_int("REPRO_SERVICE_BREAKER")
 
 
 @dataclass
@@ -230,7 +218,7 @@ class AttackService:
         tracked.attempt += 1
         self.stats.retried += 1
         delay = self.backoff * (2 ** (tracked.attempt - 1))
-        tracked.ready_at = time.monotonic() + delay
+        tracked.ready_at = time.monotonic() + delay  # lint: allow-wallclock — retry-backoff schedule, not row content
         self._waiting.append(tracked)
         return None
 
@@ -243,7 +231,7 @@ class AttackService:
 
     def _dispatch_ready(self) -> None:
         """Move pending and backoff-expired requests into the pool."""
-        now = time.monotonic()
+        now = time.monotonic()  # lint: allow-wallclock — retry-backoff schedule, not row content
         ready = [tracked for tracked in self._waiting
                  if tracked.ready_at <= now]
         for tracked in ready:
@@ -292,7 +280,7 @@ class AttackService:
             if self._waiting:
                 # everything admitted is backing off; wait out the nearest
                 # retry instead of spinning
-                now = time.monotonic()
+                now = time.monotonic()  # lint: allow-wallclock — retry-backoff schedule, not row content
                 time.sleep(min(_POLL_SECONDS,
                                max(0.0, min(tracked.ready_at
                                             for tracked in self._waiting)
@@ -317,7 +305,7 @@ class AttackService:
     def _process_inline(self) -> List[dict]:
         """Serial/degraded mode: run the oldest runnable request in-process."""
         rows: List[dict] = []
-        now = time.monotonic()
+        now = time.monotonic()  # lint: allow-wallclock — retry-backoff schedule, not row content
         for tracked in list(self._waiting):
             if tracked.ready_at <= now:
                 self._waiting.remove(tracked)
@@ -336,6 +324,9 @@ class AttackService:
                          inline=True)
             rows.append(self._finish(tracked,
                                      execute_request(tracked.request)))
+        # lint: allow-broad-except — degraded-mode containment: any request
+        # failure (fault injection included) must become a retry/quarantine
+        # row, never take down the long-lived service.
         except Exception as exc:
             row = self._retry_or_quarantine(
                 tracked, f"{type(exc).__name__}: {exc}")

@@ -30,7 +30,7 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Optional, Tuple
 
 from repro.attacks import AttackBudget, secret_finding_attack
 from repro.attacks.dse import DseEngine, InputSpec

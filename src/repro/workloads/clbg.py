@@ -11,7 +11,7 @@ obfuscated variants can be asserted.
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, Tuple
 
 from repro.lang.ast import (
     Assign,
@@ -26,7 +26,6 @@ from repro.lang.ast import (
     Program,
     Return,
     Store,
-    UnOp,
     Var,
     While,
 )

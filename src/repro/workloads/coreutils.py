@@ -20,12 +20,11 @@ from repro.binary.image import BinaryImage
 from repro.compiler import compile_program
 from repro.isa.assembler import assemble
 from repro.isa.instructions import make
-from repro.isa.operands import Imm, Label, Mem, Reg
+from repro.isa.operands import Imm, Mem, Reg
 from repro.isa.registers import Register
 from repro.lang.ast import (
     Assign,
     BinOp,
-    Call,
     Const,
     For,
     Function,
@@ -35,7 +34,6 @@ from repro.lang.ast import (
     Return,
     Store,
     Var,
-    While,
 )
 
 

@@ -11,7 +11,7 @@ at every CFG split and join point (the G2 variant, ``RandomFunsTrace=2``).
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.lang.ast import (

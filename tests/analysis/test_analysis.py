@@ -3,10 +3,9 @@
 import pytest
 
 from repro.analysis import compute_liveness, compute_symbolic_registers, recover_cfg
-from repro.analysis.cfg_recovery import CFGError
 from repro.compiler import compile_function
 from repro.isa.registers import Register
-from repro.lang import Assign, BinOp, Call, Const, Function, If, Return, Var, While
+from repro.lang import Assign, BinOp, Const, Function, If, Return, Var, While
 
 
 BRANCHY = Function("f", ["x"], [

@@ -1,6 +1,5 @@
 """Tests for the attack engines: solver, DSE, SE, TDS, ROP-aware tools."""
 
-import pytest
 
 from repro.attacks import AttackBudget, coverage_attack, secret_finding_attack
 from repro.attacks.dse import DseEngine, InputSpec
@@ -10,7 +9,8 @@ from repro.attacks.solver.solver import ConstraintSolver, PathConstraint
 from repro.attacks.tds import TaintDrivenSimplifier
 from repro.compiler import compile_program
 from repro.core import RopConfig, rop_obfuscate
-from repro.lang import Assign, BinOp, Const, Function, If, Probe, Program, Return, Var, While
+from repro.lang import (Assign, BinOp, Const, Function, If, Probe,
+                        Program, Return, Var)
 
 
 def license_check_program(secret=0x5A):

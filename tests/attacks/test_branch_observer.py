@@ -15,10 +15,10 @@ from repro.attacks.dse import DseEngine, InputSpec
 from repro.attacks.ropaware import RopMemuExplorer
 from repro.attacks.shadow import ShadowTracker
 from repro.attacks.tds import TaintDrivenSimplifier
-from repro.binary import BinaryImage, load_image
+from repro.binary import BinaryImage
 from repro.compiler import compile_program
 from repro.core import RopConfig, rop_obfuscate
-from repro.isa import Imm, Mem, Reg, assemble
+from repro.isa import Imm, Reg, assemble
 from repro.isa.instructions import make
 from repro.isa.operands import Label
 from repro.isa.registers import Register

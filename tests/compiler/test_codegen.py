@@ -12,7 +12,6 @@ from repro.lang import (
     Call,
     Const,
     Continue,
-    ExprStmt,
     For,
     Function,
     GlobalArray,

@@ -7,7 +7,7 @@ as the rewriting threshold and the stack-switching array bookkeeping.
 from repro.binary import BinaryImage, load_image
 from repro.compiler import compile_program
 from repro.core import RopConfig, rop_obfuscate
-from repro.core.materialization import allocate_runtime_area, pivot_stub_size
+from repro.core.materialization import pivot_stub_size
 from repro.cpu import Emulator, call_function
 from repro.cpu.host import EXIT_ADDRESS
 from repro.isa import Reg, assemble

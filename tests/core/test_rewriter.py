@@ -3,7 +3,7 @@
 import pytest
 
 from repro.binary import load_image
-from repro.compiler import compile_function, compile_program
+from repro.compiler import compile_program
 from repro.core import RopConfig, rop_obfuscate
 from repro.cpu import call_function
 from repro.lang import (

@@ -6,11 +6,11 @@ from repro.compiler import compile_function
 from repro.core import RopConfig
 from repro.core.rewriter import FunctionResult, RewriteReport
 from repro.core.roplets import RopletKind
-from repro.core.translation import TranslationError, classify_instruction, translate_function
+from repro.core.translation import classify_instruction, translate_function
 from repro.isa.instructions import make
 from repro.isa.operands import Imm, Mem, Reg
 from repro.isa.registers import Register
-from repro.lang import Assign, BinOp, Call, Const, Function, If, Return, Var, While
+from repro.lang import Assign, BinOp, Const, Function, If, Return, Var
 
 
 def test_classify_instruction_covers_the_taxonomy():

@@ -7,7 +7,6 @@ from repro.cpu import Emulator, call_function
 from repro.cpu.host import EXIT_ADDRESS, host_function_address
 from repro.cpu.state import EmulationError
 from repro.isa import Imm, Mem, Reg, assemble
-from repro.isa.flags import Flag
 from repro.isa.instructions import make
 from repro.isa.registers import Register
 

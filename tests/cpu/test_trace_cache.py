@@ -10,7 +10,7 @@ import pytest
 
 from repro.binary import BinaryImage, load_image
 from repro.cpu import Emulator, TraceRecorder
-from repro.cpu.host import EXIT_ADDRESS, host_function_address
+from repro.cpu.host import EXIT_ADDRESS
 from repro.cpu.state import EmulationError
 from repro.isa import Imm, Mem, Reg, assemble
 from repro.isa.instructions import make

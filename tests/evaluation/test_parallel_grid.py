@@ -14,7 +14,6 @@ from repro.evaluation.grid import (
     write_artifacts,
 )
 from repro.evaluation.parallel import (
-    Table2Unit,
     WorkerPool,
     executions_by_worker,
     figure5_units,

@@ -7,7 +7,7 @@ from repro.binary import BinaryImage
 from repro.gadgets import GadgetPool, classify_gadget, find_gadgets
 from repro.gadgets.finder import find_gadgets_in_image
 from repro.gadgets.pool import GadgetPoolError
-from repro.isa import Imm, Mem, Reg, assemble
+from repro.isa import Mem, Reg, assemble
 from repro.isa.instructions import make
 from repro.isa.registers import Register
 

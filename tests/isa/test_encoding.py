@@ -8,7 +8,6 @@ from repro.isa import (
     Imm,
     Instruction,
     Mem,
-    Mnemonic,
     Reg,
     decode_instruction,
     encode_instruction,

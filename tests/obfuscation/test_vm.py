@@ -17,7 +17,6 @@ from repro.lang import (
     Probe,
     Program,
     Return,
-    Store,
     Var,
     While,
 )

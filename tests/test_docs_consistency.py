@@ -1,23 +1,30 @@
-"""Docs-vs-code drift gates.
+"""Docs-vs-code drift gates, driven by the ``repro.knobs`` registry.
 
-Every ``REPRO_*`` environment knob read by ``src/`` must be documented in
-the knob tables (the full table in ``benchmarks/README.md`` and the quick
-reference in ``README.md``), every documented knob must still exist in the
-code, and every ``repro.*`` module path named in ``docs/ARCHITECTURE.md``
-must still be importable — so the docs the README points newcomers at
-cannot silently rot.
+The registry in :mod:`repro.knobs` is the single source of truth for the
+``REPRO_*`` environment knobs (the static-analysis gate forbids raw
+``os.environ`` reads elsewhere), so the docs gates compare the *registry*
+— not a grep of the source — against the knob tables: every ``src``-scoped
+knob must appear in both tables, every documented knob must be registered,
+and every knob name that appears textually anywhere in ``src/`` or
+``benchmarks/`` must be registered too (a knob mentioned in a docstring
+but absent from the registry is either stale or unroutable).  Module paths
+named in ``docs/ARCHITECTURE.md`` must still be importable, so the docs
+the README points newcomers at cannot silently rot.
 """
 
 import importlib
 import re
 from pathlib import Path
 
+from repro import knobs
+
 REPO = Path(__file__).resolve().parent.parent
 KNOB_RE = re.compile(r"REPRO_[A-Z0-9_]+")
 MODULE_RE = re.compile(r"`(repro(?:\.[a-z_0-9]+)+)`")
 
 
-def _code_knobs(*roots: str) -> set:
+def _textual_knobs(*roots: str) -> set:
+    """Every REPRO_* token appearing in code or docstrings under roots."""
     found = set()
     for root in roots:
         for path in (REPO / root).rglob("*.py"):
@@ -34,26 +41,56 @@ def _table_knobs(path: Path) -> set:
 
 def test_every_src_knob_is_in_the_benchmarks_knob_table():
     documented = _table_knobs(REPO / "benchmarks" / "README.md")
-    missing = _code_knobs("src") - documented
+    missing = knobs.names("src") - documented
     assert not missing, (
-        f"knob(s) read by src/ but absent from the benchmarks/README.md "
+        f"registered src knob(s) absent from the benchmarks/README.md "
         f"knob table: {sorted(missing)}")
 
 
 def test_every_src_knob_is_in_the_readme_quick_reference():
     documented = _table_knobs(REPO / "README.md")
-    missing = _code_knobs("src") - documented
+    missing = knobs.names("src") - documented
     assert not missing, (
-        f"knob(s) read by src/ but absent from the README.md quick "
+        f"registered src knob(s) absent from the README.md quick "
         f"reference: {sorted(missing)}")
 
 
 def test_no_stale_documented_knobs():
-    in_code = _code_knobs("src", "benchmarks")
     for name in ("README.md", "benchmarks/README.md"):
-        stale = _table_knobs(REPO / name) - in_code
-        assert not stale, f"knob(s) documented in {name} but read nowhere: " \
-                          f"{sorted(stale)}"
+        stale = _table_knobs(REPO / name) - knobs.names()
+        assert not stale, (
+            f"knob(s) documented in {name} but not registered in "
+            f"repro.knobs: {sorted(stale)}")
+
+
+def test_every_textual_knob_mention_is_registered():
+    """A REPRO_* name in code/docstrings must exist in the registry."""
+    unregistered = _textual_knobs("src", "benchmarks") - knobs.names()
+    assert not unregistered, (
+        f"REPRO_* name(s) appearing in src/ or benchmarks/ but not "
+        f"registered in repro.knobs: {sorted(unregistered)}")
+
+
+def test_every_registered_knob_is_mentioned_somewhere():
+    """The registry cannot carry knobs nothing reads or documents."""
+    unused = knobs.names() - _textual_knobs("src", "benchmarks")
+    assert not unused, (
+        f"knob(s) registered in repro.knobs but never mentioned in src/ "
+        f"or benchmarks/: {sorted(unused)}")
+
+
+def test_benchmark_scoped_knobs_are_in_the_benchmarks_readme():
+    text = (REPO / "benchmarks" / "README.md").read_text()
+    missing = {name for name in knobs.names("benchmarks")
+               if name not in text}
+    assert not missing, (
+        f"benchmark knob(s) not described in benchmarks/README.md: "
+        f"{sorted(missing)}")
+
+
+def test_registry_descriptions_are_nonempty():
+    for knob in knobs.all_knobs():
+        assert knob.description.strip(), f"{knob.name} has no description"
 
 
 def test_architecture_doc_module_paths_exist():
